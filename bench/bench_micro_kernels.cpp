@@ -1,0 +1,115 @@
+// Hot-kernel microbenchmarks (google-benchmark): wall-clock throughput of
+// the functional simulator's inner loops. These measure *simulator*
+// performance (how fast the reproduction runs on the host), complementing
+// the modeled hardware numbers in the other benches.
+#include <benchmark/benchmark.h>
+
+#include "cma/cma.hpp"
+#include "data/zipf.hpp"
+#include "lsh/lsh.hpp"
+#include "nn/embedding.hpp"
+#include "tensor/qtensor.hpp"
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+#include "xbar/crossbar.hpp"
+
+using namespace imars;
+
+namespace {
+
+void BM_BitVecHamming(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 rng(1);
+  util::BitVec a(bits), b(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    a.set(i, rng.bernoulli(0.5));
+    b.set(i, rng.bernoulli(0.5));
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(a.hamming(b));
+}
+BENCHMARK(BM_BitVecHamming)->Arg(256)->Arg(1024);
+
+void BM_CmaSearch(benchmark::State& state) {
+  const auto profile = device::DeviceProfile::fefet45();
+  device::EnergyLedger ledger;
+  cma::Cma array(profile, &ledger);
+  util::Xoshiro256 rng(2);
+  for (std::size_t r = 0; r < 256; ++r) {
+    util::BitVec row(256);
+    for (std::size_t i = 0; i < 256; ++i) row.set(i, rng.bernoulli(0.5));
+    array.write_row(r, row);
+  }
+  array.set_mode(cma::Mode::kTcam);
+  util::BitVec q(256);
+  for (auto _ : state) benchmark::DoNotOptimize(array.search(q, 96));
+}
+BENCHMARK(BM_CmaSearch);
+
+void BM_CmaAccumulate(benchmark::State& state) {
+  const auto profile = device::DeviceProfile::fefet45();
+  device::EnergyLedger ledger;
+  cma::Cma array(profile, &ledger);
+  for (std::size_t r = 0; r < 32; ++r)
+    array.write_row_i8(r, std::vector<std::int8_t>(32, static_cast<std::int8_t>(r)));
+  array.set_mode(cma::Mode::kGpcim);
+  std::vector<std::int32_t> acc(32, 0);
+  for (auto _ : state) {
+    for (std::size_t r = 0; r < 32; ++r) array.accumulate(r, acc);
+    benchmark::DoNotOptimize(acc.data());
+  }
+}
+BENCHMARK(BM_CmaAccumulate);
+
+void BM_XbarGemv(benchmark::State& state) {
+  const auto profile = device::DeviceProfile::fefet45();
+  device::EnergyLedger ledger;
+  xbar::Crossbar xb(profile, &ledger);
+  util::Xoshiro256 rng(3);
+  const auto w = tensor::QMatrix::quantize(
+      tensor::Matrix::randn(256, 128, 1.0f, rng));
+  xb.load_weights(w);
+  std::vector<std::int8_t> in(256);
+  for (auto& v : in)
+    v = static_cast<std::int8_t>(static_cast<int>(rng.below(200)) - 100);
+  for (auto _ : state) benchmark::DoNotOptimize(xb.gemv(in, nullptr));
+}
+BENCHMARK(BM_XbarGemv);
+
+void BM_LshEncode(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const lsh::RandomHyperplaneLsh hasher(32, bits, 4);
+  util::Xoshiro256 rng(5);
+  tensor::Vector v(32);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  for (auto _ : state) benchmark::DoNotOptimize(hasher.encode(v));
+}
+BENCHMARK(BM_LshEncode)->Arg(64)->Arg(256);
+
+void BM_EmbeddingPool(benchmark::State& state) {
+  const auto lookups = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 rng(6);
+  nn::EmbeddingTable table(4096, 32, rng);
+  std::vector<std::size_t> idx(lookups);
+  for (auto& i : idx) i = rng.below(4096);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(table.lookup_pooled(idx, nn::Pooling::kMean));
+}
+BENCHMARK(BM_EmbeddingPool)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_ZipfSample(benchmark::State& state) {
+  const data::ZipfSampler zipf(30000, 1.1);
+  util::Xoshiro256 rng(7);
+  for (auto _ : state) benchmark::DoNotOptimize(zipf.sample(rng));
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_GemvI8(benchmark::State& state) {
+  util::Xoshiro256 rng(8);
+  const auto w = tensor::QMatrix::quantize(
+      tensor::Matrix::randn(128, 256, 1.0f, rng));
+  std::vector<std::int8_t> in(256, 3);
+  for (auto _ : state) benchmark::DoNotOptimize(tensor::gemv_i8(w, in));
+}
+BENCHMARK(BM_GemvI8);
+
+}  // namespace

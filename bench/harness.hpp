@@ -1,0 +1,118 @@
+// Shared setup helpers for the bench binaries: trained models at paper scale
+// (or a reduced scale for the slower algorithmic experiments), plus the
+// Table I workload parameters used by the analytical models.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "data/criteo.hpp"
+#include "data/movielens.hpp"
+#include "recsys/dlrm.hpp"
+#include "recsys/youtube_dnn.hpp"
+#include "util/rng.hpp"
+
+namespace imars::bench {
+
+/// Workload constants shared by the analytical benches (Table I / Sec IV).
+struct PaperWorkloads {
+  // MovieLens-1M (YouTubeDNN, filtering + ranking).
+  static constexpr std::size_t kMlItems = 3952;
+  static constexpr std::size_t kMlFilterTables = 6;  // 5 UIETs + ItET
+  static constexpr std::size_t kMlRankTables = 7;    // 6 UIETs + ItET
+  // Active CMAs of the touched tables (our mapping; see bench_table1).
+  static constexpr std::size_t kMlFilterActiveCmas = 73;
+  static constexpr std::size_t kMlRankActiveCmas = 74;
+  static constexpr std::size_t kMlItetSigCmas = 16;
+
+  // Criteo Kaggle (DLRM, ranking only). Table I: 26 banks / 104 mats /
+  // 2860 CMAs.
+  static constexpr std::size_t kCriteoTables = 26;
+  static constexpr std::size_t kCriteoActiveCmas = 2860;
+  static constexpr std::size_t kCriteoMatsPerTable = 4;
+
+  // Paper DNN stacks (layer widths incl. the assembled input dims of our
+  // reproduction; the hidden widths are the paper's).
+  static constexpr std::size_t kFilterDnnDims[4] = {196, 128, 64, 32};
+  static constexpr std::size_t kRankDnnDims[3] = {260, 128, 1};
+  static constexpr std::size_t kDlrmBottomDims[4] = {13, 256, 128, 32};
+  static constexpr std::size_t kDlrmTopDims[4] = {383, 256, 64, 1};
+};
+
+/// A trained MovieLens + YouTubeDNN pair.
+struct MovieLensSetup {
+  std::unique_ptr<data::MovieLensSynth> ds;
+  std::unique_ptr<recsys::YoutubeDnn> model;
+};
+
+/// Builds and trains a YouTubeDNN on synthetic MovieLens. `scale` in (0,1]
+/// shrinks users/items for the slower algorithmic benches; 1.0 is the full
+/// MovieLens-1M shape.
+inline MovieLensSetup make_movielens(double scale, std::size_t filter_epochs,
+                                     std::size_t rank_epochs,
+                                     std::uint64_t seed = 404) {
+  data::MovieLensConfig dcfg;
+  dcfg.num_users = std::max<std::size_t>(
+      50, static_cast<std::size_t>(6040 * scale));
+  dcfg.num_items = std::max<std::size_t>(
+      60, static_cast<std::size_t>(3952 * scale));
+  dcfg.seed = seed;
+
+  MovieLensSetup s;
+  s.ds = std::make_unique<data::MovieLensSynth>(dcfg);
+
+  recsys::YoutubeDnnConfig mcfg;  // paper dims: 32-d, 128-64-32 / 128-1
+  mcfg.seed = seed + 1;
+  s.model = std::make_unique<recsys::YoutubeDnn>(s.ds->schema(), mcfg);
+
+  util::Xoshiro256 rng(seed + 2);
+  for (std::size_t e = 0; e < filter_epochs; ++e) {
+    const float loss = s.model->train_filter_epoch(*s.ds, rng);
+    std::cerr << "  [train] filter epoch " << e + 1 << "/" << filter_epochs
+              << " loss " << loss << "\n";
+  }
+  for (std::size_t e = 0; e < rank_epochs; ++e) {
+    const float loss = s.model->train_rank_epoch(*s.ds, rng);
+    std::cerr << "  [train] rank epoch " << e + 1 << "/" << rank_epochs
+              << " loss " << loss << "\n";
+  }
+  return s;
+}
+
+/// A trained Criteo + DLRM pair.
+struct CriteoSetup {
+  std::unique_ptr<data::CriteoSynth> ds;
+  std::unique_ptr<recsys::Dlrm> model;
+};
+
+inline CriteoSetup make_criteo(std::size_t samples, std::size_t epochs,
+                               std::uint64_t seed = 505) {
+  data::CriteoConfig dcfg;
+  dcfg.num_samples = samples;
+  dcfg.seed = seed;
+
+  CriteoSetup s;
+  s.ds = std::make_unique<data::CriteoSynth>(dcfg);
+
+  recsys::DlrmConfig mcfg;  // paper dims: 256-128-32 / 256-64-1
+  mcfg.seed = seed + 1;
+  s.model = std::make_unique<recsys::Dlrm>(s.ds->schema(), mcfg);
+
+  util::Xoshiro256 rng(seed + 2);
+  for (std::size_t e = 0; e < epochs; ++e) {
+    const float loss = s.model->train_epoch(*s.ds, rng);
+    std::cerr << "  [train] dlrm epoch " << e + 1 << "/" << epochs << " loss "
+              << loss << "\n";
+  }
+  return s;
+}
+
+/// Honors IMARS_BENCH_QUICK=1 for CI-speed runs of the slow benches.
+inline bool quick_mode() {
+  const char* v = std::getenv("IMARS_BENCH_QUICK");
+  return v != nullptr && std::string(v) == "1";
+}
+
+}  // namespace imars::bench

@@ -1,0 +1,109 @@
+// Accuracy study: how the Sec III-B algorithm substitutions (int8
+// quantization, LSH + Hamming distance, fixed-radius search) trade accuracy
+// for IMC-friendliness — an interactive-scale version of bench_accuracy
+// that additionally sweeps the fixed radius.
+//
+//   $ ./accuracy_study
+#include <iostream>
+
+#include "baseline/cpu_backend.hpp"
+#include "baseline/exact_nns.hpp"
+#include "data/movielens.hpp"
+#include "recsys/metrics.hpp"
+#include "recsys/youtube_dnn.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace imars;
+using baseline::CpuBackend;
+using baseline::CpuBackendConfig;
+using baseline::FilterVariant;
+
+int main() {
+  data::MovieLensConfig dcfg;
+  dcfg.num_users = 600;
+  dcfg.num_items = 500;
+  dcfg.seed = 31;
+  const data::MovieLensSynth ds(dcfg);
+
+  recsys::YoutubeDnnConfig mcfg;
+  mcfg.seed = 32;
+  recsys::YoutubeDnn model(ds.schema(), mcfg);
+  std::cout << "training filtering model...\n";
+  util::Xoshiro256 rng(33);
+  for (int e = 0; e < 6; ++e)
+    std::cout << "  epoch " << e + 1
+              << ": loss = " << model.train_filter_epoch(ds, rng) << "\n";
+
+  const std::size_t topn = 10;
+  const auto hr_of = [&](auto&& retrieve) {
+    return recsys::hit_rate(
+        ds.num_users(), retrieve,
+        [&](std::size_t u) { return ds.user(u).heldout; });
+  };
+
+  // --- Distance-function comparison (Sec IV-B). ---------------------------
+  CpuBackendConfig c1;
+  c1.variant = FilterVariant::kFp32Cosine;
+  c1.candidates = topn;
+  CpuBackend fp32(model, c1);
+  CpuBackendConfig c2 = c1;
+  c2.variant = FilterVariant::kInt8Cosine;
+  CpuBackend int8(model, c2);
+  CpuBackendConfig c3 = c1;
+  c3.variant = FilterVariant::kInt8LshHamming;
+  CpuBackend lshv(model, c3);
+
+  const double hr_fp32 = hr_of([&](std::size_t u) {
+    return fp32.filter(model.make_context(ds, u), nullptr);
+  });
+  const double hr_int8 = hr_of([&](std::size_t u) {
+    return int8.filter(model.make_context(ds, u), nullptr);
+  });
+  const double hr_lsh = hr_of([&](std::size_t u) {
+    const auto ctx = model.make_context(ds, u);
+    const auto q = lshv.signature_of(model.user_embedding(ctx));
+    return baseline::topk_hamming(lshv.item_signatures(), q, topn);
+  });
+
+  util::Table t("HR@10 by configuration (paper: 26.8 / 26.2 / 20.8 %)");
+  t.header({"configuration", "HR@10"});
+  t.row({"fp32 + cosine", util::Table::num(100 * hr_fp32, 1) + "%"});
+  t.row({"int8 + cosine", util::Table::num(100 * hr_int8, 1) + "%"});
+  t.row({"int8 + LSH-256 Hamming", util::Table::num(100 * hr_lsh, 1) + "%"});
+  t.print(std::cout);
+
+  // --- Fixed-radius sweep (Sec III-B's final substitution). ---------------
+  std::cout << "\n";
+  util::Table r("Fixed-radius search: radius vs candidate count and recall");
+  r.header({"radius", "avg candidates", "HR (heldout in candidate set)"});
+  for (std::size_t radius : {96, 104, 112, 120, 128}) {
+    util::RunningStats set_size;
+    std::size_t hits = 0;
+    for (std::size_t u = 0; u < ds.num_users(); ++u) {
+      const auto ctx = model.make_context(ds, u);
+      const auto q = lshv.signature_of(model.user_embedding(ctx));
+      const auto cands =
+          baseline::radius_hamming(lshv.item_signatures(), q, radius);
+      set_size.add(static_cast<double>(cands.size()));
+      for (auto c : cands) {
+        if (c == ds.user(u).heldout) {
+          ++hits;
+          break;
+        }
+      }
+    }
+    r.row({std::to_string(radius), util::Table::num(set_size.mean(), 1),
+           util::Table::num(100.0 * static_cast<double>(hits) /
+                                static_cast<double>(ds.num_users()),
+                            1) +
+               "%"});
+  }
+  r.print(std::cout);
+
+  std::cout << "\nReading: the radius is the dial between candidate-set size\n"
+               "(ranking-stage work) and filtering recall. The TCAM's\n"
+               "adjustable dummy-cell reference implements exactly this dial\n"
+               "in hardware (Sec III-A1).\n";
+  return 0;
+}

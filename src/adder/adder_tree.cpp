@@ -1,0 +1,70 @@
+#include "adder/adder_tree.hpp"
+
+#include "util/error.hpp"
+
+namespace imars::adder {
+
+using device::Component;
+using device::Ns;
+
+IntraMatAdderTree::IntraMatAdderTree(const device::DeviceProfile& profile,
+                                     device::EnergyLedger* ledger,
+                                     std::size_t fan_in, std::size_t lanes)
+    : profile_(&profile), ledger_(ledger), fan_in_(fan_in), lanes_(lanes) {
+  IMARS_REQUIRE(ledger != nullptr, "IntraMatAdderTree: ledger required");
+  IMARS_REQUIRE(fan_in >= 2, "IntraMatAdderTree: fan_in >= 2");
+  IMARS_REQUIRE(lanes >= 1, "IntraMatAdderTree: lanes >= 1");
+}
+
+Lanes IntraMatAdderTree::sum(std::span<const Lanes> inputs,
+                             device::Ns* latency) const {
+  IMARS_REQUIRE(!inputs.empty(), "IntraMatAdderTree: no inputs");
+  IMARS_REQUIRE(inputs.size() <= fan_in_,
+                "IntraMatAdderTree: more inputs than fan-in");
+  Lanes out(lanes_, 0);
+  for (const auto& in : inputs) {
+    IMARS_REQUIRE(in.size() == lanes_, "IntraMatAdderTree: lane mismatch");
+    for (std::size_t l = 0; l < lanes_; ++l) out[l] += in[l];
+  }
+  ledger_->charge(Component::kIntraMatTree, profile_->intra_mat_add.energy);
+  if (latency != nullptr) *latency = profile_->intra_mat_add.latency;
+  return out;
+}
+
+IntraBankAdderTree::IntraBankAdderTree(const device::DeviceProfile& profile,
+                                       device::EnergyLedger* ledger,
+                                       std::size_t fan_in, std::size_t lanes)
+    : profile_(&profile), ledger_(ledger), fan_in_(fan_in), lanes_(lanes) {
+  IMARS_REQUIRE(ledger != nullptr, "IntraBankAdderTree: ledger required");
+  IMARS_REQUIRE(fan_in >= 2, "IntraBankAdderTree: fan_in >= 2");
+  IMARS_REQUIRE(lanes >= 1, "IntraBankAdderTree: lanes >= 1");
+}
+
+std::size_t IntraBankAdderTree::rounds_for(std::size_t k) const noexcept {
+  if (k <= 1) return 0;
+  if (k <= fan_in_) return 1;
+  // First round consumes fan_in inputs; every later round feeds the running
+  // sum back and consumes fan_in - 1 new inputs.
+  const std::size_t remaining = k - fan_in_;
+  const std::size_t per_round = fan_in_ - 1;
+  return 1 + (remaining + per_round - 1) / per_round;
+}
+
+Lanes IntraBankAdderTree::sum(std::span<const Lanes> inputs,
+                              device::Ns* latency) const {
+  IMARS_REQUIRE(!inputs.empty(), "IntraBankAdderTree: no inputs");
+  Lanes out(lanes_, 0);
+  for (const auto& in : inputs) {
+    IMARS_REQUIRE(in.size() == lanes_, "IntraBankAdderTree: lane mismatch");
+    for (std::size_t l = 0; l < lanes_; ++l) out[l] += in[l];
+  }
+  const std::size_t rounds = rounds_for(inputs.size());
+  ledger_->charge(Component::kIntraBankTree,
+                  profile_->intra_bank_add.energy * static_cast<double>(rounds),
+                  rounds);
+  if (latency != nullptr)
+    *latency = profile_->intra_bank_add.latency * static_cast<double>(rounds);
+  return out;
+}
+
+}  // namespace imars::adder

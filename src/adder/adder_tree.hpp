@@ -1,0 +1,76 @@
+// Near-memory adder trees (Sec III-A1 "Adder trees").
+//
+// iMARS accumulates embedding partial sums at two levels:
+//   * the intra-mat adder tree sums the outputs of the C CMAs of one mat in
+//     a single pass (the synthesized Table II figure covers the whole tree);
+//   * the intra-bank adder tree has a fixed fan-in of 4 (a stated design
+//     compromise between area and performance); when K > 4 mats contribute,
+//     accumulation proceeds in multiple rounds through the same tree, with
+//     the running sum looped back as one of the four inputs.
+//
+// Values are 256-bit vectors interpreted as 32 lanes of int8 partial sums;
+// tree-internal arithmetic is wide (int32 lanes) — the paper's trees are
+// synthesized 256-bit adders, so lane overflow does not wrap at 8 bits
+// mid-tree.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "device/ledger.hpp"
+#include "device/profile.hpp"
+
+namespace imars::adder {
+
+/// A 256-bit value as 32 int32 lanes (widened int8 partial sums).
+using Lanes = std::vector<std::int32_t>;
+
+/// Intra-mat adder tree: sums up to `fan_in` CMA outputs in one pass.
+class IntraMatAdderTree {
+ public:
+  /// `fan_in` = C, the CMAs per mat.
+  IntraMatAdderTree(const device::DeviceProfile& profile,
+                    device::EnergyLedger* ledger, std::size_t fan_in,
+                    std::size_t lanes = 32);
+
+  std::size_t fan_in() const noexcept { return fan_in_; }
+  std::size_t lanes() const noexcept { return lanes_; }
+
+  /// Sums `inputs` (each `lanes` wide, at most fan_in of them) into one
+  /// output. Returns the tree latency via out-parameter.
+  Lanes sum(std::span<const Lanes> inputs, device::Ns* latency) const;
+
+ private:
+  const device::DeviceProfile* profile_;
+  device::EnergyLedger* ledger_;
+  std::size_t fan_in_;
+  std::size_t lanes_;
+};
+
+/// Intra-bank adder tree: fan-in 4, multi-round for more inputs.
+class IntraBankAdderTree {
+ public:
+  IntraBankAdderTree(const device::DeviceProfile& profile,
+                     device::EnergyLedger* ledger, std::size_t fan_in = 4,
+                     std::size_t lanes = 32);
+
+  std::size_t fan_in() const noexcept { return fan_in_; }
+
+  /// Number of passes through the tree needed to sum `k` inputs: the first
+  /// round consumes fan_in inputs, each later round consumes fan_in - 1 new
+  /// inputs plus the running sum. k <= 1 needs no round.
+  std::size_t rounds_for(std::size_t k) const noexcept;
+
+  /// Sums `inputs` (any count) using multi-round accumulation. Returns the
+  /// total latency (rounds x tree latency) via out-parameter.
+  Lanes sum(std::span<const Lanes> inputs, device::Ns* latency) const;
+
+ private:
+  const device::DeviceProfile* profile_;
+  device::EnergyLedger* ledger_;
+  std::size_t fan_in_;
+  std::size_t lanes_;
+};
+
+}  // namespace imars::adder

@@ -1,0 +1,56 @@
+#include "baseline/gpu_model.hpp"
+
+namespace imars::baseline {
+
+using device::Ns;
+using device::Pj;
+using recsys::OpCost;
+
+OpCost GpuModel::from_us(double us) const {
+  // Energy = latency x effective power. 1 us * 1 W = 1 uJ = 1e6 pJ.
+  return OpCost{device::from_us(us), device::from_uj(us * cal_.power_w)};
+}
+
+OpCost GpuModel::et_lookup(std::size_t tables) const {
+  return from_us(cal_.et_base_us +
+                 cal_.et_per_table_us * static_cast<double>(tables));
+}
+
+OpCost GpuModel::nns(GpuNnsKind kind, std::size_t items) const {
+  double base_us = 0.0;
+  double per_item_ns = 0.0;
+  switch (kind) {
+    case GpuNnsKind::kBruteCosine:
+      base_us = cal_.nns_cosine_base_us;
+      per_item_ns = cal_.nns_cosine_per_item_ns;
+      break;
+    case GpuNnsKind::kLsh256:
+      base_us = cal_.nns_lsh_base_us;
+      per_item_ns = cal_.nns_lsh_per_item_ns;
+      break;
+    case GpuNnsKind::kFaissAnn:
+      base_us = cal_.nns_faiss_base_us;
+      per_item_ns = cal_.nns_faiss_per_item_ns;
+      break;
+  }
+  return from_us(base_us + per_item_ns * static_cast<double>(items) * 1e-3);
+}
+
+OpCost GpuModel::dnn(std::size_t layers, std::size_t macs) const {
+  const double compute_us =
+      2.0 * static_cast<double>(macs) / cal_.dnn_flops_per_us;
+  return from_us(cal_.dnn_launch_per_layer_us * static_cast<double>(layers) +
+                 compute_us);
+}
+
+OpCost GpuModel::rank_pair_overhead() const {
+  return from_us(cal_.rank_pair_overhead_us);
+}
+
+OpCost GpuModel::topk(std::size_t n) const {
+  // Selection over O(100) candidates is launch-bound; size-dependent term
+  // only matters for very large n.
+  return from_us(cal_.topk_us + 1e-5 * static_cast<double>(n));
+}
+
+}  // namespace imars::baseline

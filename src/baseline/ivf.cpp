@@ -1,0 +1,166 @@
+#include "baseline/ivf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace imars::baseline {
+
+namespace {
+
+tensor::Matrix normalized_rows(const tensor::Matrix& m) {
+  tensor::Matrix out(m.rows(), m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const auto src = m.row(r);
+    auto dst = out.row(r);
+    const float n = tensor::norm(src);
+    const float inv = (n > 0.0f) ? 1.0f / n : 0.0f;
+    for (std::size_t c = 0; c < m.cols(); ++c) dst[c] = src[c] * inv;
+  }
+  return out;
+}
+
+}  // namespace
+
+IvfIndex::IvfIndex(const tensor::Matrix& items, const Config& config)
+    : config_(config), items_(normalized_rows(items)) {
+  IMARS_REQUIRE(items.rows() > 0, "IvfIndex: empty item set");
+  IMARS_REQUIRE(config.nlist >= 1, "IvfIndex: nlist must be >= 1");
+  IMARS_REQUIRE(config.nprobe >= 1 && config.nprobe <= config.nlist,
+                "IvfIndex: nprobe must be in [1, nlist]");
+  const std::size_t nlist = std::min(config.nlist, items.rows());
+  const std::size_t dim = items.cols();
+
+  // k-means++ -style seeding (greedy farthest point on a sample), then
+  // Lloyd iterations on the normalized vectors.
+  util::Xoshiro256 rng(config.seed);
+  centroids_ = tensor::Matrix(nlist, dim);
+  std::vector<std::size_t> seeds;
+  seeds.push_back(rng.below(items_.rows()));
+  while (seeds.size() < nlist) {
+    // Pick the sampled point farthest from its nearest chosen seed.
+    std::size_t best = 0;
+    float best_d = -1.0f;
+    for (int trial = 0; trial < 32; ++trial) {
+      const std::size_t cand = rng.below(items_.rows());
+      float nearest = 4.0f;  // max squared distance on the unit sphere
+      for (auto s : seeds) {
+        float d = 0.0f;
+        for (std::size_t c = 0; c < dim; ++c) {
+          const float diff = items_.at(cand, c) - items_.at(s, c);
+          d += diff * diff;
+        }
+        nearest = std::min(nearest, d);
+      }
+      if (nearest > best_d) {
+        best_d = nearest;
+        best = cand;
+      }
+    }
+    seeds.push_back(best);
+  }
+  for (std::size_t l = 0; l < nlist; ++l) {
+    const auto src = items_.row(seeds[l]);
+    auto dst = centroids_.row(l);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+
+  std::vector<std::size_t> assign(items_.rows(), 0);
+  for (std::size_t iter = 0; iter < config.kmeans_iters; ++iter) {
+    // Assign.
+    for (std::size_t r = 0; r < items_.rows(); ++r)
+      assign[r] = nearest_centroids(items_.row(r), 1)[0];
+    // Update.
+    tensor::Matrix sums(nlist, dim);
+    std::vector<std::size_t> counts(nlist, 0);
+    for (std::size_t r = 0; r < items_.rows(); ++r) {
+      auto dst = sums.row(assign[r]);
+      const auto src = items_.row(r);
+      for (std::size_t c = 0; c < dim; ++c) dst[c] += src[c];
+      ++counts[assign[r]];
+    }
+    for (std::size_t l = 0; l < nlist; ++l) {
+      if (counts[l] == 0) continue;  // keep the old centroid for empty lists
+      auto dst = centroids_.row(l);
+      const auto src = sums.row(l);
+      const float inv = 1.0f / static_cast<float>(counts[l]);
+      for (std::size_t c = 0; c < dim; ++c) dst[c] = src[c] * inv;
+    }
+  }
+
+  lists_.assign(nlist, {});
+  for (std::size_t r = 0; r < items_.rows(); ++r) {
+    lists_[nearest_centroids(items_.row(r), 1)[0]].push_back(r);
+  }
+}
+
+std::vector<std::size_t> IvfIndex::nearest_centroids(std::span<const float> q,
+                                                     std::size_t n) const {
+  std::vector<float> score(centroids_.rows());
+  for (std::size_t l = 0; l < centroids_.rows(); ++l)
+    score[l] = tensor::dot(centroids_.row(l), q);
+  std::vector<std::size_t> order(centroids_.rows());
+  std::iota(order.begin(), order.end(), 0);
+  n = std::min(n, order.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(n),
+                    order.end(), [&](std::size_t a, std::size_t b) {
+                      if (score[a] != score[b]) return score[a] > score[b];
+                      return a < b;
+                    });
+  order.resize(n);
+  return order;
+}
+
+std::vector<std::size_t> IvfIndex::search(std::span<const float> query,
+                                          std::size_t k) const {
+  return search_probes(query, k, config_.nprobe);
+}
+
+std::vector<std::size_t> IvfIndex::search_probes(std::span<const float> query,
+                                                 std::size_t k,
+                                                 std::size_t nprobe) const {
+  IMARS_REQUIRE(query.size() == items_.cols(), "IvfIndex: query dim mismatch");
+  IMARS_REQUIRE(nprobe >= 1, "IvfIndex: nprobe must be >= 1");
+  nprobe = std::min(nprobe, centroids_.rows());
+
+  // Normalize the query so IP == cosine.
+  tensor::Vector q(query.begin(), query.end());
+  const float n = tensor::norm(q);
+  if (n > 0.0f) tensor::scale_inplace(q, 1.0f / n);
+
+  std::vector<std::pair<float, std::size_t>> scored;
+  for (auto list_id : nearest_centroids(q, nprobe)) {
+    for (auto item : lists_[list_id])
+      scored.push_back({tensor::dot(items_.row(item), q), item});
+  }
+  const std::size_t kk = std::min(k, scored.size());
+  std::partial_sort(scored.begin(),
+                    scored.begin() + static_cast<std::ptrdiff_t>(kk),
+                    scored.end(), [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;
+                    });
+  std::vector<std::size_t> out;
+  out.reserve(kk);
+  for (std::size_t i = 0; i < kk; ++i) out.push_back(scored[i].second);
+  return out;
+}
+
+double IvfIndex::scan_fraction(std::size_t nprobe) const {
+  nprobe = std::min(nprobe, lists_.size());
+  // Expected fraction with balanced lists; exact value depends on the
+  // query, so report the balanced-case estimate.
+  return static_cast<double>(nprobe) / static_cast<double>(lists_.size());
+}
+
+std::vector<std::size_t> IvfIndex::list_sizes() const {
+  std::vector<std::size_t> out;
+  out.reserve(lists_.size());
+  for (const auto& l : lists_) out.push_back(l.size());
+  return out;
+}
+
+}  // namespace imars::baseline

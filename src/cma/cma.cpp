@@ -1,0 +1,195 @@
+#include "cma/cma.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/quant.hpp"
+
+namespace imars::cma {
+
+using device::Component;
+using device::Ns;
+
+Cma::Cma(const device::DeviceProfile& profile, device::EnergyLedger* ledger)
+    : profile_(&profile),
+      ledger_(ledger),
+      rows_(profile.cma_rows),
+      cols_(profile.cma_cols),
+      data_(rows_, util::BitVec(profile.cma_cols)),
+      xmask_(rows_, util::BitVec(profile.cma_cols)),
+      valid_(rows_, false),
+      writes_(rows_, 0) {
+  IMARS_REQUIRE(ledger != nullptr, "Cma: ledger must not be null");
+  IMARS_REQUIRE(cols_ % 8 == 0, "Cma: columns must be a multiple of 8");
+}
+
+void Cma::set_mode(Mode m) {
+  if (m != mode_) {
+    mode_ = m;
+    ++mode_switches_;
+    // Reconfiguration selects different peripherals (CAM SA vs RAM SA vs
+    // accumulator); charged as one controller decision.
+    ledger_->charge(Component::kController, profile_->controller_energy);
+  }
+}
+
+void Cma::check_row(std::size_t row) const {
+  IMARS_REQUIRE(row < rows_, "Cma: row " + std::to_string(row) +
+                                 " out of range (rows " +
+                                 std::to_string(rows_) + ")");
+}
+
+void Cma::require_mode(Mode m, const char* op) const {
+  IMARS_REQUIRE(mode_ == m, std::string("Cma: operation '") + op +
+                                "' requires a different array mode");
+}
+
+device::Ns Cma::write_row(std::size_t row, const util::BitVec& bits) {
+  require_mode(Mode::kRam, "write_row");
+  check_row(row);
+  IMARS_REQUIRE(bits.size() == cols_, "Cma::write_row: width mismatch");
+  data_[row] = bits;
+  valid_[row] = true;
+  ++writes_[row];
+  ledger_->charge(Component::kCmaRam, profile_->cma_write.energy);
+  return profile_->cma_write.latency;
+}
+
+util::BitVec Cma::read_row(std::size_t row, device::Ns* latency) const {
+  require_mode(Mode::kRam, "read_row");
+  check_row(row);
+  IMARS_REQUIRE(valid_[row], "Cma::read_row: row never written");
+  ledger_->charge(Component::kCmaRam, profile_->cma_read.energy);
+  if (latency != nullptr) *latency = profile_->cma_read.latency;
+  return data_[row];
+}
+
+device::Ns Cma::write_row_i8(std::size_t row,
+                             std::span<const std::int8_t> lanes) {
+  IMARS_REQUIRE(lanes.size() == cols_ / 8, "Cma::write_row_i8: lane count");
+  util::BitVec bits(cols_);
+  for (std::size_t l = 0; l < lanes.size(); ++l)
+    bits.set_byte(l * 8, static_cast<std::uint8_t>(lanes[l]));
+  return write_row(row, bits);
+}
+
+std::vector<std::int8_t> Cma::read_row_i8(std::size_t row,
+                                          device::Ns* latency) const {
+  const util::BitVec bits = read_row(row, latency);
+  std::vector<std::int8_t> lanes(cols_ / 8);
+  for (std::size_t l = 0; l < lanes.size(); ++l)
+    lanes[l] = static_cast<std::int8_t>(bits.byte_at(l * 8));
+  return lanes;
+}
+
+void Cma::set_dont_care(std::size_t row, std::size_t col, bool dont_care) {
+  require_mode(Mode::kRam, "set_dont_care");
+  check_row(row);
+  IMARS_REQUIRE(col < cols_, "Cma::set_dont_care: column out of range");
+  xmask_[row].set(col, dont_care);
+  // Programming the ternary mask is a write through the same drivers.
+  ledger_->charge(Component::kCmaRam, profile_->cma_write.energy);
+}
+
+SearchResult Cma::search(const util::BitVec& query,
+                         std::size_t threshold) const {
+  require_mode(Mode::kTcam, "search");
+  IMARS_REQUIRE(query.size() == cols_, "Cma::search: query width mismatch");
+
+  SearchResult result;
+  result.matchlines = util::BitVec(rows_);
+  // All matchlines evaluate in parallel: one search is one array operation
+  // regardless of row count (O(1) search, Sec II-B).
+  ledger_->charge(Component::kCmaSearch, profile_->cma_search.energy);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (!valid_[r]) continue;
+    // Mismatch current only flows through cells that are binary (not X) and
+    // differ from the query bit.
+    const util::BitVec diff = (data_[r] ^ query) & ~xmask_[r];
+    if (diff.popcount() <= threshold) {
+      result.matchlines.set(r, true);
+      result.matches.push_back(r);
+    }
+  }
+  // Search + priority-encoder pass.
+  result.latency = profile_->cma_search.latency;
+  return result;
+}
+
+std::optional<std::size_t> Cma::first_match(const SearchResult& r) {
+  if (r.matches.empty()) return std::nullopt;
+  return r.matches.front();
+}
+
+device::Ns Cma::add_rows(std::size_t dst_row, std::size_t a_row,
+                         std::size_t b_row) {
+  require_mode(Mode::kGpcim, "add_rows");
+  check_row(dst_row);
+  check_row(a_row);
+  check_row(b_row);
+  IMARS_REQUIRE(valid_[a_row] && valid_[b_row],
+                "Cma::add_rows: source rows must be written");
+  const std::size_t lanes = cols_ / 8;
+  util::BitVec out(cols_);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const auto a = static_cast<std::int8_t>(data_[a_row].byte_at(l * 8));
+    const auto b = static_cast<std::int8_t>(data_[b_row].byte_at(l * 8));
+    out.set_byte(l * 8, static_cast<std::uint8_t>(util::sat_add_i8(a, b)));
+  }
+  data_[dst_row] = out;
+  valid_[dst_row] = true;
+  ++writes_[dst_row];  // the in-memory add rewrites the destination row
+  ledger_->charge(Component::kCmaAdd, profile_->cma_add.energy);
+  return profile_->cma_add.latency;
+}
+
+device::Ns Cma::accumulate(std::size_t row,
+                           std::span<std::int32_t> acc) const {
+  require_mode(Mode::kGpcim, "accumulate");
+  check_row(row);
+  IMARS_REQUIRE(valid_[row], "Cma::accumulate: row never written");
+  IMARS_REQUIRE(acc.size() == cols_ / 8, "Cma::accumulate: lane count");
+  for (std::size_t l = 0; l < acc.size(); ++l) {
+    acc[l] += static_cast<std::int8_t>(data_[row].byte_at(l * 8));
+  }
+  ledger_->charge(Component::kCmaAdd, profile_->cma_add.energy);
+  return profile_->cma_add.latency;
+}
+
+bool Cma::row_valid(std::size_t row) const {
+  check_row(row);
+  return valid_[row];
+}
+
+std::uint64_t Cma::row_writes(std::size_t row) const {
+  check_row(row);
+  return writes_[row];
+}
+
+std::uint64_t Cma::max_row_writes() const noexcept {
+  std::uint64_t m = 0;
+  for (auto w : writes_) m = std::max(m, w);
+  return m;
+}
+
+double Cma::wearout_fraction() const noexcept {
+  if (profile_->endurance_cycles == 0) return 0.0;
+  return static_cast<double>(max_row_writes()) /
+         static_cast<double>(profile_->endurance_cycles);
+}
+
+util::BitVec Cma::peek_row(std::size_t row) const {
+  check_row(row);
+  IMARS_REQUIRE(valid_[row], "Cma::peek_row: row never written");
+  return data_[row];
+}
+
+std::vector<std::int8_t> Cma::peek_row_i8(std::size_t row) const {
+  const util::BitVec bits = peek_row(row);
+  std::vector<std::int8_t> lanes(cols_ / 8);
+  for (std::size_t l = 0; l < lanes.size(); ++l)
+    lanes[l] = static_cast<std::int8_t>(bits.byte_at(l * 8));
+  return lanes;
+}
+
+}  // namespace imars::cma

@@ -1,0 +1,24 @@
+#include "core/area.hpp"
+
+namespace imars::core {
+
+AreaBreakdown chip_area(const ArchConfig& arch,
+                        const device::DeviceProfile& profile,
+                        std::size_t xbar_tiles) {
+  AreaBreakdown a;
+  a.cmas = profile.cma_area * static_cast<double>(arch.total_cmas());
+  a.crossbars = profile.xbar_area * static_cast<double>(xbar_tiles);
+  // One intra-mat tree per mat; its area grows with the fan-in C (wider
+  // first tree level), normalized to the C=32 synthesis point.
+  const double fanin_scale = static_cast<double>(arch.cmas_per_mat) / 32.0;
+  a.mat_trees = profile.mat_tree_area * fanin_scale *
+                static_cast<double>(arch.banks * arch.mats_per_bank);
+  // One intra-bank tree per bank; area grows with the intra-bank fan-in,
+  // normalized to the fan-in-4 synthesis point.
+  const double bank_scale = static_cast<double>(arch.bank_fan_in) / 4.0;
+  a.bank_trees = profile.bank_tree_area * bank_scale *
+                 static_cast<double>(arch.banks);
+  return a;
+}
+
+}  // namespace imars::core

@@ -1,0 +1,30 @@
+// Relative-area model for the dimensioning ablations (Sec III-A1 discusses
+// how B, M, C trade area against capacity and adder-tree delay).
+//
+// Units are relative to one 256x256 FeFET CMA (= 1.0); the DeviceProfile
+// carries the per-component proxies.
+#pragma once
+
+#include <cstddef>
+
+#include "core/config.hpp"
+#include "device/profile.hpp"
+
+namespace imars::core {
+
+/// Per-component area in CMA-equivalents.
+struct AreaBreakdown {
+  double cmas = 0.0;
+  double crossbars = 0.0;
+  double mat_trees = 0.0;
+  double bank_trees = 0.0;
+
+  double total() const { return cmas + crossbars + mat_trees + bank_trees; }
+};
+
+/// Area of a fully populated iMARS fabric plus `xbar_tiles` crossbar tiles.
+AreaBreakdown chip_area(const ArchConfig& arch,
+                        const device::DeviceProfile& profile,
+                        std::size_t xbar_tiles);
+
+}  // namespace imars::core

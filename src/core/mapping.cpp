@@ -1,0 +1,76 @@
+#include "core/mapping.hpp"
+
+#include "util/error.hpp"
+
+namespace imars::core {
+
+std::size_t next_pow2(std::size_t n) {
+  IMARS_REQUIRE(n >= 1, "next_pow2: n must be >= 1");
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+EtMapping::EtMapping(const ArchConfig& arch, bool round_pow2)
+    : arch_(arch), round_pow2_(round_pow2) {
+  IMARS_REQUIRE(arch.cma_rows > 0 && arch.cmas_per_mat > 0 &&
+                    arch.mats_per_bank > 0 && arch.banks > 0,
+                "EtMapping: degenerate architecture");
+}
+
+std::size_t EtMapping::cmas_for_rows(std::size_t n) const {
+  IMARS_REQUIRE(n > 0, "EtMapping: empty table");
+  const std::size_t raw = (n + arch_.cma_rows - 1) / arch_.cma_rows;
+  return round_pow2_ ? next_pow2(raw) : raw;
+}
+
+std::size_t EtMapping::mats_for_cmas(std::size_t cmas) const {
+  // "If n/R < C, we only need one mat, otherwise ... n/(RC)."
+  return (cmas + arch_.cmas_per_mat - 1) / arch_.cmas_per_mat;
+}
+
+MappingReport EtMapping::map(const data::DatasetSchema& schema) const {
+  MappingReport report;
+  std::size_t bank = 0;
+
+  const auto place = [&](const std::string& name, std::size_t rows,
+                         bool is_item) {
+    EtPlacement p;
+    p.name = name;
+    p.rows = rows;
+    p.is_item_table = is_item;
+    p.bank = bank++;
+    p.data_cmas = cmas_for_rows(rows);
+    // The ItET stores an (embedding, signature) pair per entry; signatures
+    // occupy one additional CMA per data CMA when lsh_bits == cma_cols.
+    if (is_item) {
+      const std::size_t sig_per_data =
+          (arch_.lsh_bits + arch_.cma_cols - 1) / arch_.cma_cols;
+      p.sig_cmas = p.data_cmas * sig_per_data;
+    }
+    p.mats = mats_for_cmas(p.total_cmas());
+    IMARS_REQUIRE(p.mats <= arch_.mats_per_bank,
+                  "EtMapping: table '" + name + "' (" + std::to_string(rows) +
+                      " rows) exceeds one bank's capacity");
+    report.tables.push_back(p);
+  };
+
+  for (const auto& f : schema.user_item)
+    place(f.name, f.cardinality, /*is_item=*/false);
+  if (schema.has_item_table)
+    place("ItET", schema.item_count, /*is_item=*/true);
+
+  IMARS_REQUIRE(bank <= arch_.banks,
+                "EtMapping: schema needs " + std::to_string(bank) +
+                    " banks but the architecture has " +
+                    std::to_string(arch_.banks));
+
+  report.active_banks = report.tables.size();
+  for (const auto& p : report.tables) {
+    report.active_mats += p.mats;
+    report.active_cmas += p.total_cmas();
+  }
+  return report;
+}
+
+}  // namespace imars::core

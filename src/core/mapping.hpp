@@ -1,0 +1,75 @@
+// Embedding-table -> CMA hierarchy mapping (Sec III-B).
+//
+// The paper's rules:
+//   * each ET row is one CMA row (32-d int8 embedding = 256 bits);
+//   * the number of CMAs for an ET with n rows is ceil(n/R); the evaluation
+//     section optionally rounds array counts up to a power of two
+//     ("118 CMAs ... rounded up to ... 128");
+//   * if the CMAs fit inside one mat (count <= C) one mat is activated,
+//     otherwise ceil(count / C) mats;
+//   * each sparse feature maps to its own bank;
+//   * ItET entries additionally store an lsh_bits-wide signature, which
+//     occupies a second, paired CMA ("a 256 LSH signature length ...
+//     requires 2 CMAs to store a single entry").
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "data/schema.hpp"
+
+namespace imars::core {
+
+/// Placement of one embedding table.
+struct EtPlacement {
+  std::string name;
+  std::size_t rows = 0;          ///< ET entries
+  bool is_item_table = false;    ///< carries LSH signature CMAs
+  std::size_t bank = 0;          ///< assigned bank id
+  std::size_t data_cmas = 0;     ///< CMAs holding embedding rows
+  std::size_t sig_cmas = 0;      ///< CMAs holding LSH signatures (ItET only)
+  std::size_t mats = 0;          ///< activated mats in the bank
+
+  std::size_t total_cmas() const { return data_cmas + sig_cmas; }
+};
+
+/// Whole-dataset mapping (one row of Table I).
+struct MappingReport {
+  std::vector<EtPlacement> tables;
+  std::size_t active_banks = 0;
+  std::size_t active_mats = 0;
+  std::size_t active_cmas = 0;
+};
+
+/// Computes CMA/mat/bank placement per the Sec III-B rules.
+class EtMapping {
+ public:
+  /// `round_pow2` applies the evaluation section's power-of-two rounding to
+  /// per-table CMA counts (Table I itself reports unrounded counts; both
+  /// behaviours are exposed and tested).
+  EtMapping(const ArchConfig& arch, bool round_pow2 = false);
+
+  /// CMAs needed for an `n`-row table (excluding signature CMAs).
+  std::size_t cmas_for_rows(std::size_t n) const;
+
+  /// Mats activated for a table occupying `cmas` arrays.
+  std::size_t mats_for_cmas(std::size_t cmas) const;
+
+  /// Maps a full dataset schema: every UIET plus the ItET (when present).
+  /// Throws if a table exceeds one bank's capacity or the schema needs more
+  /// banks than the architecture provides.
+  MappingReport map(const data::DatasetSchema& schema) const;
+
+  const ArchConfig& arch() const noexcept { return arch_; }
+
+ private:
+  ArchConfig arch_;
+  bool round_pow2_;
+};
+
+/// Smallest power of two >= n (n >= 1).
+std::size_t next_pow2(std::size_t n);
+
+}  // namespace imars::core

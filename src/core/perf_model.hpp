@@ -1,0 +1,63 @@
+// Closed-form performance model (the paper's Sec IV-C composition).
+//
+// PerfModel mirrors the accounting rules of ImarsAccelerator analytically so
+// the table benches can evaluate worst-case costs without instantiating the
+// functional machine, and so tests can cross-check that the two never
+// diverge. All formulas reference DESIGN.md section 5; the two calibration
+// constants live in core/calibration.hpp.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "core/config.hpp"
+#include "device/profile.hpp"
+#include "recsys/types.hpp"
+
+namespace imars::core {
+
+/// Inputs of the worst-case ET-lookup cost (Table III).
+struct EtLookupParams {
+  std::size_t tables = 1;             ///< banks touched in parallel
+  std::size_t lookups_per_table = 1;  ///< L, serialized in one array
+  std::size_t mats_per_table = 1;     ///< contributing mats (worst case: 1)
+  std::size_t active_cmas = 0;        ///< arrays of all touched tables
+};
+
+/// Analytical iMARS cost model.
+class PerfModel {
+ public:
+  PerfModel(const ArchConfig& arch, const device::DeviceProfile& profile);
+
+  /// Worst-case ET lookup+pool cost for one input (Sec IV-C1).
+  recsys::OpCost et_lookup(const EtLookupParams& params) const;
+
+  /// NNS cost: one parallel TCAM search over `sig_cmas` signature arrays.
+  recsys::OpCost nns(std::size_t sig_cmas) const;
+
+  /// Crossbar DNN forward cost for an MLP with the given layer widths
+  /// (dims = {in, h1, ..., out}).
+  recsys::OpCost dnn(std::span<const std::size_t> dims) const;
+
+  /// Crossbar tiles needed for the MLP.
+  std::size_t dnn_tiles(std::span<const std::size_t> dims) const;
+
+  /// Top-k through the CTR buffer over `candidates` scores, worst case
+  /// (full threshold binary search).
+  recsys::OpCost topk(std::size_t candidates, std::size_t k) const;
+
+  const ArchConfig& arch() const noexcept { return arch_; }
+  const device::DeviceProfile& profile() const noexcept { return profile_; }
+
+ private:
+  /// Scheduled IBC groups for `mats` outputs at the intra-bank fan-in.
+  std::size_t ibc_groups(std::size_t mats) const;
+  /// Intra-bank tree rounds for `mats` inputs (>= 1 pass even for one mat).
+  std::size_t bank_rounds(std::size_t mats) const;
+
+  ArchConfig arch_;
+  // Owned copy: callers may pass a temporary profile.
+  device::DeviceProfile profile_;
+};
+
+}  // namespace imars::core

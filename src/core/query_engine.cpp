@@ -1,0 +1,89 @@
+#include "core/query_engine.hpp"
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace imars::core {
+
+using recsys::OpKind;
+
+std::vector<double> StreamReport::latencies_ns() const {
+  std::vector<double> out;
+  out.reserve(queries.size());
+  for (const auto& q : queries)
+    out.push_back((q.filter_latency + q.rank_latency).value);
+  return out;
+}
+
+double StreamReport::mean_latency_ns() const {
+  IMARS_REQUIRE(!queries.empty(), "StreamReport: empty stream");
+  double sum = 0.0;
+  for (const auto& q : queries)
+    sum += (q.filter_latency + q.rank_latency).value;
+  return sum / static_cast<double>(queries.size());
+}
+
+double StreamReport::p50_latency_ns() const {
+  return util::percentile(latencies_ns(), 50.0);
+}
+double StreamReport::p95_latency_ns() const {
+  return util::percentile(latencies_ns(), 95.0);
+}
+double StreamReport::p99_latency_ns() const {
+  return util::percentile(latencies_ns(), 99.0);
+}
+
+double StreamReport::mean_energy_pj() const {
+  IMARS_REQUIRE(!queries.empty(), "StreamReport: empty stream");
+  double sum = 0.0;
+  for (const auto& q : queries) sum += q.energy.value;
+  return sum / static_cast<double>(queries.size());
+}
+
+double StreamReport::qps_serial() const {
+  StageTimes t;
+  const double n = static_cast<double>(queries.size());
+  t.filter = filter_stats.total().latency / n;
+  t.rank = rank_stats.total().latency / n;
+  t.shared_et = device::Ns{0.0};
+  return core::qps_serial(t);
+}
+
+double StreamReport::qps_pipelined() const {
+  StageTimes t;
+  const double n = static_cast<double>(queries.size());
+  t.filter = filter_stats.total().latency / n;
+  t.rank = rank_stats.total().latency / n;
+  t.shared_et = (filter_stats.at(OpKind::kEtLookup).latency +
+                 rank_stats.at(OpKind::kEtLookup).latency) /
+                n;
+  return core::qps_pipelined(t);
+}
+
+StreamReport run_stream(recsys::FilterRankBackend& backend,
+                        std::span<const recsys::UserContext> users,
+                        std::size_t k) {
+  IMARS_REQUIRE(!users.empty(), "run_stream: empty user stream");
+  StreamReport report;
+  report.queries.reserve(users.size());
+
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    recsys::StageStats fs, rs;
+    const auto candidates = backend.filter(users[u], &fs);
+    (void)backend.rank(users[u], candidates, k, &rs);
+
+    QueryRecord rec;
+    rec.user = u;
+    rec.candidates = candidates.size();
+    rec.filter_latency = fs.total().latency;
+    rec.rank_latency = rs.total().latency;
+    rec.energy = fs.total().energy + rs.total().energy;
+    report.queries.push_back(rec);
+
+    report.filter_stats.merge(fs);
+    report.rank_stats.merge(rs);
+  }
+  return report;
+}
+
+}  // namespace imars::core

@@ -1,0 +1,54 @@
+// Query-stream execution over any FilterRankBackend (extension beyond the
+// paper): runs a trace of user queries, aggregates per-op costs and reports
+// latency distribution statistics (mean/p50/p95/p99) and throughput under
+// the serial and pipelined service disciplines of core/throughput.hpp.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/throughput.hpp"
+#include "recsys/types.hpp"
+
+namespace imars::core {
+
+/// One executed query's record.
+struct QueryRecord {
+  std::size_t user = 0;
+  std::size_t candidates = 0;
+  device::Ns filter_latency;
+  device::Ns rank_latency;
+  device::Pj energy;
+};
+
+/// Aggregated results of a query stream.
+struct StreamReport {
+  std::vector<QueryRecord> queries;
+  recsys::StageStats filter_stats;  ///< summed over the stream
+  recsys::StageStats rank_stats;
+
+  std::size_t size() const { return queries.size(); }
+
+  /// Per-query end-to-end latencies in ns.
+  std::vector<double> latencies_ns() const;
+
+  double mean_latency_ns() const;
+  double p50_latency_ns() const;
+  double p95_latency_ns() const;
+  double p99_latency_ns() const;
+
+  /// Mean per-query energy (pJ).
+  double mean_energy_pj() const;
+
+  /// Throughput under serial / two-stage-pipelined service (queries/s),
+  /// from the mean stage times.
+  double qps_serial() const;
+  double qps_pipelined() const;
+};
+
+/// Executes `users` through the backend (top-k recommendations each).
+StreamReport run_stream(recsys::FilterRankBackend& backend,
+                        std::span<const recsys::UserContext> users,
+                        std::size_t k);
+
+}  // namespace imars::core

@@ -1,0 +1,109 @@
+#include "data/criteo.hpp"
+
+#include <cmath>
+
+#include "data/zipf.hpp"
+#include "util/error.hpp"
+
+namespace imars::data {
+
+namespace {
+
+// Cardinalities modeled after hashed Criteo-Kaggle columns: a mix of tiny
+// enums, mid-size ids and large hashed spaces capped at 30,000 (the maximum
+// ET size in Table I). 26 entries.
+constexpr std::size_t kCardinalities[CriteoSynth::kSparseCount] = {
+    1460,  583,   30000, 30000, 305,   24,    12517, 633,  3,    30000,
+    5683,  30000, 3194,  27,    14992, 30000, 10,    5652, 2173, 4,
+    30000, 18,    15,    30000, 105,   30000,
+};
+
+DatasetSchema make_schema() {
+  DatasetSchema s;
+  s.name = "criteo-kaggle-synth";
+  s.dense_dim = CriteoSynth::kDenseDim;
+  s.user_item.reserve(CriteoSynth::kSparseCount);
+  for (std::size_t f = 0; f < CriteoSynth::kSparseCount; ++f) {
+    s.user_item.push_back({"C" + std::to_string(f + 1), kCardinalities[f], 1,
+                           StageUse::kRankingOnly});
+  }
+  s.has_item_table = false;  // DLRM ranking has no filtering ItET
+  s.item_count = 0;
+  s.embedding_dim = 32;
+  return s;
+}
+
+// Number of distinct ground-truth logit buckets per feature: full
+// cardinality for small features, hashed down for huge ones (keeps the
+// ground-truth model compact while every index remains reachable).
+std::size_t logit_buckets(std::size_t cardinality) {
+  return std::min<std::size_t>(cardinality, 512);
+}
+
+}  // namespace
+
+CriteoSynth::CriteoSynth(const CriteoConfig& config)
+    : config_(config), schema_(make_schema()) {
+  IMARS_REQUIRE(config.num_samples > 0, "CriteoSynth: need samples");
+  IMARS_REQUIRE(config.base_ctr > 0.0 && config.base_ctr < 1.0,
+                "CriteoSynth: base_ctr in (0,1)");
+
+  util::Xoshiro256 rng(config_.seed);
+
+  // Ground-truth model.
+  sparse_logits_.resize(kSparseCount);
+  for (std::size_t f = 0; f < kSparseCount; ++f) {
+    const std::size_t buckets = logit_buckets(kCardinalities[f]);
+    sparse_logits_[f].resize(buckets);
+    for (auto& w : sparse_logits_[f])
+      w = 0.35f * static_cast<float>(rng.normal());
+  }
+  dense_weights_.resize(kDenseDim);
+  for (auto& w : dense_weights_) w = 0.25f * static_cast<float>(rng.normal());
+  bias_ = static_cast<float>(std::log(config.base_ctr / (1.0 - config.base_ctr)));
+
+  // Per-feature Zipf samplers (popular ids dominate, like hashed logs).
+  std::vector<ZipfSampler> samplers;
+  samplers.reserve(kSparseCount);
+  for (std::size_t f = 0; f < kSparseCount; ++f)
+    samplers.emplace_back(kCardinalities[f], 1.1);
+
+  samples_.resize(config.num_samples);
+  for (auto& s : samples_) {
+    s.dense.resize(kDenseDim);
+    for (auto& d : s.dense) {
+      // Criteo dense columns are heavy-tailed counts; log1p of a lognormal
+      // reproduces the usual preprocessing (log-transformed counts).
+      d = std::log1p(std::exp(static_cast<float>(rng.normal())));
+    }
+    s.sparse.resize(kSparseCount);
+    for (std::size_t f = 0; f < kSparseCount; ++f)
+      s.sparse[f] = samplers[f].sample(rng);
+    s.label = rng.bernoulli(true_ctr(s)) ? 1 : 0;
+  }
+}
+
+const CriteoSample& CriteoSynth::sample(std::size_t i) const {
+  IMARS_REQUIRE(i < samples_.size(), "CriteoSynth::sample out of range");
+  return samples_[i];
+}
+
+double CriteoSynth::true_ctr(const CriteoSample& s) const {
+  IMARS_REQUIRE(s.dense.size() == kDenseDim && s.sparse.size() == kSparseCount,
+                "CriteoSynth::true_ctr: malformed sample");
+  float logit = bias_;
+  for (std::size_t f = 0; f < kSparseCount; ++f) {
+    const auto& w = sparse_logits_[f];
+    logit += w[s.sparse[f] % w.size()];
+  }
+  for (std::size_t d = 0; d < kDenseDim; ++d)
+    logit += dense_weights_[d] * s.dense[d];
+  return 1.0 / (1.0 + std::exp(-static_cast<double>(logit)));
+}
+
+std::size_t CriteoSynth::cardinality(std::size_t f) const {
+  IMARS_REQUIRE(f < kSparseCount, "CriteoSynth::cardinality out of range");
+  return kCardinalities[f];
+}
+
+}  // namespace imars::data

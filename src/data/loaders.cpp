@@ -1,0 +1,257 @@
+#include "data/loaders.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <istream>
+#include <unordered_map>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace imars::data {
+
+namespace {
+
+// Splits a line on a multi-character separator ("::") or a single char.
+std::vector<std::string> split(const std::string& line,
+                               const std::string& sep) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t next = line.find(sep, pos);
+    if (next == std::string::npos) {
+      out.push_back(line.substr(pos));
+      break;
+    }
+    out.push_back(line.substr(pos, next - pos));
+    pos = next + sep.size();
+  }
+  return out;
+}
+
+template <class T>
+T parse_int(const std::string& s, std::size_t line_no, const char* what) {
+  T value{};
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), value);
+  IMARS_REQUIRE(ec == std::errc{} && ptr == s.data() + s.size(),
+                "parse error at line " + std::to_string(line_no) + ": bad " +
+                    what + " '" + s + "'");
+  return value;
+}
+
+}  // namespace
+
+std::vector<MlRating> parse_movielens_ratings(std::istream& is) {
+  std::vector<MlRating> out;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto f = split(line, "::");
+    IMARS_REQUIRE(f.size() == 4, "ratings.dat line " + std::to_string(line_no) +
+                                     ": expected 4 fields, got " +
+                                     std::to_string(f.size()));
+    MlRating r;
+    r.user = parse_int<std::size_t>(f[0], line_no, "user id");
+    r.item = parse_int<std::size_t>(f[1], line_no, "item id");
+    IMARS_REQUIRE(r.user >= 1 && r.item >= 1,
+                  "ratings.dat line " + std::to_string(line_no) +
+                      ": ids are 1-based");
+    --r.user;
+    --r.item;
+    r.rating = parse_int<int>(f[2], line_no, "rating");
+    IMARS_REQUIRE(r.rating >= 1 && r.rating <= 5,
+                  "ratings.dat line " + std::to_string(line_no) +
+                      ": rating out of range");
+    r.timestamp = parse_int<std::int64_t>(f[3], line_no, "timestamp");
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<MlUserProfile> parse_movielens_users(std::istream& is) {
+  std::vector<MlUserProfile> out;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto f = split(line, "::");
+    IMARS_REQUIRE(f.size() == 5, "users.dat line " + std::to_string(line_no) +
+                                     ": expected 5 fields");
+    MlUserProfile u;
+    u.user = parse_int<std::size_t>(f[0], line_no, "user id");
+    IMARS_REQUIRE(u.user >= 1, "users.dat: ids are 1-based");
+    --u.user;
+    IMARS_REQUIRE(f[1] == "M" || f[1] == "F",
+                  "users.dat line " + std::to_string(line_no) +
+                      ": gender must be M/F");
+    u.gender = f[1][0];
+    u.age = parse_int<int>(f[2], line_no, "age");
+    u.occupation = parse_int<int>(f[3], line_no, "occupation");
+    IMARS_REQUIRE(u.occupation >= 0 && u.occupation <= 20,
+                  "users.dat line " + std::to_string(line_no) +
+                      ": occupation out of range");
+    u.zip = f[4];
+    out.push_back(u);
+  }
+  return out;
+}
+
+MovieLensFile build_movielens(const std::vector<MlRating>& ratings,
+                              const std::vector<MlUserProfile>& profiles,
+                              int positive_threshold) {
+  IMARS_REQUIRE(!ratings.empty(), "build_movielens: no ratings");
+
+  // Compact item ids.
+  std::unordered_map<std::size_t, std::size_t> item_map;
+  for (const auto& r : ratings) {
+    item_map.emplace(r.item, item_map.size());
+  }
+
+  // MovieLens age buckets -> ordinal index.
+  const auto age_bucket = [](int age) -> std::size_t {
+    const int buckets[] = {1, 18, 25, 35, 45, 50, 56};
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < 7; ++i)
+      if (age >= buckets[i]) best = i;
+    return best;
+  };
+
+  // Profiles by original user id.
+  std::unordered_map<std::size_t, const MlUserProfile*> prof;
+  for (const auto& p : profiles) prof[p.user] = &p;
+
+  // Positive interactions per user, time-ordered.
+  std::unordered_map<std::size_t, std::vector<MlRating>> by_user;
+  for (const auto& r : ratings)
+    if (r.rating >= positive_threshold) by_user[r.user].push_back(r);
+
+  MovieLensFile out;
+  out.num_items = item_map.size();
+
+  // Zip prefixes hash into the synthetic schema's 3439 buckets so the
+  // pipeline sees the same cardinalities as the generator.
+  constexpr std::size_t kZipCard = 3439;
+  constexpr std::size_t kGenreCard = 18;
+
+  std::vector<std::size_t> user_ids;
+  user_ids.reserve(by_user.size());
+  for (const auto& [u, _] : by_user) user_ids.push_back(u);
+  std::sort(user_ids.begin(), user_ids.end());
+
+  std::size_t dense_user = 0;
+  for (auto u : user_ids) {
+    auto& events = by_user[u];
+    if (events.size() < 2) continue;  // need train + heldout
+    std::sort(events.begin(), events.end(),
+              [](const MlRating& a, const MlRating& b) {
+                if (a.timestamp != b.timestamp) return a.timestamp < b.timestamp;
+                return a.item < b.item;
+              });
+
+    MovieLensUser rec;
+    const MlUserProfile* p = prof.contains(u) ? prof.at(u) : nullptr;
+    const std::size_t gender = (p == nullptr) ? 2 : (p->gender == 'M' ? 0 : 1);
+    const std::size_t age = (p == nullptr) ? 0 : age_bucket(p->age);
+    const std::size_t occupation =
+        (p == nullptr) ? 0 : static_cast<std::size_t>(p->occupation);
+    const std::size_t zip =
+        (p == nullptr) ? 0 : util::hash64(17, std::hash<std::string>{}(p->zip)) % kZipCard;
+    // Favourite genre is not derivable without movies.dat genres; hash the
+    // most-rated item as a stable proxy.
+    const std::size_t fav =
+        util::hash64(23, events.front().item) % kGenreCard;
+    rec.sparse = {gender, age, occupation, zip, dense_user, fav};
+
+    for (const auto& e : events) {
+      const std::size_t dense_item = item_map.at(e.item);
+      if (std::find(rec.history.begin(), rec.history.end(), dense_item) ==
+          rec.history.end())
+        rec.history.push_back(dense_item);
+    }
+    if (rec.history.size() < 2) continue;
+    rec.heldout = rec.history.back();
+    rec.history.pop_back();
+    out.users.push_back(std::move(rec));
+    ++dense_user;
+  }
+  IMARS_REQUIRE(!out.users.empty(),
+                "build_movielens: no user has >= 2 positive interactions");
+
+  out.schema.name = "movielens-1m-file";
+  out.schema.dense_dim = MovieLensSynth::kDenseDim;
+  out.schema.user_item = {
+      {"gender", 3, 1, StageUse::kShared},
+      {"age", 7, 1, StageUse::kShared},
+      {"occupation", 21, 1, StageUse::kShared},
+      {"zip", kZipCard, 1, StageUse::kShared},
+      {"user_id", out.users.size(), 1, StageUse::kShared},
+      {"fav_genre", kGenreCard, 1, StageUse::kRankingOnly},
+  };
+  out.schema.has_item_table = true;
+  out.schema.item_count = out.num_items;
+  out.schema.embedding_dim = 32;
+  return out;
+}
+
+CriteoSample parse_criteo_line(const std::string& line,
+                               std::size_t hash_buckets,
+                               std::size_t line_number) {
+  IMARS_REQUIRE(hash_buckets > 0, "parse_criteo: hash_buckets must be > 0");
+  const auto f = split(line, "\t");
+  IMARS_REQUIRE(f.size() == 1 + CriteoSynth::kDenseDim + CriteoSynth::kSparseCount,
+                "criteo line " + std::to_string(line_number) + ": expected " +
+                    std::to_string(1 + CriteoSynth::kDenseDim +
+                                   CriteoSynth::kSparseCount) +
+                    " fields, got " + std::to_string(f.size()));
+  CriteoSample s;
+  s.label = parse_int<int>(f[0], line_number, "label");
+  IMARS_REQUIRE(s.label == 0 || s.label == 1,
+                "criteo line " + std::to_string(line_number) + ": label 0/1");
+
+  s.dense.resize(CriteoSynth::kDenseDim);
+  for (std::size_t d = 0; d < CriteoSynth::kDenseDim; ++d) {
+    const auto& field = f[1 + d];
+    if (field.empty()) {
+      s.dense[d] = 0.0f;  // missing value
+    } else {
+      const auto v = parse_int<long long>(field, line_number, "dense field");
+      // log1p of the (clamped-at-0) count: the standard Criteo transform.
+      s.dense[d] = std::log1p(static_cast<float>(std::max(0LL, v)));
+    }
+  }
+
+  s.sparse.resize(CriteoSynth::kSparseCount);
+  for (std::size_t c = 0; c < CriteoSynth::kSparseCount; ++c) {
+    const auto& field = f[1 + CriteoSynth::kDenseDim + c];
+    if (field.empty()) {
+      s.sparse[c] = 0;  // missing category -> bucket 0
+    } else {
+      // Fields are 8-hex-digit ids; hash the raw text for robustness.
+      s.sparse[c] =
+          util::hash64(c + 1, std::hash<std::string>{}(field)) % hash_buckets;
+    }
+  }
+  return s;
+}
+
+std::vector<CriteoSample> parse_criteo(std::istream& is,
+                                       std::size_t hash_buckets,
+                                       std::size_t max_samples) {
+  std::vector<CriteoSample> out;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    out.push_back(parse_criteo_line(line, hash_buckets, line_no));
+    if (max_samples > 0 && out.size() >= max_samples) break;
+  }
+  return out;
+}
+
+}  // namespace imars::data

@@ -1,0 +1,72 @@
+// File loaders for the real datasets the paper evaluates on.
+//
+// The repository ships synthetic generators (offline reproduction), but a
+// downstream user with the actual files can load them here:
+//   * MovieLens-1M: ratings.dat / users.dat ("::"-separated, latin-1),
+//   * Criteo Kaggle: train.txt (TAB-separated: label, 13 ints, 26 hex ids).
+//
+// Loaders produce the same record shapes as the synthetic generators
+// (MovieLensUser / CriteoSample) so the rest of the pipeline is agnostic to
+// the data source. Parsing is strict: malformed lines raise imars::Error
+// with the line number.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "data/criteo.hpp"
+#include "data/movielens.hpp"
+#include "data/schema.hpp"
+
+namespace imars::data {
+
+/// One parsed MovieLens rating event.
+struct MlRating {
+  std::size_t user = 0;   ///< 1-based id in the file, 0-based here
+  std::size_t item = 0;
+  int rating = 0;         ///< 1..5
+  std::int64_t timestamp = 0;
+};
+
+/// One parsed MovieLens user profile (users.dat).
+struct MlUserProfile {
+  std::size_t user = 0;
+  char gender = 'M';           ///< 'M' / 'F'
+  int age = 0;                 ///< MovieLens age bucket (1,18,25,...)
+  int occupation = 0;          ///< 0..20
+  std::string zip;             ///< raw zip code string
+};
+
+/// Parses a MovieLens ratings.dat stream ("UserID::MovieID::Rating::Time").
+std::vector<MlRating> parse_movielens_ratings(std::istream& is);
+
+/// Parses a MovieLens users.dat stream ("UserID::Gender::Age::Occ::Zip").
+std::vector<MlUserProfile> parse_movielens_users(std::istream& is);
+
+/// Assembles per-user interaction records from parsed ratings: history =
+/// items rated >= `positive_threshold`, ordered by timestamp; the last one
+/// becomes the leave-one-out heldout item (users with < 2 positives are
+/// dropped). User/item ids are compacted to dense 0-based ranges.
+struct MovieLensFile {
+  std::vector<MovieLensUser> users;
+  std::size_t num_items = 0;
+  DatasetSchema schema;  ///< matches the synthetic generator's layout
+};
+MovieLensFile build_movielens(const std::vector<MlRating>& ratings,
+                              const std::vector<MlUserProfile>& profiles,
+                              int positive_threshold = 4);
+
+/// Parses one Criteo Kaggle TSV line into a sample. Missing dense fields
+/// become 0 (standard preprocessing); categorical ids hash into
+/// [0, hash_buckets).
+CriteoSample parse_criteo_line(const std::string& line,
+                               std::size_t hash_buckets,
+                               std::size_t line_number = 0);
+
+/// Parses a Criteo TSV stream (up to `max_samples`; 0 = all).
+std::vector<CriteoSample> parse_criteo(std::istream& is,
+                                       std::size_t hash_buckets,
+                                       std::size_t max_samples = 0);
+
+}  // namespace imars::data

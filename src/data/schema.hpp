@@ -1,0 +1,73 @@
+// Feature-schema types shared by the dataset generators and the RecSys
+// models. The schema is what the iMARS embedding-table mapping (Sec III-B)
+// consumes: one sparse feature -> one embedding table -> one CMA bank.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace imars::data {
+
+/// Which pipeline stages use a sparse feature (Table I distinguishes UIETs
+/// exclusive to filtering/ranking from shared ones).
+enum class StageUse {
+  kFilteringOnly,
+  kRankingOnly,
+  kShared,
+};
+
+/// One categorical (sparse) feature backed by an embedding table.
+struct SparseFeatureSpec {
+  std::string name;
+  std::size_t cardinality = 0;   ///< number of embedding-table rows
+  std::size_t multi_hot = 1;     ///< max simultaneous indices (1 = one-hot)
+  StageUse use = StageUse::kShared;
+};
+
+/// Full dataset schema.
+struct DatasetSchema {
+  std::string name;
+  std::size_t dense_dim = 0;                 ///< # continuous features
+  std::vector<SparseFeatureSpec> user_item;  ///< UIET-backed features
+  bool has_item_table = false;               ///< ItET present (filtering NNS)
+  std::size_t item_count = 0;                ///< ItET rows
+  std::size_t embedding_dim = 32;            ///< paper: 32-d int8 embeddings
+
+  /// Number of UIETs visible to a stage.
+  std::size_t uiet_count_for(bool filtering) const {
+    std::size_t n = 0;
+    for (const auto& f : user_item) {
+      const bool in_stage = f.use == StageUse::kShared ||
+                            (filtering ? f.use == StageUse::kFilteringOnly
+                                       : f.use == StageUse::kRankingOnly);
+      if (in_stage) ++n;
+    }
+    return n;
+  }
+
+  /// Number of UIETs shared by both stages.
+  std::size_t uiet_shared_count() const {
+    std::size_t n = 0;
+    for (const auto& f : user_item)
+      if (f.use == StageUse::kShared) ++n;
+    return n;
+  }
+
+  /// Largest embedding table (UIET or ItET) in rows.
+  std::size_t max_table_rows() const {
+    std::size_t n = has_item_table ? item_count : 0;
+    for (const auto& f : user_item) n = std::max(n, f.cardinality);
+    return n;
+  }
+
+  /// Smallest UIET in rows (0 when there are none).
+  std::size_t min_table_rows() const {
+    std::size_t n = 0;
+    for (const auto& f : user_item)
+      n = (n == 0) ? f.cardinality : std::min(n, f.cardinality);
+    return n;
+  }
+};
+
+}  // namespace imars::data

@@ -1,0 +1,34 @@
+#include "data/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace imars::data {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  IMARS_REQUIRE(n > 0, "ZipfSampler: n must be positive");
+  IMARS_REQUIRE(s >= 0.0, "ZipfSampler: exponent must be non-negative");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+std::size_t ZipfSampler::sample(util::Xoshiro256& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(std::distance(cdf_.begin(), it));
+}
+
+double ZipfSampler::pmf(std::size_t k) const {
+  IMARS_REQUIRE(k < cdf_.size(), "ZipfSampler::pmf: index out of range");
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace imars::data

@@ -1,0 +1,35 @@
+// Zipf-distributed integer sampler.
+//
+// Real recommendation traffic is heavily skewed: a few popular items receive
+// most interactions. Both synthetic generators use a Zipf(s) popularity
+// distribution, which also reproduces the cache-unfriendly ET access pattern
+// that makes GPU embedding lookups bandwidth-bound (Sec I).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace imars::data {
+
+/// Samples from {0, ..., n-1} with P(k) proportional to 1/(k+1)^s via a
+/// precomputed inverse CDF (binary search per draw).
+class ZipfSampler {
+ public:
+  /// n items, exponent s >= 0 (s = 0 is uniform).
+  ZipfSampler(std::size_t n, double s);
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+
+  /// Draws one index.
+  std::size_t sample(util::Xoshiro256& rng) const;
+
+  /// Probability mass of index k.
+  double pmf(std::size_t k) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace imars::data

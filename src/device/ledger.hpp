@@ -1,0 +1,61 @@
+// Energy/operation accounting, broken down by hardware component.
+//
+// Every simulated hardware action (CMA read, TCAM search, adder-tree pass,
+// bus transfer, ...) charges one ledger entry. Benches aggregate ledgers to
+// reproduce the paper's energy columns and the Fig. 2 operation breakdown.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "device/units.hpp"
+
+namespace imars::device {
+
+/// Hardware components that consume energy in iMARS (Fig. 3).
+enum class Component : std::uint8_t {
+  kCmaRam,        ///< CMA RAM-mode read/write
+  kCmaSearch,     ///< CMA TCAM-mode search
+  kCmaAdd,        ///< CMA GPCiM-mode in-memory addition
+  kIntraMatTree,  ///< intra-mat adder tree
+  kIntraBankTree, ///< intra-bank adder tree
+  kCrossbar,      ///< crossbar matrix-vector multiply
+  kRscBus,        ///< RecSys communication bus
+  kIbcNetwork,    ///< intra-bank communication network
+  kController,    ///< CTRL block (clock + counters)
+  kPeripheral,    ///< array peripherals (drivers, decoders, SAs) per access
+  kCount          ///< sentinel
+};
+
+/// Human-readable component name.
+std::string_view component_name(Component c);
+
+/// Per-component energy and op-count accumulator.
+class EnergyLedger {
+ public:
+  /// Charges `energy` (and one op) to component `c`.
+  void charge(Component c, Pj energy);
+
+  /// Charges `energy` and `ops` operations to component `c`.
+  void charge(Component c, Pj energy, std::size_t ops);
+
+  Pj energy(Component c) const;
+  std::size_t ops(Component c) const;
+
+  /// Total energy across all components.
+  Pj total() const;
+
+  /// Adds another ledger into this one.
+  void merge(const EnergyLedger& other);
+
+  /// Resets all counters.
+  void clear();
+
+ private:
+  std::array<double, static_cast<std::size_t>(Component::kCount)> energy_pj_{};
+  std::array<std::size_t, static_cast<std::size_t>(Component::kCount)> ops_{};
+};
+
+}  // namespace imars::device

@@ -1,0 +1,77 @@
+// Strong unit types for latency and energy.
+//
+// All hardware accounting in the simulator uses nanoseconds and picojoules
+// (the units of the paper's Table II). Wrapping them in distinct types makes
+// it impossible to add a latency to an energy, while the arithmetic needed
+// by the performance model (sum, scale, max, compare) stays natural.
+#pragma once
+
+#include <algorithm>
+#include <compare>
+
+namespace imars::device {
+
+namespace detail {
+/// CRTP base providing arithmetic for a double-backed unit.
+template <class Derived>
+struct UnitBase {
+  double value = 0.0;
+
+  constexpr UnitBase() = default;
+  constexpr explicit UnitBase(double v) : value(v) {}
+
+  friend constexpr Derived operator+(Derived a, Derived b) {
+    return Derived{a.value + b.value};
+  }
+  friend constexpr Derived operator-(Derived a, Derived b) {
+    return Derived{a.value - b.value};
+  }
+  friend constexpr Derived operator*(Derived a, double s) {
+    return Derived{a.value * s};
+  }
+  friend constexpr Derived operator*(double s, Derived a) {
+    return Derived{a.value * s};
+  }
+  friend constexpr Derived operator/(Derived a, double s) {
+    return Derived{a.value / s};
+  }
+  friend constexpr double operator/(Derived a, Derived b) {
+    return a.value / b.value;
+  }
+  Derived& operator+=(Derived b) {
+    value += b.value;
+    return static_cast<Derived&>(*this);
+  }
+  friend constexpr auto operator<=>(Derived a, Derived b) {
+    return a.value <=> b.value;
+  }
+  friend constexpr bool operator==(Derived a, Derived b) {
+    return a.value == b.value;
+  }
+};
+}  // namespace detail
+
+/// Latency in nanoseconds.
+struct Ns : detail::UnitBase<Ns> {
+  using UnitBase::UnitBase;
+  constexpr double us() const { return value * 1e-3; }
+  constexpr double ms() const { return value * 1e-6; }
+  constexpr double seconds() const { return value * 1e-9; }
+};
+
+/// Energy in picojoules.
+struct Pj : detail::UnitBase<Pj> {
+  using UnitBase::UnitBase;
+  constexpr double nj() const { return value * 1e-3; }
+  constexpr double uj() const { return value * 1e-6; }
+  constexpr double mj() const { return value * 1e-9; }
+};
+
+inline constexpr Ns max(Ns a, Ns b) { return a.value > b.value ? a : b; }
+
+/// Convenience constructors from other magnitudes.
+inline constexpr Ns from_us(double v) { return Ns{v * 1e3}; }
+inline constexpr Pj from_uj(double v) { return Pj{v * 1e6}; }
+inline constexpr Pj from_mj(double v) { return Pj{v * 1e9}; }
+
+}  // namespace imars::device

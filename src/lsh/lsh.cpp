@@ -1,0 +1,42 @@
+#include "lsh/lsh.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace imars::lsh {
+
+RandomHyperplaneLsh::RandomHyperplaneLsh(std::size_t dim, std::size_t bits,
+                                         std::uint64_t seed) {
+  IMARS_REQUIRE(dim > 0 && bits > 0, "LSH: dim and bits must be positive");
+  util::Xoshiro256 rng(seed);
+  planes_ = tensor::Matrix::randn(bits, dim, 1.0f, rng);
+}
+
+util::BitVec RandomHyperplaneLsh::encode(std::span<const float> x) const {
+  IMARS_REQUIRE(x.size() == dim(), "LSH::encode: dimension mismatch");
+  util::BitVec sig(bits());
+  for (std::size_t k = 0; k < bits(); ++k) {
+    if (tensor::dot(planes_.row(k), x) >= 0.0f) sig.set(k, true);
+  }
+  return sig;
+}
+
+double RandomHyperplaneLsh::expected_hamming(double theta_rad) const noexcept {
+  return static_cast<double>(bits()) * theta_rad / std::numbers::pi;
+}
+
+double RandomHyperplaneLsh::estimate_angle(
+    std::size_t hamming_distance) const noexcept {
+  return std::numbers::pi * static_cast<double>(hamming_distance) /
+         static_cast<double>(bits());
+}
+
+double RandomHyperplaneLsh::estimate_cosine(
+    std::size_t hamming_distance) const noexcept {
+  return std::cos(estimate_angle(hamming_distance));
+}
+
+}  // namespace imars::lsh

@@ -1,0 +1,47 @@
+// Random-hyperplane locality-sensitive hashing (Sec III-B).
+//
+// iMARS replaces the filtering stage's cosine NNS with a Hamming-distance
+// search over LSH signatures so that the TCAM threshold-match mode can
+// evaluate all rows in O(1) array time. The paper uses 256-bit signatures
+// ("a 256 LSH signature length which requires 2 CMAs to store a single
+// entry"). Random-hyperplane LSH (Charikar 2002) has the property
+//     P[bit_k(a) != bit_k(b)] = angle(a, b) / pi,
+// so Hamming distance is an unbiased estimator of the angular distance and
+// preserves cosine-similarity ordering in expectation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "tensor/tensor.hpp"
+#include "util/bitvec.hpp"
+
+namespace imars::lsh {
+
+/// A fixed set of random hyperplanes mapping R^dim -> {0,1}^bits.
+class RandomHyperplaneLsh {
+ public:
+  /// Draws `bits` hyperplanes of dimension `dim` from N(0,1), seeded.
+  RandomHyperplaneLsh(std::size_t dim, std::size_t bits, std::uint64_t seed);
+
+  std::size_t dim() const noexcept { return planes_.cols(); }
+  std::size_t bits() const noexcept { return planes_.rows(); }
+
+  /// Signature bit k = [planes[k] . x >= 0].
+  util::BitVec encode(std::span<const float> x) const;
+
+  /// Expected Hamming distance between signatures of vectors at angle
+  /// `theta_rad`: bits * theta / pi.
+  double expected_hamming(double theta_rad) const noexcept;
+
+  /// Inverse of expected_hamming: estimated angle for an observed distance.
+  double estimate_angle(std::size_t hamming_distance) const noexcept;
+
+  /// Estimated cosine similarity for an observed Hamming distance.
+  double estimate_cosine(std::size_t hamming_distance) const noexcept;
+
+ private:
+  tensor::Matrix planes_;  // bits x dim
+};
+
+}  // namespace imars::lsh

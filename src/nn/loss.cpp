@@ -1,0 +1,62 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace imars::nn {
+
+float bce_loss(float prediction, float label, float* grad) {
+  IMARS_REQUIRE(grad != nullptr, "bce_loss: grad must not be null");
+  const float p = std::clamp(prediction, 1e-7f, 1.0f - 1e-7f);
+  const float loss = -(label * std::log(p) + (1.0f - label) * std::log(1.0f - p));
+  *grad = (p - label) / (p * (1.0f - p));
+  return loss;
+}
+
+float sampled_softmax_loss(std::span<const float> user,
+                           std::span<const float> positive,
+                           std::span<const tensor::Vector> negatives,
+                           tensor::Vector* grad_user,
+                           tensor::Vector* grad_positive,
+                           std::vector<tensor::Vector>* grad_negatives) {
+  IMARS_REQUIRE(grad_user && grad_positive && grad_negatives,
+                "sampled_softmax_loss: output gradients must not be null");
+  IMARS_REQUIRE(user.size() == positive.size(),
+                "sampled_softmax_loss: dim mismatch");
+  const std::size_t dim = user.size();
+  const std::size_t n = negatives.size() + 1;  // +1 for the positive
+
+  // Logits: index 0 = positive, 1.. = negatives.
+  tensor::Vector logits(n, 0.0f);
+  logits[0] = tensor::dot(user, positive);
+  for (std::size_t i = 0; i < negatives.size(); ++i) {
+    IMARS_REQUIRE(negatives[i].size() == dim,
+                  "sampled_softmax_loss: negative dim mismatch");
+    logits[i + 1] = tensor::dot(user, negatives[i]);
+  }
+  const tensor::Vector probs = tensor::softmax(logits);
+  const float loss = -std::log(std::max(probs[0], 1e-12f));
+
+  // dL/dlogit_i = probs_i - [i == 0].
+  grad_user->assign(dim, 0.0f);
+  grad_positive->assign(dim, 0.0f);
+  grad_negatives->assign(negatives.size(), tensor::Vector(dim, 0.0f));
+
+  const float g0 = probs[0] - 1.0f;
+  for (std::size_t c = 0; c < dim; ++c) {
+    (*grad_user)[c] += g0 * positive[c];
+    (*grad_positive)[c] = g0 * user[c];
+  }
+  for (std::size_t i = 0; i < negatives.size(); ++i) {
+    const float gi = probs[i + 1];
+    for (std::size_t c = 0; c < dim; ++c) {
+      (*grad_user)[c] += gi * negatives[i][c];
+      (*grad_negatives)[i][c] = gi * user[c];
+    }
+  }
+  return loss;
+}
+
+}  // namespace imars::nn

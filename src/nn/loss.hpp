@@ -1,0 +1,26 @@
+// Losses for the two RecSys training objectives.
+#pragma once
+
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace imars::nn {
+
+/// Binary cross-entropy on a sigmoid output (the DLRM / ranking CTR loss).
+/// Returns the loss; writes dLoss/dPrediction into grad (size 1 vs 1).
+float bce_loss(float prediction, float label, float* grad);
+
+/// Sampled-softmax-style loss for the filtering (retrieval) task: given a
+/// user embedding u, a positive item embedding and N negative item
+/// embeddings, the loss is -log softmax(u·pos over {pos} ∪ negs).
+/// Gradients w.r.t. the user embedding and each item embedding are returned
+/// through the out-parameters (negatives in the same order as given).
+float sampled_softmax_loss(std::span<const float> user,
+                           std::span<const float> positive,
+                           std::span<const tensor::Vector> negatives,
+                           tensor::Vector* grad_user,
+                           tensor::Vector* grad_positive,
+                           std::vector<tensor::Vector>* grad_negatives);
+
+}  // namespace imars::nn

@@ -1,0 +1,21 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace imars::nn {
+
+LrSchedule::LrSchedule(float base_lr, float decay, std::size_t interval)
+    : base_lr_(base_lr), decay_(decay), interval_(interval) {
+  IMARS_REQUIRE(base_lr > 0.0f, "LrSchedule: base_lr must be positive");
+  IMARS_REQUIRE(decay > 0.0f && decay <= 1.0f, "LrSchedule: decay in (0,1]");
+  IMARS_REQUIRE(interval > 0, "LrSchedule: interval must be positive");
+}
+
+float LrSchedule::at(std::size_t step) const noexcept {
+  const auto k = static_cast<float>(step / interval_);
+  return base_lr_ * std::pow(decay_, k);
+}
+
+}  // namespace imars::nn

@@ -1,0 +1,26 @@
+// Learning-rate schedules for the small training loops.
+//
+// Parameter updates themselves live on the layers (Dense::apply_sgd,
+// EmbeddingTable::apply_sgd); this header only provides the schedule,
+// which keeps optimizer state management trivial and deterministic.
+#pragma once
+
+#include <cstddef>
+
+namespace imars::nn {
+
+/// Step-decay learning-rate schedule: lr = base * decay^(step / interval).
+class LrSchedule {
+ public:
+  LrSchedule(float base_lr, float decay, std::size_t interval);
+
+  /// Learning rate for the given global step (0-based).
+  float at(std::size_t step) const noexcept;
+
+ private:
+  float base_lr_;
+  float decay_;
+  std::size_t interval_;
+};
+
+}  // namespace imars::nn

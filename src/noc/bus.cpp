@@ -1,0 +1,51 @@
+#include "noc/bus.hpp"
+
+#include "util/error.hpp"
+
+namespace imars::noc {
+
+using device::Component;
+using device::Ns;
+
+RscBus::RscBus(const device::DeviceProfile& profile,
+               device::EnergyLedger* ledger)
+    : profile_(&profile), ledger_(ledger), width_bits_(profile.rsc_bus_bits) {
+  IMARS_REQUIRE(ledger != nullptr, "RscBus: ledger must not be null");
+  IMARS_REQUIRE(width_bits_ > 0, "RscBus: zero width");
+}
+
+std::size_t RscBus::cycles_for(std::size_t bytes) const noexcept {
+  return (bytes * 8 + width_bits_ - 1) / width_bits_;
+}
+
+Ns RscBus::transfer(std::size_t bytes) {
+  const std::size_t cycles = cycles_for(bytes);
+  total_cycles_ += cycles;
+  ledger_->charge(Component::kRscBus,
+                  profile_->rsc_energy * static_cast<double>(cycles), cycles);
+  return profile_->rsc_cycle * static_cast<double>(cycles);
+}
+
+IbcNetwork::IbcNetwork(const device::DeviceProfile& profile,
+                       device::EnergyLedger* ledger)
+    : profile_(&profile),
+      ledger_(ledger),
+      shot_bytes_(profile.ibc_shot_bytes) {
+  IMARS_REQUIRE(ledger != nullptr, "IbcNetwork: ledger must not be null");
+  IMARS_REQUIRE(shot_bytes_ > 0, "IbcNetwork: zero shot size");
+}
+
+std::size_t IbcNetwork::shots_for_words(std::size_t words) const noexcept {
+  const std::size_t bytes = words * 32;  // one word = 256 bit = 32 B
+  return (bytes + shot_bytes_ - 1) / shot_bytes_;
+}
+
+Ns IbcNetwork::transfer_words(std::size_t words) {
+  const std::size_t shots = shots_for_words(words);
+  total_shots_ += shots;
+  ledger_->charge(Component::kIbcNetwork,
+                  profile_->ibc_energy * static_cast<double>(shots), shots);
+  return profile_->ibc_cycle * static_cast<double>(shots);
+}
+
+}  // namespace imars::noc

@@ -1,0 +1,70 @@
+// Communication fabric of iMARS (Sec III-A3).
+//
+// Two channels exist:
+//   * the RSC (RecSys Communication) bus moves data between functional
+//     blocks (ET banks <-> crossbar banks <-> buffers); it is 256 bits wide
+//     and transfers serialize to keep wiring area low;
+//   * the IBC (Intra-Bank Communication) network moves mat outputs to the
+//     intra-bank adder tree in shots of 128 bytes (four 256-bit words, the
+//     adder tree's fan-in); when more than four mats contribute, shots
+//     serialize.
+//
+// Both are cycle-counting cost models: transfer(bytes) returns the
+// serialized latency and charges per-cycle energy. The actual payload
+// movement is implicit — functional data flows through ordinary C++ values;
+// the NoC accounts for the time/energy the wires would take.
+#pragma once
+
+#include <cstddef>
+
+#include "device/ledger.hpp"
+#include "device/profile.hpp"
+
+namespace imars::noc {
+
+/// 256-bit-wide serialized system bus.
+class RscBus {
+ public:
+  RscBus(const device::DeviceProfile& profile, device::EnergyLedger* ledger);
+
+  std::size_t width_bits() const noexcept { return width_bits_; }
+
+  /// Serialized transfer of `bytes`: ceil(bytes*8/width) bus cycles.
+  device::Ns transfer(std::size_t bytes);
+
+  /// Cycles a transfer of `bytes` would take (no charge).
+  std::size_t cycles_for(std::size_t bytes) const noexcept;
+
+  /// Total cycles transferred so far.
+  std::size_t total_cycles() const noexcept { return total_cycles_; }
+
+ private:
+  const device::DeviceProfile* profile_;
+  device::EnergyLedger* ledger_;
+  std::size_t width_bits_;
+  std::size_t total_cycles_ = 0;
+};
+
+/// Intra-bank network: fixed 128-byte shots feeding the intra-bank adder.
+class IbcNetwork {
+ public:
+  IbcNetwork(const device::DeviceProfile& profile, device::EnergyLedger* ledger);
+
+  std::size_t shot_bytes() const noexcept { return shot_bytes_; }
+
+  /// Transfers `words` 256-bit mat outputs: ceil(words / 4) shots.
+  device::Ns transfer_words(std::size_t words);
+
+  /// Shots needed for `words` 256-bit outputs (no charge).
+  std::size_t shots_for_words(std::size_t words) const noexcept;
+
+  std::size_t total_shots() const noexcept { return total_shots_; }
+
+ private:
+  const device::DeviceProfile* profile_;
+  device::EnergyLedger* ledger_;
+  std::size_t shot_bytes_;
+  std::size_t total_shots_ = 0;
+};
+
+}  // namespace imars::noc

@@ -1,0 +1,38 @@
+#include "noc/controller.hpp"
+
+#include "util/error.hpp"
+
+namespace imars::noc {
+
+using device::Component;
+
+Controller::Controller(const device::DeviceProfile& profile,
+                       device::EnergyLedger* ledger)
+    : profile_(&profile), ledger_(ledger) {
+  IMARS_REQUIRE(ledger != nullptr, "Controller: ledger must not be null");
+}
+
+std::vector<MatGroup> Controller::schedule(std::size_t active_banks,
+                                           std::size_t mats_per_bank,
+                                           std::size_t group_size) {
+  IMARS_REQUIRE(group_size >= 2, "Controller: group size >= 2");
+  std::vector<MatGroup> out;
+  for (std::size_t b = 0; b < active_banks; ++b) {
+    std::size_t mat = 0;
+    bool first = true;
+    while (mat < mats_per_bank) {
+      // After the first group the running sum loops back into the adder,
+      // leaving group_size - 1 slots for new mat outputs.
+      const std::size_t capacity = first ? group_size : group_size - 1;
+      const std::size_t count = std::min(capacity, mats_per_bank - mat);
+      out.push_back({b, mat, count});
+      mat += count;
+      first = false;
+      ++decisions_;
+      ledger_->charge(Component::kController, profile_->controller_energy);
+    }
+  }
+  return out;
+}
+
+}  // namespace imars::noc

@@ -1,0 +1,48 @@
+// The CTRL block (Sec III-A3): a clock generator and two counters that fix
+// the order in which banks and mats stream outputs to the intra-bank adder
+// tree. Data packets always travel in a predetermined order — Bank b:
+// Mat-1, Mat-2, ..., Mat-M in groups of four — which removes the need for
+// routers and makes accesses conflict-free.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "device/ledger.hpp"
+#include "device/profile.hpp"
+
+namespace imars::noc {
+
+/// One scheduled IBC transfer: mats [first_mat, first_mat+count) of `bank`
+/// stream their outputs as one group (one IBC shot + one adder round).
+struct MatGroup {
+  std::size_t bank = 0;
+  std::size_t first_mat = 0;
+  std::size_t count = 0;
+};
+
+/// Deterministic scheduler for intra-bank accumulation traffic.
+class Controller {
+ public:
+  Controller(const device::DeviceProfile& profile,
+             device::EnergyLedger* ledger);
+
+  /// Produces the fixed round-robin schedule for `active_banks` banks each
+  /// streaming `mats_per_bank` mat outputs in groups of `group_size`
+  /// (the intra-bank adder fan-in). Charges one controller decision per
+  /// group. First group of a bank has up to `group_size` mats; later groups
+  /// `group_size - 1` (the running sum occupies one adder input).
+  std::vector<MatGroup> schedule(std::size_t active_banks,
+                                 std::size_t mats_per_bank,
+                                 std::size_t group_size);
+
+  /// Counter state exposed for tests: total scheduling decisions made.
+  std::size_t decisions() const noexcept { return decisions_; }
+
+ private:
+  const device::DeviceProfile* profile_;
+  device::EnergyLedger* ledger_;
+  std::size_t decisions_ = 0;
+};
+
+}  // namespace imars::noc

@@ -1,0 +1,151 @@
+#include "recsys/dlrm.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "nn/loss.hpp"
+#include "util/error.hpp"
+
+namespace imars::recsys {
+
+namespace {
+std::vector<std::size_t> make_dims(std::size_t in,
+                                   const std::vector<std::size_t>& hidden,
+                                   std::size_t out) {
+  std::vector<std::size_t> dims{in};
+  dims.insert(dims.end(), hidden.begin(), hidden.end());
+  if (dims.back() != out) dims.push_back(out);
+  return dims;
+}
+}  // namespace
+
+Dlrm::Dlrm(const data::DatasetSchema& schema, const DlrmConfig& cfg)
+    : cfg_(cfg),
+      schema_(schema),
+      top_in_dim_((schema.user_item.size() + 1) * schema.user_item.size() / 2 +
+                  cfg.emb_dim),
+      bottom_([&] {
+        IMARS_REQUIRE(!cfg.bottom_hidden.empty() &&
+                          cfg.bottom_hidden.back() == cfg.emb_dim,
+                      "Dlrm: bottom MLP must end at emb_dim for interactions");
+        util::Xoshiro256 rng(cfg.seed);
+        return nn::Mlp(make_dims(schema.dense_dim, cfg.bottom_hidden,
+                                 cfg.emb_dim),
+                       nn::Activation::kRelu, rng);
+      }()),
+      top_([&] {
+        util::Xoshiro256 rng(cfg.seed + 1);
+        return nn::Mlp(make_dims(top_in_dim_, cfg.top_hidden, 1),
+                       nn::Activation::kSigmoid, rng);
+      }()) {
+  IMARS_REQUIRE(!schema.user_item.empty(), "Dlrm: need sparse features");
+  util::Xoshiro256 rng(cfg.seed + 2);
+  tables_.reserve(schema.user_item.size());
+  for (const auto& spec : schema.user_item)
+    tables_.emplace_back(spec.cardinality, cfg.emb_dim, rng);
+}
+
+const nn::EmbeddingTable& Dlrm::table(std::size_t f) const {
+  IMARS_REQUIRE(f < tables_.size(), "Dlrm::table out of range");
+  return tables_[f];
+}
+
+tensor::Vector Dlrm::interact(std::span<const tensor::Vector> embs,
+                              std::span<const float> bottom_out) const {
+  IMARS_REQUIRE(embs.size() == tables_.size(), "Dlrm::interact: feature count");
+  IMARS_REQUIRE(bottom_out.size() == cfg_.emb_dim,
+                "Dlrm::interact: bottom width");
+  // V = [emb_0, ..., emb_25, bottom]; z = [V_i . V_j for i < j] ++ bottom.
+  const std::size_t n = embs.size() + 1;
+  std::vector<std::span<const float>> v;
+  v.reserve(n);
+  for (const auto& e : embs) v.emplace_back(e);
+  v.emplace_back(bottom_out);
+
+  tensor::Vector out;
+  out.reserve(top_in_dim_);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      out.push_back(tensor::dot(v[i], v[j]));
+  out.insert(out.end(), bottom_out.begin(), bottom_out.end());
+  IMARS_REQUIRE(out.size() == top_in_dim_, "Dlrm::interact: size mismatch");
+  return out;
+}
+
+float Dlrm::infer(const tensor::Vector& dense,
+                  std::span<const std::size_t> sparse) const {
+  IMARS_REQUIRE(sparse.size() == tables_.size(), "Dlrm::infer: sparse count");
+  const tensor::Vector b = bottom_.infer(dense);
+  std::vector<tensor::Vector> embs;
+  embs.reserve(tables_.size());
+  for (std::size_t f = 0; f < tables_.size(); ++f) {
+    const auto r = tables_[f].row(sparse[f]);
+    embs.emplace_back(r.begin(), r.end());
+  }
+  return top_.infer(interact(embs, b))[0];
+}
+
+float Dlrm::train_step(const data::CriteoSample& sample) {
+  const std::size_t nf = tables_.size();
+  IMARS_REQUIRE(sample.sparse.size() == nf, "Dlrm::train_step: sparse count");
+
+  // Forward.
+  const tensor::Vector b = bottom_.forward(sample.dense);
+  std::vector<tensor::Vector> embs;
+  embs.reserve(nf);
+  for (std::size_t f = 0; f < nf; ++f) {
+    const auto r = tables_[f].row(sample.sparse[f]);
+    embs.emplace_back(r.begin(), r.end());
+  }
+  const tensor::Vector x = interact(embs, b);
+  const float p = top_.forward(x)[0];
+
+  float gp = 0.0f;
+  const float loss = nn::bce_loss(p, static_cast<float>(sample.label), &gp);
+
+  // Backward through the top MLP.
+  const tensor::Vector grad_x = top_.backward(tensor::Vector{gp});
+
+  // Backward through the interaction layer: V = [embs..., b].
+  const std::size_t n = nf + 1;
+  std::vector<tensor::Vector> grad_v(n, tensor::Vector(cfg_.emb_dim, 0.0f));
+  std::size_t z = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j, ++z) {
+      const float g = grad_x[z];
+      const auto& vi = (i < nf) ? embs[i] : b;
+      const auto& vj = (j < nf) ? embs[j] : b;
+      for (std::size_t c = 0; c < cfg_.emb_dim; ++c) {
+        grad_v[i][c] += g * vj[c];
+        grad_v[j][c] += g * vi[c];
+      }
+    }
+  }
+  // Direct concat path of the bottom output.
+  for (std::size_t c = 0; c < cfg_.emb_dim; ++c)
+    grad_v[n - 1][c] += grad_x[z + c];
+
+  // Embedding updates.
+  for (std::size_t f = 0; f < nf; ++f) {
+    const std::size_t idx[1] = {sample.sparse[f]};
+    tables_[f].accumulate_grad(idx, nn::Pooling::kSum, grad_v[f]);
+  }
+  // Bottom MLP update.
+  bottom_.backward(grad_v[n - 1]);
+
+  top_.apply_sgd(cfg_.lr);
+  bottom_.apply_sgd(cfg_.lr);
+  for (auto& t : tables_) t.apply_sgd(cfg_.lr);
+  return loss;
+}
+
+float Dlrm::train_epoch(const data::CriteoSynth& ds, util::Xoshiro256& rng) {
+  std::vector<std::size_t> order(ds.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng);
+  double total = 0.0;
+  for (auto i : order) total += train_step(ds.sample(i));
+  return static_cast<float>(total / static_cast<double>(order.size()));
+}
+
+}  // namespace imars::recsys

@@ -1,0 +1,58 @@
+// Training drivers with evaluation callbacks and early stopping.
+//
+// The benches and examples train the same two models over and over; this
+// driver centralizes the loop: epoch scheduling, loss tracking, periodic
+// hit-rate evaluation, and patience-based early stopping.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "data/movielens.hpp"
+#include "recsys/dlrm.hpp"
+#include "recsys/youtube_dnn.hpp"
+
+namespace imars::recsys {
+
+/// Progress record for one epoch.
+struct EpochStats {
+  std::size_t epoch = 0;
+  float loss = 0.0f;
+  double metric = 0.0;  ///< eval metric (HR / AUC) if evaluated, else NaN
+};
+
+/// Training options.
+struct TrainOptions {
+  std::size_t max_epochs = 10;
+  std::size_t eval_every = 0;   ///< 0 = never evaluate during training
+  std::size_t patience = 0;     ///< 0 = no early stopping; else stop after
+                                ///< `patience` evaluations without improvement
+  std::uint64_t seed = 1;
+  /// Called after every epoch (logging); may be empty.
+  std::function<void(const EpochStats&)> on_epoch;
+};
+
+/// Result of a training run.
+struct TrainResult {
+  std::vector<EpochStats> history;
+  double best_metric = 0.0;
+  std::size_t best_epoch = 0;
+  bool early_stopped = false;
+};
+
+/// Trains the filtering stage of a YouTubeDNN with optional HR@n evaluation
+/// (leave-one-out over all users, fp32 cosine retrieval).
+TrainResult train_filter(YoutubeDnn& model, const data::MovieLensSynth& ds,
+                         const TrainOptions& options, std::size_t hr_topn = 10);
+
+/// Trains the ranking stage of a YouTubeDNN (BCE loss; metric = -loss so
+/// early stopping still "maximizes").
+TrainResult train_rank(YoutubeDnn& model, const data::MovieLensSynth& ds,
+                       const TrainOptions& options);
+
+/// Trains a DLRM with optional AUC evaluation over the training set.
+TrainResult train_dlrm(Dlrm& model, const data::CriteoSynth& ds,
+                       const TrainOptions& options);
+
+}  // namespace imars::recsys

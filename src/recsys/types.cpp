@@ -1,0 +1,35 @@
+#include "recsys/types.hpp"
+
+namespace imars::recsys {
+
+std::string_view op_name(OpKind k) {
+  switch (k) {
+    case OpKind::kEtLookup: return "ET Lookup";
+    case OpKind::kDnn: return "DNN Stack";
+    case OpKind::kNns: return "NNS";
+    case OpKind::kTopK: return "TopK";
+    case OpKind::kComm: return "Comm";
+    case OpKind::kCount: break;
+  }
+  return "unknown";
+}
+
+OpCost StageStats::total() const {
+  OpCost t;
+  for (const auto& c : ops) t += c;
+  return t;
+}
+
+void StageStats::merge(const StageStats& other) {
+  for (std::size_t i = 0; i < ops.size(); ++i) ops[i] += other.ops[i];
+}
+
+std::vector<ScoredItem> recommend(FilterRankBackend& backend,
+                                  const UserContext& user, std::size_t k,
+                                  StageStats* filter_stats,
+                                  StageStats* rank_stats) {
+  const auto candidates = backend.filter(user, filter_stats);
+  return backend.rank(user, candidates, k, rank_stats);
+}
+
+}  // namespace imars::recsys

@@ -1,0 +1,110 @@
+// Shared types of the RecSys pipeline: per-operation cost accounting and the
+// backend interfaces implemented by the CPU reference, the GPU cost model
+// and the iMARS accelerator.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "device/units.hpp"
+#include "tensor/tensor.hpp"
+
+namespace imars::recsys {
+
+/// Operation categories of the paper's breakdown (Fig. 2): embedding-table
+/// lookup+pooling, DNN stack, nearest-neighbour search, top-k selection,
+/// plus explicit communication (iMARS-only; folded into ops on GPU).
+enum class OpKind : std::uint8_t {
+  kEtLookup,
+  kDnn,
+  kNns,
+  kTopK,
+  kComm,
+  kCount
+};
+
+std::string_view op_name(OpKind k);
+
+/// Latency + energy of one operation category.
+struct OpCost {
+  device::Ns latency;
+  device::Pj energy;
+
+  OpCost& operator+=(const OpCost& o) {
+    latency += o.latency;
+    energy += o.energy;
+    return *this;
+  }
+};
+
+/// Cost breakdown of one pipeline stage (filtering or ranking).
+struct StageStats {
+  std::array<OpCost, static_cast<std::size_t>(OpKind::kCount)> ops{};
+
+  OpCost& at(OpKind k) { return ops[static_cast<std::size_t>(k)]; }
+  const OpCost& at(OpKind k) const { return ops[static_cast<std::size_t>(k)]; }
+
+  /// Sum over all operation categories.
+  OpCost total() const;
+
+  void merge(const StageStats& other);
+};
+
+/// One scored candidate item.
+struct ScoredItem {
+  std::size_t item = 0;
+  float score = 0.0f;
+};
+
+/// Per-user model inputs (Fig. 1(c)): continuous features, one index list
+/// per sparse feature (schema order), and the interaction history.
+struct UserContext {
+  tensor::Vector dense;
+  std::vector<std::vector<std::size_t>> sparse;
+  std::vector<std::size_t> history;
+};
+
+/// Backend interface for the two-stage (filtering + ranking) pipeline.
+/// Implementations: baseline::CpuBackend, baseline::GpuModelBackend,
+/// core::ImarsBackend.
+class FilterRankBackend {
+ public:
+  virtual ~FilterRankBackend() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Filtering stage: candidate item ids for the user (unordered).
+  /// Appends costs to `stats` when non-null.
+  virtual std::vector<std::size_t> filter(const UserContext& user,
+                                          StageStats* stats) = 0;
+
+  /// Ranking stage: CTR-scored candidates, sorted by descending score,
+  /// truncated to `k` (the final top-k of Fig. 1(b)).
+  virtual std::vector<ScoredItem> rank(const UserContext& user,
+                                       std::span<const std::size_t> candidates,
+                                       std::size_t k, StageStats* stats) = 0;
+};
+
+/// End-to-end recommendation: filter then rank; fills per-stage stats.
+std::vector<ScoredItem> recommend(FilterRankBackend& backend,
+                                  const UserContext& user, std::size_t k,
+                                  StageStats* filter_stats,
+                                  StageStats* rank_stats);
+
+/// Backend interface for the ranking-only (DLRM / Criteo) pipeline.
+class CtrBackend {
+ public:
+  virtual ~CtrBackend() = default;
+  virtual std::string_view name() const = 0;
+
+  /// Predicted click-through rate of one impression.
+  virtual float score(const tensor::Vector& dense,
+                      std::span<const std::size_t> sparse,
+                      StageStats* stats) = 0;
+};
+
+}  // namespace imars::recsys

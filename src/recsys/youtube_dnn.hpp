@@ -1,0 +1,101 @@
+// YouTubeDNN two-stage model (Covington et al., RecSys'16), as configured in
+// the paper's Table I for MovieLens:
+//   * filtering (candidate generation): a user tower (MLP 128-64-32) maps
+//     pooled sparse embeddings + history pooling + dense features to a 32-d
+//     user embedding; candidates are the nearest item embeddings;
+//   * ranking: an MLP (128-1) scores each (user, candidate) pair -> CTR.
+//
+// Five UIETs are shared between both stages; the ranking stage adds a sixth
+// (Table I: "# UIET (Shared) 5 (5) / 6 (5)"). The single ItET doubles as
+// the history-pooling table and the NNS target.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/movielens.hpp"
+#include "data/schema.hpp"
+#include "nn/embedding.hpp"
+#include "nn/mlp.hpp"
+#include "recsys/types.hpp"
+
+namespace imars::recsys {
+
+/// Hyper-parameters. Defaults mirror Table I.
+struct YoutubeDnnConfig {
+  std::size_t emb_dim = 32;
+  std::vector<std::size_t> filter_hidden = {128, 64, 32};  ///< paper: 128-64-32
+  std::vector<std::size_t> rank_hidden = {128};            ///< paper: 128-1
+  std::size_t negatives = 8;    ///< sampled-softmax negatives
+  float lr = 0.05f;
+  std::uint64_t seed = 1234;
+};
+
+/// Trainable two-stage YouTubeDNN model.
+class YoutubeDnn {
+ public:
+  YoutubeDnn(const data::DatasetSchema& schema, const YoutubeDnnConfig& cfg);
+
+  const YoutubeDnnConfig& config() const noexcept { return cfg_; }
+  const data::DatasetSchema& schema() const noexcept { return schema_; }
+
+  /// Indices (into schema.user_item) of UIETs used by each stage.
+  const std::vector<std::size_t>& filter_features() const noexcept {
+    return filter_features_;
+  }
+  const std::vector<std::size_t>& rank_features() const noexcept {
+    return rank_features_;
+  }
+
+  /// UIET f (schema order) and the ItET.
+  const nn::EmbeddingTable& uiet(std::size_t f) const;
+  const nn::EmbeddingTable& item_table() const noexcept { return item_table_; }
+  const nn::Mlp& filter_mlp() const noexcept { return filter_mlp_; }
+  const nn::Mlp& rank_mlp() const noexcept { return rank_mlp_; }
+
+  /// Builds the UserContext for a dataset user.
+  UserContext make_context(const data::MovieLensSynth& ds,
+                           std::size_t user) const;
+
+  /// Filtering-tower input: concat(pooled filter UIETs, mean-pooled history
+  /// item embeddings, dense features).
+  tensor::Vector filter_input(const UserContext& user) const;
+
+  /// 32-d user embedding (tower inference).
+  tensor::Vector user_embedding(const UserContext& user) const;
+
+  /// Ranking-net input for one candidate: concat(pooled rank UIETs,
+  /// candidate item embedding, mean-pooled history, dense features).
+  tensor::Vector rank_input(const UserContext& user, std::size_t item) const;
+
+  /// Predicted CTR for one candidate (float reference path).
+  float ctr(const UserContext& user, std::size_t item) const;
+
+  /// One epoch of filtering-stage training (sampled softmax over history
+  /// positives). Returns mean loss.
+  float train_filter_epoch(const data::MovieLensSynth& ds,
+                           util::Xoshiro256& rng);
+
+  /// One epoch of ranking-stage training (BCE, 1 positive + 1 negative per
+  /// user step). Returns mean loss.
+  float train_rank_epoch(const data::MovieLensSynth& ds,
+                         util::Xoshiro256& rng);
+
+  /// Input widths (useful for mapping stats).
+  std::size_t filter_input_dim() const noexcept { return filter_in_dim_; }
+  std::size_t rank_input_dim() const noexcept { return rank_in_dim_; }
+
+ private:
+  YoutubeDnnConfig cfg_;
+  data::DatasetSchema schema_;
+  std::vector<std::size_t> filter_features_;
+  std::vector<std::size_t> rank_features_;
+  std::vector<nn::EmbeddingTable> uiets_;  // schema order
+  nn::EmbeddingTable item_table_;
+  std::size_t filter_in_dim_ = 0;
+  std::size_t rank_in_dim_ = 0;
+  nn::Mlp filter_mlp_;
+  nn::Mlp rank_mlp_;
+};
+
+}  // namespace imars::recsys

@@ -1,0 +1,177 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace imars::tensor {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<float> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  IMARS_REQUIRE(data_.size() == rows * cols, "Matrix: data size mismatch");
+}
+
+Matrix Matrix::randn(std::size_t rows, std::size_t cols, float stddev,
+                     util::Xoshiro256& rng) {
+  Matrix m(rows, cols);
+  for (auto& x : m.data_) x = stddev * static_cast<float>(rng.normal());
+  return m;
+}
+
+float& Matrix::at(std::size_t r, std::size_t c) {
+  IMARS_REQUIRE(r < rows_ && c < cols_, "Matrix::at out of range");
+  return data_[r * cols_ + c];
+}
+
+float Matrix::at(std::size_t r, std::size_t c) const {
+  IMARS_REQUIRE(r < rows_ && c < cols_, "Matrix::at out of range");
+  return data_[r * cols_ + c];
+}
+
+std::span<float> Matrix::row(std::size_t r) {
+  IMARS_REQUIRE(r < rows_, "Matrix::row out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<const float> Matrix::row(std::size_t r) const {
+  IMARS_REQUIRE(r < rows_, "Matrix::row out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  return t;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  IMARS_REQUIRE(a.cols() == b.rows(), "matmul: inner dimension mismatch");
+  Matrix out(a.rows(), b.cols());
+  // i-k-j loop order keeps the inner loop contiguous in both b and out.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const float aik = a.at(i, k);
+      if (aik == 0.0f) continue;
+      const auto brow = b.row(k);
+      const auto orow = out.row(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+Vector gemv(const Matrix& m, std::span<const float> v) {
+  IMARS_REQUIRE(m.cols() == v.size(), "gemv: dimension mismatch");
+  Vector out(m.rows(), 0.0f);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const auto row = m.row(r);
+    float acc = 0.0f;
+    for (std::size_t c = 0; c < row.size(); ++c) acc += row[c] * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+Vector gevm(std::span<const float> v, const Matrix& m) {
+  IMARS_REQUIRE(m.rows() == v.size(), "gevm: dimension mismatch");
+  Vector out(m.cols(), 0.0f);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const float vr = v[r];
+    if (vr == 0.0f) continue;
+    const auto row = m.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) out[c] += vr * row[c];
+  }
+  return out;
+}
+
+Vector add(std::span<const float> a, std::span<const float> b) {
+  IMARS_REQUIRE(a.size() == b.size(), "add: size mismatch");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vector sub(std::span<const float> a, std::span<const float> b) {
+  IMARS_REQUIRE(a.size() == b.size(), "sub: size mismatch");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vector hadamard(std::span<const float> a, std::span<const float> b) {
+  IMARS_REQUIRE(a.size() == b.size(), "hadamard: size mismatch");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+void add_inplace(std::span<float> a, std::span<const float> b) {
+  IMARS_REQUIRE(a.size() == b.size(), "add_inplace: size mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+}
+
+void scale_inplace(std::span<float> a, float s) {
+  for (auto& x : a) x *= s;
+}
+
+float dot(std::span<const float> a, std::span<const float> b) {
+  IMARS_REQUIRE(a.size() == b.size(), "dot: size mismatch");
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+float norm(std::span<const float> a) { return std::sqrt(dot(a, a)); }
+
+float cosine(std::span<const float> a, std::span<const float> b) {
+  const float na = norm(a);
+  const float nb = norm(b);
+  if (na == 0.0f || nb == 0.0f) return 0.0f;
+  return dot(a, b) / (na * nb);
+}
+
+Vector relu(std::span<const float> x) {
+  Vector out(x.begin(), x.end());
+  relu_inplace(out);
+  return out;
+}
+
+void relu_inplace(std::span<float> x) {
+  for (auto& v : x) v = std::max(v, 0.0f);
+}
+
+Vector sigmoid(std::span<const float> x) {
+  Vector out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    out[i] = 1.0f / (1.0f + std::exp(-x[i]));
+  return out;
+}
+
+Vector softmax(std::span<const float> x) {
+  IMARS_REQUIRE(!x.empty(), "softmax of empty vector");
+  const float mx = *std::max_element(x.begin(), x.end());
+  Vector out(x.size());
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = std::exp(x[i] - mx);
+    sum += out[i];
+  }
+  for (auto& v : out) v /= sum;
+  return out;
+}
+
+Vector concat(std::span<const Vector> parts) {
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  Vector out;
+  out.reserve(total);
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+}  // namespace imars::tensor

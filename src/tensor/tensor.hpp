@@ -1,0 +1,94 @@
+// Minimal dense linear algebra for the DNN stacks.
+//
+// The models in the paper (YouTubeDNN MLPs, DLRM bottom/top MLPs) only need
+// row-major f32 matrices, gemm/gemv, elementwise ops and three activations.
+// Keeping this self-contained avoids an external BLAS dependency and keeps
+// results bit-reproducible across platforms.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace imars::tensor {
+
+/// Dense row-major matrix of float.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// rows x cols from row-major data (size must be rows*cols).
+  Matrix(std::size_t rows, std::size_t cols, std::vector<float> data);
+
+  /// Gaussian init with the given stddev (He/Xavier handled by caller).
+  static Matrix randn(std::size_t rows, std::size_t cols, float stddev,
+                      util::Xoshiro256& rng);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return data_.size(); }
+
+  float& at(std::size_t r, std::size_t c);
+  float at(std::size_t r, std::size_t c) const;
+
+  /// Row r as a span of cols() floats.
+  std::span<float> row(std::size_t r);
+  std::span<const float> row(std::size_t r) const;
+
+  std::span<float> data() noexcept { return data_; }
+  std::span<const float> data() const noexcept { return data_; }
+
+  /// Returns the transpose.
+  Matrix transposed() const;
+
+  bool operator==(const Matrix& other) const noexcept = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+using Vector = std::vector<float>;
+
+/// out = a (m x k) * b (k x n).
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// out = m (r x c) * v (c)  — matrix-vector product.
+Vector gemv(const Matrix& m, std::span<const float> v);
+
+/// out = v (r) * m (r x c)  — vector-matrix product (row vector).
+Vector gevm(std::span<const float> v, const Matrix& m);
+
+/// Elementwise helpers (sizes must match).
+Vector add(std::span<const float> a, std::span<const float> b);
+Vector sub(std::span<const float> a, std::span<const float> b);
+Vector hadamard(std::span<const float> a, std::span<const float> b);
+void add_inplace(std::span<float> a, std::span<const float> b);
+void scale_inplace(std::span<float> a, float s);
+
+/// Dot product.
+float dot(std::span<const float> a, std::span<const float> b);
+
+/// L2 norm.
+float norm(std::span<const float> a);
+
+/// Cosine similarity; 0 when either vector is all-zero.
+float cosine(std::span<const float> a, std::span<const float> b);
+
+/// Activations (new-vector and in-place variants).
+Vector relu(std::span<const float> x);
+void relu_inplace(std::span<float> x);
+Vector sigmoid(std::span<const float> x);
+/// Numerically stable softmax.
+Vector softmax(std::span<const float> x);
+
+/// Concatenates vectors in order.
+Vector concat(std::span<const Vector> parts);
+
+}  // namespace imars::tensor

@@ -1,0 +1,36 @@
+// Checked-error helpers shared by all iMARS modules.
+//
+// The simulator is a library: precondition violations surface as exceptions
+// (imars::Error) rather than asserts so that tests can exercise failure
+// injection and callers can recover.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace imars {
+
+/// Exception type thrown on any checked precondition violation inside the
+/// iMARS library (bad dimensions, out-of-range lookups, over-capacity
+/// mappings, illegal mode switches, ...).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise(const char* expr, const char* file, int line,
+                               const std::string& msg) {
+  throw Error(std::string(file) + ":" + std::to_string(line) +
+              ": requirement failed (" + expr + ")" +
+              (msg.empty() ? "" : ": " + msg));
+}
+}  // namespace detail
+
+}  // namespace imars
+
+/// Checked precondition: throws imars::Error (never disabled, unlike assert).
+#define IMARS_REQUIRE(expr, msg)                                       \
+  do {                                                                 \
+    if (!(expr)) ::imars::detail::raise(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,45 @@
+// int8 quantization utilities (Sec III-B: "We quantize all ETs to 8-bit
+// integer precision").
+//
+// The paper stores 32-dimensional int8 embeddings as one 256-bit CMA row and
+// runs all in-memory pooling in the integer domain. We use symmetric
+// per-tensor quantization: q = clamp(round(x / scale), -127, 127).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace imars::util {
+
+/// Symmetric per-tensor int8 quantization parameters.
+struct QuantParams {
+  float scale = 1.0f;  ///< real value represented by one integer step
+
+  /// Quantizes one value to int8 with saturation.
+  std::int8_t quantize(float x) const noexcept;
+
+  /// Reconstructs the real value of one quantized step.
+  float dequantize(std::int8_t q) const noexcept { return scale * static_cast<float>(q); }
+};
+
+/// Chooses the symmetric scale that maps max|x| to 127. A zero/empty input
+/// yields scale 1 (any scale represents all-zero exactly).
+QuantParams choose_symmetric(std::span<const float> values);
+
+/// Quantizes a vector with the given parameters.
+std::vector<std::int8_t> quantize(std::span<const float> values,
+                                  const QuantParams& params);
+
+/// Dequantizes a vector with the given parameters.
+std::vector<float> dequantize(std::span<const std::int8_t> values,
+                              const QuantParams& params);
+
+/// Saturating int8 addition (the CMA in-memory adder saturates each 8-bit
+/// lane; see cma::Cma::add_rows).
+std::int8_t sat_add_i8(std::int8_t a, std::int8_t b) noexcept;
+
+/// Saturating cast from a wide accumulator back to int8.
+std::int8_t sat_cast_i8(std::int32_t x) noexcept;
+
+}  // namespace imars::util

@@ -1,0 +1,86 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace imars::util {
+
+Table& Table::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  IMARS_REQUIRE(!header_.empty(), "Table: set header before rows");
+  IMARS_REQUIRE(cells.size() <= header_.size(), "Table: row wider than header");
+  cells.resize(header_.size());
+  rows_.push_back({std::move(cells), false});
+  return *this;
+}
+
+Table& Table::separator() {
+  rows_.push_back({{}, true});
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    if (r.is_separator) continue;
+    for (std::size_t c = 0; c < r.cells.size(); ++c)
+      width[c] = std::max(width[c], r.cells[c].size());
+  }
+
+  const auto rule = [&]() {
+    os << '+';
+    for (auto w : width) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  const auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string();
+      os << ' ' << s << std::string(width[c] - s.size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  rule();
+  line(header_);
+  rule();
+  for (const auto& r : rows_) {
+    if (r.is_separator)
+      rule();
+    else
+      line(r.cells);
+  }
+  rule();
+}
+
+std::string Table::num(double value, int digits) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(digits) << value;
+  std::string s = ss.str();
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+std::string Table::factor(double value, int digits) {
+  if (value >= 10000.0) {
+    std::ostringstream ss;
+    ss << std::scientific << std::setprecision(1) << value;
+    return ss.str() + "x";
+  }
+  return num(value, digits) + "x";
+}
+
+}  // namespace imars::util

@@ -1,0 +1,48 @@
+// ASCII table printer used by the bench harness to mirror the paper's tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace imars::util {
+
+/// Builds and renders a fixed-width ASCII table:
+///
+///   Table III: ET operation comparison
+///   +----------+-----------+--------+
+///   | Dataset  | MovieLens | Kaggle |
+///   ...
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the column headers (defines the column count).
+  Table& header(std::vector<std::string> cells);
+
+  /// Appends a row; must match the header width (short rows are padded).
+  Table& row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator between row groups.
+  Table& separator();
+
+  /// Renders the table.
+  void print(std::ostream& os) const;
+
+  /// Formats a double with `digits` significant decimals, trimming zeros.
+  static std::string num(double value, int digits = 2);
+
+  /// Formats a multiplicative factor, e.g. "16.8x".
+  static std::string factor(double value, int digits = 1);
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool is_separator = false;
+  };
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace imars::util

@@ -1,0 +1,129 @@
+#include "xbar/crossbar.hpp"
+
+#include "util/error.hpp"
+
+namespace imars::xbar {
+
+using device::Component;
+using device::Ns;
+
+Crossbar::Crossbar(const device::DeviceProfile& profile,
+                   device::EnergyLedger* ledger)
+    : profile_(&profile),
+      ledger_(ledger),
+      rows_(profile.xbar_rows),
+      cols_(profile.xbar_cols),
+      w_(rows_ * cols_, 0) {
+  IMARS_REQUIRE(ledger != nullptr, "Crossbar: ledger must not be null");
+}
+
+void Crossbar::load_weights(const tensor::QMatrix& w) {
+  IMARS_REQUIRE(w.rows() <= rows_ && w.cols() <= cols_,
+                "Crossbar::load_weights: block larger than tile");
+  std::fill(w_.begin(), w_.end(), 0);
+  for (std::size_t r = 0; r < w.rows(); ++r)
+    for (std::size_t c = 0; c < w.cols(); ++c) w_[r * cols_ + c] = w.at(r, c);
+  // Cell programming: one row-write-equivalent per occupied row.
+  ledger_->charge(Component::kCmaRam,
+                  profile_->cma_write.energy * static_cast<double>(w.rows()),
+                  w.rows());
+}
+
+std::vector<std::int32_t> Crossbar::gemv(std::span<const std::int8_t> in,
+                                         device::Ns* latency) const {
+  IMARS_REQUIRE(in.size() == rows_, "Crossbar::gemv: input size mismatch");
+  std::vector<std::int32_t> out(cols_, 0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const std::int32_t x = in[r];
+    if (x == 0) continue;
+    const std::int8_t* wrow = &w_[r * cols_];
+    for (std::size_t c = 0; c < cols_; ++c)
+      out[c] += x * static_cast<std::int32_t>(wrow[c]);
+  }
+  ledger_->charge(Component::kCrossbar, profile_->xbar_matmul.energy);
+  if (latency != nullptr) *latency = profile_->xbar_matmul.latency;
+  return out;
+}
+
+std::int8_t Crossbar::weight(std::size_t r, std::size_t c) const {
+  IMARS_REQUIRE(r < rows_ && c < cols_, "Crossbar::weight out of range");
+  return w_[r * cols_ + c];
+}
+
+TiledMatVec::TiledMatVec(const device::DeviceProfile& profile,
+                         device::EnergyLedger* ledger,
+                         const tensor::QMatrix& w)
+    : profile_(&profile),
+      ledger_(ledger),
+      in_dim_(w.cols()),
+      out_dim_(w.rows()) {
+  IMARS_REQUIRE(ledger != nullptr, "TiledMatVec: ledger must not be null");
+  IMARS_REQUIRE(in_dim_ > 0 && out_dim_ > 0, "TiledMatVec: empty matrix");
+
+  const std::size_t tr = profile.xbar_rows;  // input lanes per tile
+  const std::size_t tc = profile.xbar_cols;  // output lanes per tile
+  row_tiles_ = (in_dim_ + tr - 1) / tr;
+  col_tiles_ = (out_dim_ + tc - 1) / tc;
+
+  tiles_.reserve(row_tiles_ * col_tiles_);
+  for (std::size_t i = 0; i < row_tiles_; ++i) {
+    for (std::size_t j = 0; j < col_tiles_; ++j) {
+      // Tile (i,j) holds W[j*tc .. , i*tr ..]^T in (input-row, output-col)
+      // orientation.
+      const std::size_t in_lo = i * tr;
+      const std::size_t in_hi = std::min(in_dim_, in_lo + tr);
+      const std::size_t out_lo = j * tc;
+      const std::size_t out_hi = std::min(out_dim_, out_lo + tc);
+      tensor::QMatrix block(in_hi - in_lo, out_hi - out_lo, w.params());
+      for (std::size_t r = in_lo; r < in_hi; ++r)
+        for (std::size_t c = out_lo; c < out_hi; ++c)
+          block.at(r - in_lo, c - out_lo) = w.at(c, r);
+      tiles_.emplace_back(profile, ledger);
+      tiles_.back().load_weights(block);
+    }
+  }
+}
+
+std::vector<std::int32_t> TiledMatVec::gemv(std::span<const std::int8_t> in,
+                                            device::Ns* latency) const {
+  IMARS_REQUIRE(in.size() == in_dim_, "TiledMatVec::gemv: input size");
+  const std::size_t tr = profile_->xbar_rows;
+  const std::size_t tc = profile_->xbar_cols;
+
+  std::vector<std::int32_t> out(out_dim_, 0);
+  Ns tile_latency{0.0};
+  for (std::size_t i = 0; i < row_tiles_; ++i) {
+    // Zero-padded tile input slice.
+    std::vector<std::int8_t> slice(tr, 0);
+    const std::size_t in_lo = i * tr;
+    const std::size_t in_hi = std::min(in_dim_, in_lo + tr);
+    for (std::size_t r = in_lo; r < in_hi; ++r) slice[r - in_lo] = in[r];
+
+    for (std::size_t j = 0; j < col_tiles_; ++j) {
+      Ns lat{0.0};
+      const auto partial = tiles_[i * col_tiles_ + j].gemv(slice, &lat);
+      tile_latency = device::max(tile_latency, lat);
+      const std::size_t out_lo = j * tc;
+      const std::size_t out_hi = std::min(out_dim_, out_lo + tc);
+      for (std::size_t c = out_lo; c < out_hi; ++c)
+        out[c] += partial[c - out_lo];
+    }
+  }
+
+  if (latency != nullptr) {
+    // All tiles fire in parallel; partial sums along the input split merge
+    // in a log2-depth digital reduction in the periphery.
+    Ns merge{0.0};
+    std::size_t levels = 0;
+    for (std::size_t n = row_tiles_; n > 1; n = (n + 1) / 2) ++levels;
+    merge = profile_->controller_cycle * static_cast<double>(levels);
+    if (levels > 0)
+      ledger_->charge(Component::kController,
+                      profile_->controller_energy * static_cast<double>(levels),
+                      levels);
+    *latency = tile_latency + merge;
+  }
+  return out;
+}
+
+}  // namespace imars::xbar

@@ -1,0 +1,135 @@
+// Tests for the near-memory adder trees: arithmetic, multi-round behaviour,
+// latency/energy accounting.
+#include <gtest/gtest.h>
+
+#include "adder/adder_tree.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace imars {
+namespace {
+
+using adder::IntraBankAdderTree;
+using adder::IntraMatAdderTree;
+using adder::Lanes;
+using device::Component;
+using device::DeviceProfile;
+using device::EnergyLedger;
+
+struct Fixture {
+  DeviceProfile profile = DeviceProfile::fefet45();
+  EnergyLedger ledger;
+};
+
+Lanes lanes_of(std::initializer_list<std::int32_t> head, std::size_t n = 32) {
+  Lanes l(n, 0);
+  std::size_t i = 0;
+  for (auto v : head) l[i++] = v;
+  return l;
+}
+
+TEST(IntraMat, SumsLaneWise) {
+  Fixture f;
+  IntraMatAdderTree tree(f.profile, &f.ledger, 32);
+  const std::vector<Lanes> in = {lanes_of({1, 2, 3}), lanes_of({10, 20, 30}),
+                                 lanes_of({-5, 0, 5})};
+  device::Ns lat{0.0};
+  const Lanes out = tree.sum(in, &lat);
+  EXPECT_EQ(out[0], 6);
+  EXPECT_EQ(out[1], 22);
+  EXPECT_EQ(out[2], 38);
+  EXPECT_DOUBLE_EQ(lat.value, 14.7);  // one tree pass (Table II)
+  EXPECT_DOUBLE_EQ(f.ledger.energy(Component::kIntraMatTree).value, 137.0);
+}
+
+TEST(IntraMat, RejectsTooManyInputs) {
+  Fixture f;
+  IntraMatAdderTree tree(f.profile, &f.ledger, 2);
+  const std::vector<Lanes> in(3, Lanes(32, 0));
+  EXPECT_THROW((void)tree.sum(in, nullptr), Error);
+}
+
+TEST(IntraMat, RejectsEmptyAndMismatched) {
+  Fixture f;
+  IntraMatAdderTree tree(f.profile, &f.ledger, 4);
+  EXPECT_THROW((void)tree.sum({}, nullptr), Error);
+  const std::vector<Lanes> bad = {Lanes(32, 0), Lanes(16, 0)};
+  EXPECT_THROW((void)tree.sum(bad, nullptr), Error);
+}
+
+TEST(IntraMat, WideValuesDoNotWrapAt8Bits) {
+  Fixture f;
+  IntraMatAdderTree tree(f.profile, &f.ledger, 32);
+  // 32 inputs of 127 per lane: the tree is a synthesized 256-bit adder, so
+  // partial sums go far beyond int8.
+  const std::vector<Lanes> in(32, Lanes(32, 127));
+  const Lanes out = tree.sum(in, nullptr);
+  EXPECT_EQ(out[0], 127 * 32);
+}
+
+// ---------- Intra-bank -------------------------------------------------------
+
+TEST(IntraBank, RoundsFormula) {
+  Fixture f;
+  IntraBankAdderTree tree(f.profile, &f.ledger, 4);
+  // k <= 1: nothing to add.
+  EXPECT_EQ(tree.rounds_for(0), 0u);
+  EXPECT_EQ(tree.rounds_for(1), 0u);
+  // Up to fan-in: one shot (the paper's "four 256-bit inputs in one shot").
+  EXPECT_EQ(tree.rounds_for(2), 1u);
+  EXPECT_EQ(tree.rounds_for(4), 1u);
+  // Beyond: running sum loops back, 3 new inputs per round.
+  EXPECT_EQ(tree.rounds_for(5), 2u);
+  EXPECT_EQ(tree.rounds_for(7), 2u);
+  EXPECT_EQ(tree.rounds_for(8), 3u);
+  EXPECT_EQ(tree.rounds_for(10), 3u);
+  EXPECT_EQ(tree.rounds_for(104), 35u);  // Criteo-scale mat count
+}
+
+class IntraBankRounds : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(IntraBankRounds, SumAndLatencyScaleWithRounds) {
+  const std::size_t k = GetParam();
+  Fixture f;
+  IntraBankAdderTree tree(f.profile, &f.ledger, 4);
+  util::Xoshiro256 rng(k);
+
+  std::vector<Lanes> in;
+  Lanes expected(32, 0);
+  for (std::size_t i = 0; i < k; ++i) {
+    Lanes l(32);
+    for (auto& v : l)
+      v = static_cast<std::int32_t>(rng.below(2001)) - 1000;
+    for (std::size_t c = 0; c < 32; ++c) expected[c] += l[c];
+    in.push_back(std::move(l));
+  }
+
+  device::Ns lat{0.0};
+  const Lanes out = tree.sum(in, &lat);
+  EXPECT_EQ(out, expected);
+  EXPECT_DOUBLE_EQ(lat.value, 44.2 * static_cast<double>(tree.rounds_for(k)));
+  EXPECT_EQ(f.ledger.ops(Component::kIntraBankTree), tree.rounds_for(k));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, IntraBankRounds,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 13, 26));
+
+TEST(IntraBank, ConfigurableFanIn) {
+  Fixture f;
+  IntraBankAdderTree wide(f.profile, &f.ledger, 8);
+  EXPECT_EQ(wide.rounds_for(8), 1u);
+  EXPECT_EQ(wide.rounds_for(9), 2u);
+  EXPECT_EQ(wide.rounds_for(15), 2u);  // 8 in round 1, 7 more in round 2
+  EXPECT_EQ(wide.rounds_for(16), 3u);  // one input spills into a third round
+  IntraBankAdderTree narrow(f.profile, &f.ledger, 2);
+  EXPECT_EQ(narrow.rounds_for(2), 1u);
+  EXPECT_EQ(narrow.rounds_for(4), 3u);  // 2, +1, +1
+}
+
+TEST(IntraBank, RejectsDegenerateFanIn) {
+  Fixture f;
+  EXPECT_THROW(IntraBankAdderTree(f.profile, &f.ledger, 1), Error);
+}
+
+}  // namespace
+}  // namespace imars

@@ -1,0 +1,265 @@
+// Tests for the iMARS backends: functional parity with the software
+// reference, per-stage cost accounting, flow correctness.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "baseline/cpu_backend.hpp"
+#include "baseline/exact_nns.hpp"
+#include "core/backend.hpp"
+#include "data/criteo.hpp"
+#include "data/movielens.hpp"
+#include "recsys/dlrm.hpp"
+#include "recsys/youtube_dnn.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace imars {
+namespace {
+
+using core::ArchConfig;
+using core::ImarsBackend;
+using core::ImarsBackendConfig;
+using core::ImarsCtrBackend;
+using data::MovieLensConfig;
+using data::MovieLensSynth;
+using device::DeviceProfile;
+using recsys::OpKind;
+using recsys::StageStats;
+using recsys::YoutubeDnn;
+using recsys::YoutubeDnnConfig;
+
+// Small but realistic trained setup shared by the tests (32-d embeddings so
+// the hardware constraint emb_dim * 8 == cma_cols holds).
+struct BackendFixture {
+  BackendFixture() {
+    MovieLensConfig dcfg;
+    dcfg.num_users = 100;
+    dcfg.num_items = 90;
+    dcfg.history_min = 3;
+    dcfg.history_max = 8;
+    dcfg.seed = 23;
+    ds = std::make_unique<MovieLensSynth>(dcfg);
+
+    YoutubeDnnConfig mcfg;  // default 32-d embeddings, paper MLPs
+    mcfg.negatives = 4;
+    mcfg.seed = 29;
+    model = std::make_unique<YoutubeDnn>(ds->schema(), mcfg);
+    util::Xoshiro256 rng(31);
+    for (int e = 0; e < 2; ++e) model->train_filter_epoch(*ds, rng);
+    model->train_rank_epoch(*ds, rng);
+
+    for (std::size_t u = 0; u < 8; ++u)
+      calib.push_back(model->make_context(*ds, u));
+
+    ImarsBackendConfig bcfg;
+    bcfg.nns_radius = 110;
+    backend = std::make_unique<ImarsBackend>(*model, ArchConfig{},
+                                             DeviceProfile::fefet45(), bcfg,
+                                             calib);
+  }
+
+  std::unique_ptr<MovieLensSynth> ds;
+  std::unique_ptr<YoutubeDnn> model;
+  std::vector<recsys::UserContext> calib;
+  std::unique_ptr<ImarsBackend> backend;
+};
+
+TEST(ImarsBackend, LoadsAllTablesIntoBanks) {
+  BackendFixture f;
+  const auto& acc = f.backend->accelerator();
+  // 6 UIETs + 1 ItET.
+  EXPECT_EQ(acc.table_count(), 7u);
+  EXPECT_EQ(acc.active_banks(), 7u);
+  // Energy ledger was reset after loading.
+  EXPECT_DOUBLE_EQ(acc.ledger().total().value, 0.0);
+}
+
+TEST(ImarsBackend, HardwareUserEmbeddingTracksFloatTower) {
+  BackendFixture f;
+  util::RunningStats cos_sim;
+  for (std::size_t u = 0; u < 20; ++u) {
+    const auto ctx = f.model->make_context(*f.ds, u);
+    const auto hw = f.backend->user_embedding_hw(ctx, nullptr);
+    const auto sw = f.model->user_embedding(ctx);
+    cos_sim.add(tensor::cosine(hw, sw));
+  }
+  // int8 ETs + int8 crossbar DNN vs float reference: directions align.
+  EXPECT_GT(cos_sim.mean(), 0.95);
+}
+
+TEST(ImarsBackend, FilterMatchesBruteForceHammingOnHwEmbedding) {
+  BackendFixture f;
+  for (std::size_t u = 0; u < 10; ++u) {
+    const auto ctx = f.model->make_context(*f.ds, u);
+    const auto candidates = f.backend->filter(ctx, nullptr);
+
+    // Reproduce the expected set: signature of the *hardware* user
+    // embedding against signatures of the quantized item embeddings.
+    const auto hw_emb = f.backend->user_embedding_hw(ctx, nullptr);
+    const auto qsig = f.backend->signature_of(hw_emb);
+    const auto items_q = f.model->item_table().quantized();
+    const auto deq = items_q.dequantize();
+    std::vector<std::size_t> expected;
+    for (std::size_t r = 0; r < deq.rows(); ++r) {
+      if (f.backend->signature_of(deq.row(r)).hamming(qsig) <=
+          f.backend->config().nns_radius)
+        expected.push_back(r);
+    }
+    if (expected.size() > f.backend->config().max_candidates)
+      expected.resize(f.backend->config().max_candidates);
+    EXPECT_EQ(candidates, expected) << "user " << u;
+  }
+}
+
+TEST(ImarsBackend, FilterStatsCoverEtDnnNns) {
+  BackendFixture f;
+  const auto ctx = f.model->make_context(*f.ds, 0);
+  StageStats stats;
+  (void)f.backend->filter(ctx, &stats);
+  EXPECT_GT(stats.at(OpKind::kEtLookup).latency.value, 0.0);
+  EXPECT_GT(stats.at(OpKind::kEtLookup).energy.value, 0.0);
+  EXPECT_GT(stats.at(OpKind::kDnn).latency.value, 0.0);
+  EXPECT_GT(stats.at(OpKind::kNns).latency.value, 0.0);
+  // NNS is O(1): far cheaper than the DNN or the lookups.
+  EXPECT_LT(stats.at(OpKind::kNns).latency.value,
+            stats.at(OpKind::kDnn).latency.value);
+}
+
+TEST(ImarsBackend, RankScoresTrackFloatCtr) {
+  BackendFixture f;
+  const auto ctx = f.model->make_context(*f.ds, 1);
+  const std::vector<std::size_t> candidates = {2, 11, 23, 37, 41, 53, 67};
+  StageStats stats;
+  const auto ranked = f.backend->rank(ctx, candidates, 5, &stats);
+  ASSERT_EQ(ranked.size(), 5u);
+
+  // Descending scores, items drawn from the candidate list.
+  for (std::size_t i = 1; i < ranked.size(); ++i)
+    EXPECT_GE(ranked[i - 1].score, ranked[i].score);
+  for (const auto& r : ranked) {
+    EXPECT_NE(std::find(candidates.begin(), candidates.end(), r.item),
+              candidates.end());
+    // Hardware CTR approximates the float model's CTR.
+    EXPECT_NEAR(r.score, f.model->ctr(ctx, r.item), 0.15f);
+  }
+  EXPECT_GT(stats.at(OpKind::kTopK).latency.value, 0.0);
+}
+
+TEST(ImarsBackend, RankTopKAgreesWithFloatOracleMostly) {
+  BackendFixture f;
+  // Overlap between hardware top-k and float top-k across users.
+  double overlap = 0.0;
+  const std::size_t users = 15, k = 5;
+  std::vector<std::size_t> candidates(30);
+  for (std::size_t i = 0; i < 30; ++i) candidates[i] = i * 3;
+  for (std::size_t u = 0; u < users; ++u) {
+    const auto ctx = f.model->make_context(*f.ds, u);
+    const auto hw = f.backend->rank(ctx, candidates, k, nullptr);
+    std::vector<std::pair<float, std::size_t>> sw;
+    for (auto c : candidates) sw.push_back({f.model->ctr(ctx, c), c});
+    std::sort(sw.rbegin(), sw.rend());
+    std::size_t inter = 0;
+    for (const auto& h : hw)
+      for (std::size_t j = 0; j < k; ++j)
+        if (sw[j].second == h.item) ++inter;
+    overlap += static_cast<double>(inter) / static_cast<double>(k);
+  }
+  EXPECT_GT(overlap / static_cast<double>(users), 0.6);
+}
+
+TEST(ImarsBackend, EmptyCandidateListYieldsEmptyRanking) {
+  BackendFixture f;
+  const auto ctx = f.model->make_context(*f.ds, 0);
+  EXPECT_TRUE(f.backend->rank(ctx, {}, 5, nullptr).empty());
+}
+
+TEST(ImarsBackend, RecommendComposesBothStages) {
+  BackendFixture f;
+  const auto ctx = f.model->make_context(*f.ds, 4);
+  StageStats fs, rs;
+  const auto recs = recsys::recommend(*f.backend, ctx, 5, &fs, &rs);
+  EXPECT_LE(recs.size(), 5u);
+  EXPECT_GT(fs.total().latency.value, 0.0);
+  if (!recs.empty()) {
+    EXPECT_GT(rs.total().latency.value, 0.0);
+  }
+}
+
+TEST(ImarsBackend, CandidateCapRespectsCtrBuffer) {
+  BackendFixture f;
+  ImarsBackendConfig bad;
+  bad.max_candidates = 1000;  // exceeds 256 CTR-buffer rows
+  EXPECT_THROW(ImarsBackend(*f.model, ArchConfig{},
+                            DeviceProfile::fefet45(), bad, f.calib),
+               Error);
+}
+
+// ---------- DLRM on iMARS -----------------------------------------------------
+
+struct CtrFixture {
+  CtrFixture() {
+    data::CriteoConfig dcfg;
+    dcfg.num_samples = 400;
+    dcfg.seed = 37;
+    ds = std::make_unique<data::CriteoSynth>(dcfg);
+
+    recsys::DlrmConfig mcfg;  // paper defaults (32-d embeddings)
+    mcfg.seed = 41;
+    model = std::make_unique<recsys::Dlrm>(ds->schema(), mcfg);
+    util::Xoshiro256 rng(43);
+    model->train_epoch(*ds, rng);
+
+    std::vector<data::CriteoSample> calib;
+    for (std::size_t i = 0; i < 8; ++i) calib.push_back(ds->sample(i));
+    backend = std::make_unique<ImarsCtrBackend>(
+        *model, ArchConfig{}, DeviceProfile::fefet45(),
+        core::TimingMode::kActualPlacement, calib);
+  }
+  std::unique_ptr<data::CriteoSynth> ds;
+  std::unique_ptr<recsys::Dlrm> model;
+  std::unique_ptr<ImarsCtrBackend> backend;
+};
+
+TEST(ImarsCtrBackend, Loads26Banks) {
+  CtrFixture f;
+  EXPECT_EQ(f.backend->accelerator().active_banks(), 26u);
+}
+
+TEST(ImarsCtrBackend, ScoresTrackFloatDlrm) {
+  CtrFixture f;
+  util::RunningStats err;
+  for (std::size_t i = 0; i < 30; ++i) {
+    const auto& s = f.ds->sample(i);
+    const float hw = f.backend->score(s.dense, s.sparse, nullptr);
+    const float sw = f.model->infer(s.dense, s.sparse);
+    EXPECT_GE(hw, 0.0f);
+    EXPECT_LE(hw, 1.0f);
+    err.add(std::abs(hw - sw));
+  }
+  EXPECT_LT(err.mean(), 0.06);
+}
+
+TEST(ImarsCtrBackend, StatsSplitEtAndDnn) {
+  CtrFixture f;
+  const auto& s = f.ds->sample(0);
+  StageStats stats;
+  (void)f.backend->score(s.dense, s.sparse, &stats);
+  EXPECT_GT(stats.at(OpKind::kEtLookup).latency.value, 0.0);
+  EXPECT_GT(stats.at(OpKind::kDnn).latency.value, 0.0);
+  // DNN (bottom + top crossbar passes) dominates a single-impression score.
+  EXPECT_GT(stats.at(OpKind::kDnn).latency.value,
+            stats.at(OpKind::kEtLookup).latency.value);
+}
+
+TEST(ImarsCtrBackend, SparseCountMismatchThrows) {
+  CtrFixture f;
+  const auto& s = f.ds->sample(0);
+  std::vector<std::size_t> wrong(s.sparse.begin(), s.sparse.end() - 1);
+  EXPECT_THROW((void)f.backend->score(s.dense, wrong, nullptr), Error);
+}
+
+}  // namespace
+}  // namespace imars

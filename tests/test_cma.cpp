@@ -1,0 +1,284 @@
+// Tests for the CMA functional model: RAM read/write, TCAM threshold search
+// (vs brute-force Hamming oracle), GPCiM in-memory addition, mode rules,
+// ternary cells, energy accounting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cma/cma.hpp"
+#include "util/error.hpp"
+#include "util/quant.hpp"
+#include "util/rng.hpp"
+
+namespace imars {
+namespace {
+
+using cma::Cma;
+using cma::Mode;
+using device::Component;
+using device::DeviceProfile;
+using device::EnergyLedger;
+using util::BitVec;
+
+struct Fixture {
+  DeviceProfile profile = DeviceProfile::fefet45();
+  EnergyLedger ledger;
+  Cma array{profile, &ledger};
+};
+
+BitVec random_row(std::size_t bits, util::Xoshiro256& rng, double p = 0.5) {
+  BitVec v(bits);
+  for (std::size_t i = 0; i < bits; ++i) v.set(i, rng.bernoulli(p));
+  return v;
+}
+
+TEST(Cma, GeometryFromProfile) {
+  Fixture f;
+  EXPECT_EQ(f.array.rows(), 256u);
+  EXPECT_EQ(f.array.cols(), 256u);
+  EXPECT_EQ(f.array.mode(), Mode::kRam);
+}
+
+TEST(Cma, WriteReadRoundTrip) {
+  Fixture f;
+  util::Xoshiro256 rng(1);
+  const BitVec row = random_row(256, rng);
+  f.array.write_row(7, row);
+  EXPECT_TRUE(f.array.row_valid(7));
+  EXPECT_EQ(f.array.read_row(7), row);
+}
+
+TEST(Cma, ReadUnwrittenRowThrows) {
+  Fixture f;
+  EXPECT_THROW(f.array.read_row(0), Error);
+  EXPECT_FALSE(f.array.row_valid(0));
+}
+
+TEST(Cma, RowIndexOutOfRangeThrows) {
+  Fixture f;
+  EXPECT_THROW(f.array.write_row(256, BitVec(256)), Error);
+}
+
+TEST(Cma, WriteWidthMismatchThrows) {
+  Fixture f;
+  EXPECT_THROW(f.array.write_row(0, BitVec(128)), Error);
+}
+
+TEST(Cma, Int8LaneRoundTrip) {
+  Fixture f;
+  std::vector<std::int8_t> lanes(32);
+  for (int i = 0; i < 32; ++i) lanes[i] = static_cast<std::int8_t>(i * 7 - 100);
+  f.array.write_row_i8(3, lanes);
+  EXPECT_EQ(f.array.read_row_i8(3), lanes);
+}
+
+TEST(Cma, ModeEnforcement) {
+  Fixture f;
+  f.array.write_row(0, BitVec(256));
+  f.array.set_mode(Mode::kTcam);
+  EXPECT_THROW(f.array.read_row(0), Error);
+  EXPECT_THROW(f.array.write_row(1, BitVec(256)), Error);
+  EXPECT_THROW(f.array.add_rows(2, 0, 0), Error);
+
+  f.array.set_mode(Mode::kGpcim);
+  EXPECT_THROW((void)f.array.search(BitVec(256), 0), Error);
+
+  f.array.set_mode(Mode::kRam);
+  EXPECT_THROW((void)f.array.search(BitVec(256), 0), Error);
+}
+
+TEST(Cma, ModeSwitchCountsAndCharges) {
+  Fixture f;
+  const auto before = f.ledger.energy(Component::kController).value;
+  f.array.set_mode(Mode::kTcam);
+  f.array.set_mode(Mode::kTcam);  // no-op
+  f.array.set_mode(Mode::kRam);
+  EXPECT_EQ(f.array.mode_switches(), 2u);
+  EXPECT_GT(f.ledger.energy(Component::kController).value, before);
+}
+
+TEST(Cma, LatenciesComeFromProfile) {
+  Fixture f;
+  const auto wl = f.array.write_row(0, BitVec(256));
+  EXPECT_DOUBLE_EQ(wl.value, f.profile.cma_write.latency.value);
+  device::Ns rl{0.0};
+  (void)f.array.read_row(0, &rl);
+  EXPECT_DOUBLE_EQ(rl.value, f.profile.cma_read.latency.value);
+}
+
+TEST(Cma, EnergyAccountingPerOp) {
+  Fixture f;
+  f.array.write_row(0, BitVec(256));
+  f.array.write_row(1, BitVec(256));
+  (void)f.array.read_row(0);
+  EXPECT_DOUBLE_EQ(f.ledger.energy(Component::kCmaRam).value,
+                   2 * 49.1 + 3.2);
+  EXPECT_EQ(f.ledger.ops(Component::kCmaRam), 3u);
+}
+
+// ---------- TCAM search -----------------------------------------------------
+
+TEST(Cma, ExactMatchSearch) {
+  Fixture f;
+  util::Xoshiro256 rng(2);
+  const BitVec a = random_row(256, rng);
+  const BitVec b = random_row(256, rng);
+  f.array.write_row(10, a);
+  f.array.write_row(20, b);
+  f.array.set_mode(Mode::kTcam);
+
+  const auto r = f.array.search(a, 0);
+  ASSERT_EQ(r.matches.size(), 1u);
+  EXPECT_EQ(r.matches[0], 10u);
+  EXPECT_TRUE(r.matchlines.get(10));
+  EXPECT_FALSE(r.matchlines.get(20));
+  EXPECT_EQ(Cma::first_match(r), std::optional<std::size_t>(10));
+}
+
+TEST(Cma, NoMatchGivesEmpty) {
+  Fixture f;
+  f.array.write_row(0, BitVec::from_string(std::string(256, '1')));
+  f.array.set_mode(Mode::kTcam);
+  const auto r = f.array.search(BitVec(256), 10);  // distance 256 > 10
+  EXPECT_TRUE(r.matches.empty());
+  EXPECT_EQ(Cma::first_match(r), std::nullopt);
+}
+
+TEST(Cma, UnwrittenRowsNeverMatch) {
+  Fixture f;
+  f.array.set_mode(Mode::kTcam);
+  const auto r = f.array.search(BitVec(256), 256);  // matches everything valid
+  EXPECT_TRUE(r.matches.empty());
+}
+
+// Property: TCAM threshold search == brute-force Hamming filter, for random
+// contents, random queries and every threshold in a sweep.
+class CmaSearchProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CmaSearchProperty, MatchesBruteForce) {
+  const std::size_t threshold = GetParam();
+  Fixture f;
+  util::Xoshiro256 rng(1000 + threshold);
+
+  std::vector<BitVec> rows;
+  for (std::size_t r = 0; r < 64; ++r) {
+    rows.push_back(random_row(256, rng));
+    f.array.write_row(r, rows.back());
+  }
+  f.array.set_mode(Mode::kTcam);
+
+  // Query biased toward row 0 so small thresholds sometimes hit.
+  BitVec q = rows[0];
+  for (std::size_t i = 0; i < threshold; ++i)
+    q.flip(rng.below(256));
+
+  const auto result = f.array.search(q, threshold);
+  std::vector<std::size_t> expected;
+  for (std::size_t r = 0; r < rows.size(); ++r)
+    if (rows[r].hamming(q) <= threshold) expected.push_back(r);
+  EXPECT_EQ(result.matches, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, CmaSearchProperty,
+                         ::testing::Values(0, 1, 4, 16, 64, 100, 128, 200,
+                                           256));
+
+TEST(Cma, TernaryDontCareNeverMismatches) {
+  Fixture f;
+  const BitVec stored = BitVec::from_string("1010" + std::string(252, '0'));
+  f.array.write_row(0, stored);
+  // Mark the first four cells as X.
+  for (std::size_t c = 0; c < 4; ++c) f.array.set_dont_care(0, c, true);
+  f.array.set_mode(Mode::kTcam);
+
+  // Query differs in all four X positions: still an exact (distance-0) match.
+  const BitVec q = BitVec::from_string("0101" + std::string(252, '0'));
+  const auto r = f.array.search(q, 0);
+  ASSERT_EQ(r.matches.size(), 1u);
+
+  // Restoring binary behaviour makes it mismatch again.
+  f.array.set_mode(Mode::kRam);
+  for (std::size_t c = 0; c < 4; ++c) f.array.set_dont_care(0, c, false);
+  f.array.set_mode(Mode::kTcam);
+  EXPECT_TRUE(f.array.search(q, 3).matches.empty());
+}
+
+TEST(Cma, SearchChargesOneArrayOp) {
+  Fixture f;
+  f.array.write_row(0, BitVec(256));
+  f.array.set_mode(Mode::kTcam);
+  const auto before = f.ledger.ops(Component::kCmaSearch);
+  (void)f.array.search(BitVec(256), 0);
+  EXPECT_EQ(f.ledger.ops(Component::kCmaSearch), before + 1);
+  EXPECT_DOUBLE_EQ(f.ledger.energy(Component::kCmaSearch).value, 13.8);
+}
+
+// ---------- GPCiM ------------------------------------------------------------
+
+TEST(Cma, AddRowsLaneWise) {
+  Fixture f;
+  std::vector<std::int8_t> a(32), b(32);
+  for (int i = 0; i < 32; ++i) {
+    a[i] = static_cast<std::int8_t>(i - 16);
+    b[i] = static_cast<std::int8_t>(2 * i - 20);
+  }
+  f.array.write_row_i8(0, a);
+  f.array.write_row_i8(1, b);
+  f.array.set_mode(Mode::kGpcim);
+  f.array.add_rows(2, 0, 1);
+  f.array.set_mode(Mode::kRam);
+  const auto sum = f.array.read_row_i8(2);
+  for (int i = 0; i < 32; ++i)
+    EXPECT_EQ(sum[i], util::sat_add_i8(a[i], b[i])) << "lane " << i;
+}
+
+TEST(Cma, AddRowsSaturates) {
+  Fixture f;
+  std::vector<std::int8_t> big(32, 100);
+  f.array.write_row_i8(0, big);
+  f.array.write_row_i8(1, big);
+  f.array.set_mode(Mode::kGpcim);
+  f.array.add_rows(2, 0, 1);
+  f.array.set_mode(Mode::kRam);
+  for (auto v : f.array.read_row_i8(2)) EXPECT_EQ(v, 127);
+}
+
+TEST(Cma, AddRowsRequiresWrittenSources) {
+  Fixture f;
+  f.array.write_row_i8(0, std::vector<std::int8_t>(32, 1));
+  f.array.set_mode(Mode::kGpcim);
+  EXPECT_THROW(f.array.add_rows(2, 0, 1), Error);
+}
+
+TEST(Cma, AccumulateSumsIntoWideLanes) {
+  Fixture f;
+  util::Xoshiro256 rng(3);
+  std::vector<std::vector<std::int8_t>> rows;
+  std::vector<std::int32_t> expected(32, 0);
+  for (std::size_t r = 0; r < 10; ++r) {
+    std::vector<std::int8_t> lanes(32);
+    for (auto& v : lanes)
+      v = static_cast<std::int8_t>(static_cast<int>(rng.below(255)) - 127);
+    rows.push_back(lanes);
+    f.array.write_row_i8(r, lanes);
+    for (int c = 0; c < 32; ++c) expected[c] += lanes[c];
+  }
+  f.array.set_mode(Mode::kGpcim);
+  std::vector<std::int32_t> acc(32, 0);
+  for (std::size_t r = 0; r < 10; ++r) f.array.accumulate(r, acc);
+  EXPECT_EQ(acc, expected);
+  // 10 in-memory adds charged.
+  EXPECT_EQ(f.ledger.ops(Component::kCmaAdd), 10u);
+}
+
+TEST(Cma, PeekDoesNotCharge) {
+  Fixture f;
+  f.array.write_row_i8(0, std::vector<std::int8_t>(32, 5));
+  const auto before = f.ledger.total().value;
+  (void)f.array.peek_row(0);
+  (void)f.array.peek_row_i8(0);
+  EXPECT_DOUBLE_EQ(f.ledger.total().value, before);
+}
+
+}  // namespace
+}  // namespace imars

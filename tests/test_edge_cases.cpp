@@ -1,0 +1,247 @@
+// Edge-case coverage across the system: degenerate inputs that are legal
+// (and must work) rather than errors — empty histories, extreme radii,
+// tied scores, single-row tables, quantized-MLP shape sweeps, full-model
+// checkpoint round trips through the hardware backend.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/backend.hpp"
+#include "data/movielens.hpp"
+#include "lsh/lsh.hpp"
+#include "nn/serialize.hpp"
+#include "recsys/youtube_dnn.hpp"
+#include "util/rng.hpp"
+#include "xbar/xbar_mlp.hpp"
+
+namespace imars {
+namespace {
+
+using core::ArchConfig;
+using core::ImarsAccelerator;
+using device::DeviceProfile;
+using tensor::Matrix;
+using tensor::QMatrix;
+using tensor::Vector;
+
+QMatrix random_table(std::size_t rows, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  return QMatrix::quantize(Matrix::randn(rows, 32, 0.5f, rng));
+}
+
+// ---------- accelerator edges -----------------------------------------------
+
+TEST(EdgeCases, SingleRowTable) {
+  DeviceProfile profile = DeviceProfile::fefet45();
+  ImarsAccelerator acc(ArchConfig{}, profile);
+  const QMatrix table = random_table(1, 1);
+  const auto id = acc.load_uiet("tiny", table);
+  EXPECT_EQ(acc.active_cmas(), 1u);
+
+  const core::LookupRequest req{id, {0, 0, 0}, true};  // repeated index
+  const auto out = acc.lookup_pooled(std::span(&req, 1),
+                                     core::TimingMode::kActualPlacement,
+                                     nullptr);
+  for (std::size_t c = 0; c < 32; ++c)
+    EXPECT_EQ(out[0].lanes[c], 3 * static_cast<std::int32_t>(table.at(0, c)));
+  // Mean pooling divides the repeats back out.
+  EXPECT_NEAR(out[0].dequantized()[0],
+              table.params().scale * static_cast<float>(table.at(0, 0)),
+              1e-5f);
+}
+
+TEST(EdgeCases, NnsRadiusExtremes) {
+  DeviceProfile profile = DeviceProfile::fefet45();
+  ImarsAccelerator acc(ArchConfig{}, profile);
+  const QMatrix table = random_table(300, 2);
+  const lsh::RandomHyperplaneLsh hasher(32, 256, 3);
+  const auto deq = table.dequantize();
+  std::vector<util::BitVec> sigs;
+  for (std::size_t r = 0; r < deq.rows(); ++r)
+    sigs.push_back(hasher.encode(deq.row(r)));
+  const auto id = acc.load_itet("ItET", table, sigs);
+
+  // Radius 0: only exact signature matches (query = stored signature).
+  const auto exact = acc.nns(id, sigs[7], 0, nullptr);
+  EXPECT_FALSE(exact.empty());
+  EXPECT_NE(std::find(exact.begin(), exact.end(), 7u), exact.end());
+
+  // Radius = full width: everything matches.
+  const auto all = acc.nns(id, sigs[7], 256, nullptr);
+  EXPECT_EQ(all.size(), 300u);
+  // Ascending ids regardless of placement.
+  EXPECT_TRUE(std::is_sorted(all.begin(), all.end()));
+}
+
+TEST(EdgeCases, TopkCtrAllTiedScores) {
+  DeviceProfile profile = DeviceProfile::fefet45();
+  ImarsAccelerator acc(ArchConfig{}, profile);
+  const std::vector<float> scores(10, 0.5f);
+  const auto top = acc.topk_ctr(scores, 4, nullptr);
+  // Deterministic: lowest indices win ties.
+  EXPECT_EQ(top, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(EdgeCases, TopkCtrExtremeScores) {
+  DeviceProfile profile = DeviceProfile::fefet45();
+  ImarsAccelerator acc(ArchConfig{}, profile);
+  // Scores outside [0,1] clamp to the thermometer range without throwing.
+  const std::vector<float> scores = {-0.5f, 1.5f, 0.5f};
+  const auto top = acc.topk_ctr(scores, 2, nullptr);
+  EXPECT_EQ(top[0], 1u);
+  EXPECT_EQ(top[1], 2u);
+}
+
+// ---------- backend with empty history ----------------------------------------
+
+TEST(EdgeCases, BackendHandlesEmptyHistory) {
+  data::MovieLensConfig dcfg;
+  dcfg.num_users = 60;
+  dcfg.num_items = 80;
+  dcfg.seed = 4;
+  const data::MovieLensSynth ds(dcfg);
+  recsys::YoutubeDnnConfig mcfg;
+  mcfg.seed = 5;
+  recsys::YoutubeDnn model(ds.schema(), mcfg);
+
+  std::vector<recsys::UserContext> calib;
+  for (std::size_t u = 0; u < 4; ++u) calib.push_back(model.make_context(ds, u));
+  core::ImarsBackendConfig icfg;
+  icfg.nns_radius = 120;
+  core::ImarsBackend be(model, ArchConfig{}, DeviceProfile::fefet45(), icfg,
+                        calib);
+
+  // A cold-start user: valid sparse features, no interaction history.
+  recsys::UserContext cold = model.make_context(ds, 0);
+  cold.history.clear();
+
+  recsys::StageStats fs, rs;
+  const auto candidates = be.filter(cold, &fs);
+  EXPECT_GT(fs.at(recsys::OpKind::kDnn).latency.value, 0.0);
+  const auto recs = be.rank(cold, candidates, 5, &rs);
+  EXPECT_LE(recs.size(), 5u);
+
+  // Float reference accepts the same cold context.
+  const auto u = model.user_embedding(cold);
+  EXPECT_EQ(u.size(), 32u);
+}
+
+TEST(EdgeCases, BackendWorksWithStripedPlacement) {
+  data::MovieLensConfig dcfg;
+  dcfg.num_users = 50;
+  dcfg.num_items = 70;
+  dcfg.seed = 6;
+  const data::MovieLensSynth ds(dcfg);
+  recsys::YoutubeDnnConfig mcfg;
+  mcfg.seed = 7;
+  recsys::YoutubeDnn model(ds.schema(), mcfg);
+
+  std::vector<recsys::UserContext> calib;
+  for (std::size_t u = 0; u < 4; ++u) calib.push_back(model.make_context(ds, u));
+
+  ArchConfig seq_arch;
+  ArchConfig str_arch;
+  str_arch.placement = core::RowPlacement::kStriped;
+  core::ImarsBackendConfig icfg;
+  icfg.nns_radius = 115;
+  core::ImarsBackend seq_be(model, seq_arch, DeviceProfile::fefet45(), icfg,
+                            calib);
+  core::ImarsBackend str_be(model, str_arch, DeviceProfile::fefet45(), icfg,
+                            calib);
+
+  // Identical functional results under both layouts.
+  for (std::size_t u = 0; u < 10; ++u) {
+    const auto ctx = model.make_context(ds, u);
+    EXPECT_EQ(seq_be.filter(ctx, nullptr), str_be.filter(ctx, nullptr));
+  }
+}
+
+// ---------- XbarMlp shape sweep -------------------------------------------------
+
+class XbarMlpShapes
+    : public ::testing::TestWithParam<std::vector<std::size_t>> {};
+
+TEST_P(XbarMlpShapes, QuantizedInferenceStaysCloseToFloat) {
+  const auto dims = GetParam();
+  DeviceProfile profile = DeviceProfile::fefet45();
+  device::EnergyLedger ledger;
+  util::Xoshiro256 rng(dims.front() * 131 + dims.back());
+  nn::Mlp mlp(dims, nn::Activation::kIdentity, rng);
+
+  std::vector<Vector> calib;
+  for (int i = 0; i < 8; ++i) {
+    Vector v(dims.front());
+    for (auto& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+    calib.push_back(v);
+  }
+  xbar::XbarMlp qmlp(profile, &ledger, mlp, calib);
+
+  double err = 0.0, mag = 0.0;
+  for (int t = 0; t < 10; ++t) {
+    Vector v(dims.front());
+    for (auto& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+    const auto ref = mlp.infer(v);
+    const auto got = qmlp.infer(v, nullptr);
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      err += std::abs(ref[i] - got[i]);
+      mag += std::abs(ref[i]);
+    }
+  }
+  EXPECT_LT(err / (mag + 1e-9), 0.15) << "relative L1 error too high";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, XbarMlpShapes,
+    ::testing::Values(std::vector<std::size_t>{4, 4},
+                      std::vector<std::size_t>{196, 128, 64, 32},
+                      std::vector<std::size_t>{260, 128, 1},
+                      std::vector<std::size_t>{13, 256, 128, 32},
+                      std::vector<std::size_t>{383, 256, 64, 1},
+                      std::vector<std::size_t>{300, 300, 300}));
+
+// ---------- full-model checkpoint through the hardware ---------------------------
+
+TEST(EdgeCases, CheckpointedModelDeploysIdentically) {
+  data::MovieLensConfig dcfg;
+  dcfg.num_users = 40;
+  dcfg.num_items = 60;
+  dcfg.seed = 8;
+  const data::MovieLensSynth ds(dcfg);
+  recsys::YoutubeDnnConfig mcfg;
+  mcfg.seed = 9;
+  recsys::YoutubeDnn model(ds.schema(), mcfg);
+  util::Xoshiro256 rng(10);
+  model.train_filter_epoch(ds, rng);
+
+  // Round-trip the item table through the serializer, then verify the
+  // quantized snapshot (what the accelerator loads) is bit-identical.
+  std::stringstream ss;
+  nn::save(ss, model.item_table());
+  const auto restored = nn::load_embedding_table(ss);
+  const auto a = model.item_table().quantized();
+  const auto b = restored.quantized();
+  ASSERT_EQ(a.rows(), b.rows());
+  EXPECT_FLOAT_EQ(a.params().scale, b.params().scale);
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c)
+      EXPECT_EQ(a.at(r, c), b.at(r, c));
+}
+
+// ---------- dequantized pooling semantics -----------------------------------------
+
+TEST(EdgeCases, PooledResultMeanVsSum) {
+  core::PooledResult r;
+  r.lanes = {10, -20};
+  r.scale = 0.5f;
+  r.count = 4;
+  r.mean_pool = false;
+  EXPECT_FLOAT_EQ(r.dequantized()[0], 5.0f);
+  EXPECT_FLOAT_EQ(r.dequantized()[1], -10.0f);
+  r.mean_pool = true;
+  EXPECT_FLOAT_EQ(r.dequantized()[0], 1.25f);
+  EXPECT_FLOAT_EQ(r.dequantized()[1], -2.5f);
+}
+
+}  // namespace
+}  // namespace imars

@@ -1,0 +1,270 @@
+// Tests for the extension features: model serialization, exact top-k NNS on
+// the TCAM, endurance tracking, the 22nm profile, and the throughput model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "core/accelerator.hpp"
+#include "core/throughput.hpp"
+#include "lsh/lsh.hpp"
+#include "nn/serialize.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace imars {
+namespace {
+
+using device::DeviceProfile;
+using tensor::Matrix;
+using tensor::QMatrix;
+using tensor::Vector;
+
+// ---------- serialization ----------------------------------------------------
+
+TEST(Serialize, MatrixRoundTrip) {
+  util::Xoshiro256 rng(1);
+  const Matrix m = Matrix::randn(7, 13, 1.0f, rng);
+  std::stringstream ss;
+  nn::save(ss, m);
+  const Matrix back = nn::load_matrix(ss);
+  EXPECT_EQ(back, m);
+}
+
+TEST(Serialize, QMatrixRoundTrip) {
+  util::Xoshiro256 rng(2);
+  const QMatrix q = QMatrix::quantize(Matrix::randn(5, 8, 2.0f, rng));
+  std::stringstream ss;
+  nn::save(ss, q);
+  const QMatrix back = nn::load_qmatrix(ss);
+  EXPECT_EQ(back.rows(), q.rows());
+  EXPECT_EQ(back.cols(), q.cols());
+  EXPECT_FLOAT_EQ(back.params().scale, q.params().scale);
+  for (std::size_t r = 0; r < q.rows(); ++r)
+    for (std::size_t c = 0; c < q.cols(); ++c)
+      EXPECT_EQ(back.at(r, c), q.at(r, c));
+}
+
+TEST(Serialize, MlpRoundTripPreservesInference) {
+  util::Xoshiro256 rng(3);
+  nn::Mlp mlp({6, 10, 4, 2}, nn::Activation::kSigmoid, rng);
+  std::stringstream ss;
+  nn::save(ss, mlp);
+  nn::Mlp back = nn::load_mlp(ss);
+
+  EXPECT_EQ(back.dims(), mlp.dims());
+  EXPECT_EQ(back.layer(2).activation(), nn::Activation::kSigmoid);
+  EXPECT_EQ(back.layer(0).activation(), nn::Activation::kRelu);
+
+  Vector x(6);
+  for (auto& v : x) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const Vector a = mlp.infer(x);
+  const Vector b = back.infer(x);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(Serialize, EmbeddingTableRoundTrip) {
+  util::Xoshiro256 rng(4);
+  nn::EmbeddingTable t(9, 5, rng);
+  std::stringstream ss;
+  nn::save(ss, t);
+  nn::EmbeddingTable back = nn::load_embedding_table(ss);
+  EXPECT_EQ(back.rows(), t.rows());
+  EXPECT_EQ(back.dim(), t.dim());
+  for (std::size_t r = 0; r < t.rows(); ++r) {
+    const auto a = t.row(r);
+    const auto b = back.row(r);
+    for (std::size_t c = 0; c < t.dim(); ++c) EXPECT_FLOAT_EQ(a[c], b[c]);
+  }
+}
+
+TEST(Serialize, BadMagicThrows) {
+  std::stringstream ss;
+  ss << "garbage bytes here and more of them";
+  EXPECT_THROW((void)nn::load_matrix(ss), Error);
+}
+
+TEST(Serialize, TruncatedStreamThrows) {
+  util::Xoshiro256 rng(5);
+  const Matrix m = Matrix::randn(16, 16, 1.0f, rng);
+  std::stringstream ss;
+  nn::save(ss, m);
+  const std::string whole = ss.str();
+  std::stringstream cut(whole.substr(0, whole.size() / 2));
+  EXPECT_THROW((void)nn::load_matrix(cut), Error);
+}
+
+TEST(Serialize, WrongObjectTypeThrows) {
+  util::Xoshiro256 rng(6);
+  nn::Mlp mlp({3, 2}, nn::Activation::kIdentity, rng);
+  std::stringstream ss;
+  nn::save(ss, mlp);
+  EXPECT_THROW((void)nn::load_matrix(ss), Error);  // expects ITMX magic
+}
+
+// ---------- exact top-k NNS ----------------------------------------------------
+
+struct NnsFixture {
+  NnsFixture() {
+    util::Xoshiro256 rng(7);
+    table = QMatrix::quantize(Matrix::randn(700, 32, 0.5f, rng));
+    const Matrix deq = table.dequantize();
+    for (std::size_t r = 0; r < deq.rows(); ++r)
+      sigs.push_back(hasher.encode(deq.row(r)));
+    itet = acc.nns_ready(table, sigs);
+  }
+  // helper to load
+  struct AccWrap {
+    DeviceProfile profile = DeviceProfile::fefet45();
+    core::ImarsAccelerator acc{core::ArchConfig{}, profile};
+    std::size_t nns_ready(const QMatrix& t,
+                          const std::vector<util::BitVec>& s) {
+      const auto id = acc.load_itet("ItET", t, s);
+      acc.reset_energy();
+      return id;
+    }
+    core::ImarsAccelerator* operator->() { return &acc; }
+  } acc;
+  lsh::RandomHyperplaneLsh hasher{32, 256, 77};
+  QMatrix table;
+  std::vector<util::BitVec> sigs;
+  std::size_t itet = 0;
+};
+
+TEST(NnsTopk, MatchesBruteForceTopk) {
+  NnsFixture f;
+  util::Xoshiro256 rng(8);
+  for (std::size_t k : {1ul, 5ul, 20ul}) {
+    Vector q(32);
+    for (auto& x : q) x = static_cast<float>(rng.normal());
+    const auto qsig = f.hasher.encode(q);
+
+    recsys::OpCost cost;
+    const auto got = f.acc->nns_topk(f.itet, qsig, k, &cost);
+    ASSERT_EQ(got.size(), k);
+
+    // Brute-force oracle: ascending Hamming distance, ties by index.
+    std::vector<std::size_t> order(f.sigs.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::vector<std::size_t> dist(f.sigs.size());
+    for (std::size_t i = 0; i < f.sigs.size(); ++i)
+      dist[i] = f.sigs[i].hamming(qsig);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (dist[a] != dist[b]) return dist[a] < dist[b];
+      return a < b;
+    });
+    for (std::size_t i = 0; i < k; ++i) EXPECT_EQ(got[i], order[i]) << "k=" << k;
+    EXPECT_GT(cost.latency.value, 0.0);
+  }
+}
+
+TEST(NnsTopk, KLargerThanTableReturnsEverything) {
+  NnsFixture f;
+  const auto got = f.acc->nns_topk(f.itet, f.sigs[0], 10000, nullptr);
+  EXPECT_EQ(got.size(), 700u);
+}
+
+TEST(NnsTopk, CostsMoreThanFixedRadius) {
+  NnsFixture f;
+  recsys::OpCost fixed, topk;
+  (void)f.acc->nns(f.itet, f.sigs[0], 96, &fixed);
+  (void)f.acc->nns_topk(f.itet, f.sigs[0], 10, &topk);
+  // The threshold sweep costs multiple searches — the op-count reduction
+  // the paper cites for preferring fixed-radius search in filtering.
+  EXPECT_GT(topk.latency.value, 2.0 * fixed.latency.value);
+  EXPECT_GT(topk.energy.value, 2.0 * fixed.energy.value);
+}
+
+TEST(NnsTopk, RejectsBadArguments) {
+  NnsFixture f;
+  EXPECT_THROW((void)f.acc->nns_topk(f.itet, f.sigs[0], 0, nullptr), Error);
+}
+
+// ---------- endurance tracking ---------------------------------------------------
+
+TEST(Endurance, CountsRowWrites) {
+  device::EnergyLedger ledger;
+  const auto profile = DeviceProfile::fefet45();
+  cma::Cma array(profile, &ledger);
+  EXPECT_EQ(array.row_writes(5), 0u);
+  for (int i = 0; i < 3; ++i) array.write_row(5, util::BitVec(256));
+  array.write_row(6, util::BitVec(256));
+  EXPECT_EQ(array.row_writes(5), 3u);
+  EXPECT_EQ(array.row_writes(6), 1u);
+  EXPECT_EQ(array.max_row_writes(), 3u);
+}
+
+TEST(Endurance, GpcimAddWearsDestination) {
+  device::EnergyLedger ledger;
+  const auto profile = DeviceProfile::fefet45();
+  cma::Cma array(profile, &ledger);
+  array.write_row_i8(0, std::vector<std::int8_t>(32, 1));
+  array.write_row_i8(1, std::vector<std::int8_t>(32, 2));
+  array.set_mode(cma::Mode::kGpcim);
+  for (int i = 0; i < 5; ++i) array.add_rows(2, 0, 1);
+  EXPECT_EQ(array.row_writes(2), 5u);
+  // Sources are only sensed, not rewritten.
+  EXPECT_EQ(array.row_writes(0), 1u);
+}
+
+TEST(Endurance, WearoutFractionUsesProfileBudget) {
+  device::EnergyLedger ledger;
+  auto profile = DeviceProfile::reram45();  // 1e7 budget
+  cma::Cma array(profile, &ledger);
+  for (int i = 0; i < 100; ++i) array.write_row(0, util::BitVec(256));
+  EXPECT_NEAR(array.wearout_fraction(), 100.0 / 1e7, 1e-12);
+  // FeFET budget is 1e11: same writes wear 10,000x less. (Cma keeps a
+  // pointer to the profile, so it must outlive the array.)
+  const auto fefet_profile = DeviceProfile::fefet45();
+  cma::Cma fefet(fefet_profile, &ledger);
+  for (int i = 0; i < 100; ++i) fefet.write_row(0, util::BitVec(256));
+  EXPECT_LT(fefet.wearout_fraction(), array.wearout_fraction() / 1000.0);
+}
+
+// ---------- 22nm profile ----------------------------------------------------------
+
+TEST(Fefet22, ScalesDownFrom45nm) {
+  const auto p45 = DeviceProfile::fefet45();
+  const auto p22 = DeviceProfile::fefet22();
+  EXPECT_LT(p22.cma_read.energy.value, p45.cma_read.energy.value);
+  EXPECT_LT(p22.cma_search.latency.value, p45.cma_search.latency.value);
+  EXPECT_LT(p22.cma_area, 0.3);
+  // Same geometry: drop-in replacement for the 45nm point.
+  EXPECT_EQ(p22.cma_rows, p45.cma_rows);
+  EXPECT_EQ(p22.xbar_cols, p45.xbar_cols);
+}
+
+// ---------- throughput model --------------------------------------------------------
+
+TEST(Throughput, SerialAndPipelinedBounds) {
+  core::StageTimes t;
+  t.filter = device::Ns{3000.0};   // 3 us
+  t.rank = device::Ns{40000.0};    // 40 us
+  t.shared_et = device::Ns{1000.0};
+
+  EXPECT_NEAR(core::qps_serial(t), 1e9 / 43000.0, 1e-6);
+  EXPECT_NEAR(core::qps_pipelined(t), 1e9 / 41000.0, 1e-6);
+  EXPECT_GT(core::pipeline_speedup(t), 1.0);
+  // Pipelining can never beat the bottleneck stage alone.
+  EXPECT_LT(core::qps_pipelined(t), 1e9 / t.rank.value);
+}
+
+TEST(Throughput, BalancedStagesGainMost) {
+  core::StageTimes balanced{device::Ns{10000.0}, device::Ns{10000.0},
+                            device::Ns{0.0}};
+  core::StageTimes skewed{device::Ns{1000.0}, device::Ns{19000.0},
+                          device::Ns{0.0}};
+  EXPECT_NEAR(core::pipeline_speedup(balanced), 2.0, 1e-9);
+  EXPECT_LT(core::pipeline_speedup(skewed), 1.1);
+}
+
+TEST(Throughput, ZeroTimesAreSafe) {
+  core::StageTimes t{};
+  EXPECT_EQ(core::qps_serial(t), 0.0);
+  EXPECT_EQ(core::qps_pipelined(t), 0.0);
+}
+
+}  // namespace
+}  // namespace imars

@@ -1,0 +1,250 @@
+// Tests for the IVF approximate-NNS index and the real-dataset file loaders.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "baseline/exact_nns.hpp"
+#include "baseline/ivf.hpp"
+#include "data/loaders.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace imars {
+namespace {
+
+using baseline::IvfIndex;
+using tensor::Matrix;
+using tensor::Vector;
+
+Matrix random_items(std::size_t n, std::size_t dim, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  return Matrix::randn(n, dim, 1.0f, rng);
+}
+
+// ---------- IVF ---------------------------------------------------------------
+
+TEST(Ivf, EveryItemLandsInExactlyOneList) {
+  const Matrix items = random_items(500, 16, 1);
+  IvfIndex::Config cfg;
+  cfg.nlist = 8;
+  cfg.nprobe = 2;
+  const IvfIndex index(items, cfg);
+  const auto sizes = index.list_sizes();
+  std::size_t total = 0;
+  for (auto s : sizes) total += s;
+  EXPECT_EQ(total, 500u);
+  EXPECT_EQ(index.size(), 500u);
+}
+
+TEST(Ivf, FullProbeEqualsExactSearch) {
+  const Matrix items = random_items(300, 12, 2);
+  IvfIndex::Config cfg;
+  cfg.nlist = 10;
+  cfg.nprobe = 10;  // scan everything
+  const IvfIndex index(items, cfg);
+
+  util::Xoshiro256 rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    Vector q(12);
+    for (auto& x : q) x = static_cast<float>(rng.normal());
+    const auto approx = index.search(q, 8);
+    const auto exact = baseline::topk_cosine(items, q, 8);
+    EXPECT_EQ(approx, exact) << "trial " << trial;
+  }
+}
+
+TEST(Ivf, RecallImprovesWithProbes) {
+  const Matrix items = random_items(2000, 24, 4);
+  IvfIndex::Config cfg;
+  cfg.nlist = 32;
+  cfg.nprobe = 1;
+  const IvfIndex index(items, cfg);
+
+  util::Xoshiro256 rng(5);
+  const std::size_t k = 10;
+  double recall1 = 0.0, recall8 = 0.0, recall32 = 0.0;
+  const int queries = 40;
+  for (int t = 0; t < queries; ++t) {
+    Vector q(24);
+    for (auto& x : q) x = static_cast<float>(rng.normal());
+    const auto exact = baseline::topk_cosine(items, q, k);
+    const auto count_hits = [&](std::size_t nprobe) {
+      const auto got = index.search_probes(q, k, nprobe);
+      std::size_t hits = 0;
+      for (auto e : exact)
+        if (std::find(got.begin(), got.end(), e) != got.end()) ++hits;
+      return static_cast<double>(hits) / static_cast<double>(k);
+    };
+    recall1 += count_hits(1);
+    recall8 += count_hits(8);
+    recall32 += count_hits(32);
+  }
+  recall1 /= queries;
+  recall8 /= queries;
+  recall32 /= queries;
+
+  EXPECT_LT(recall1, recall32);
+  EXPECT_LE(recall8, recall32 + 1e-9);
+  EXPECT_DOUBLE_EQ(recall32, 1.0);  // full probe is exact
+  EXPECT_GT(recall8, 0.5);          // partial probe already decent
+}
+
+TEST(Ivf, ScanFractionTracksProbeRatio) {
+  const Matrix items = random_items(400, 8, 6);
+  IvfIndex::Config cfg;
+  cfg.nlist = 16;
+  cfg.nprobe = 4;
+  const IvfIndex index(items, cfg);
+  EXPECT_DOUBLE_EQ(index.scan_fraction(4), 0.25);
+  EXPECT_DOUBLE_EQ(index.scan_fraction(16), 1.0);
+  EXPECT_DOUBLE_EQ(index.scan_fraction(100), 1.0);  // clamped
+}
+
+TEST(Ivf, RejectsBadConfig) {
+  const Matrix items = random_items(10, 4, 7);
+  IvfIndex::Config bad;
+  bad.nlist = 4;
+  bad.nprobe = 5;  // > nlist
+  EXPECT_THROW(IvfIndex(items, bad), Error);
+  EXPECT_THROW(IvfIndex(Matrix(0, 4), IvfIndex::Config{}), Error);
+}
+
+TEST(Ivf, QueryDimChecked) {
+  const Matrix items = random_items(50, 8, 8);
+  const IvfIndex index(items, IvfIndex::Config{});
+  EXPECT_THROW((void)index.search(Vector(7, 0.0f), 3), Error);
+}
+
+// ---------- MovieLens loaders ----------------------------------------------------
+
+TEST(MlLoader, ParsesRatingsFormat) {
+  std::stringstream ss;
+  ss << "1::1193::5::978300760\n"
+     << "1::661::3::978302109\n"
+     << "2::1357::5::978298709\n";
+  const auto ratings = data::parse_movielens_ratings(ss);
+  ASSERT_EQ(ratings.size(), 3u);
+  EXPECT_EQ(ratings[0].user, 0u);   // converted to 0-based
+  EXPECT_EQ(ratings[0].item, 1192u);
+  EXPECT_EQ(ratings[0].rating, 5);
+  EXPECT_EQ(ratings[0].timestamp, 978300760);
+}
+
+TEST(MlLoader, RejectsMalformedRatings) {
+  std::stringstream missing;
+  missing << "1::1193::5\n";
+  EXPECT_THROW((void)data::parse_movielens_ratings(missing), Error);
+
+  std::stringstream bad_rating;
+  bad_rating << "1::1193::9::978300760\n";
+  EXPECT_THROW((void)data::parse_movielens_ratings(bad_rating), Error);
+
+  std::stringstream bad_number;
+  bad_number << "1::abc::5::978300760\n";
+  EXPECT_THROW((void)data::parse_movielens_ratings(bad_number), Error);
+}
+
+TEST(MlLoader, ParsesUsersFormat) {
+  std::stringstream ss;
+  ss << "1::F::1::10::48067\n"
+     << "2::M::56::16::70072\n";
+  const auto users = data::parse_movielens_users(ss);
+  ASSERT_EQ(users.size(), 2u);
+  EXPECT_EQ(users[0].gender, 'F');
+  EXPECT_EQ(users[0].age, 1);
+  EXPECT_EQ(users[1].occupation, 16);
+  EXPECT_EQ(users[1].zip, "70072");
+}
+
+TEST(MlLoader, BuildsLeaveOneOutRecords) {
+  std::stringstream ratings_ss;
+  // User 1: four positives (>=4) in time order 10,20,30,40 -> heldout = the
+  // latest (item 400). User 2: only one positive -> dropped.
+  ratings_ss << "1::100::5::10\n"
+             << "1::200::4::20\n"
+             << "1::300::2::25\n"   // negative, ignored
+             << "1::301::5::30\n"
+             << "1::400::4::40\n"
+             << "2::100::5::50\n";
+  std::stringstream users_ss;
+  users_ss << "1::M::25::3::12345\n"
+           << "2::F::45::7::67890\n";
+
+  const auto built = data::build_movielens(
+      data::parse_movielens_ratings(ratings_ss),
+      data::parse_movielens_users(users_ss));
+
+  ASSERT_EQ(built.users.size(), 1u);  // user 2 dropped
+  const auto& u = built.users[0];
+  EXPECT_EQ(u.history.size(), 3u);
+  // Heldout is the most recent positive (file item 400).
+  // Dense ids follow first-appearance order: 100->0, 200->1, 300->2,
+  // 301->3, 400->4.
+  EXPECT_EQ(u.heldout, 4u);
+  EXPECT_EQ(u.history, (std::vector<std::size_t>{0, 1, 3}));
+  // Schema mirrors the synthetic generator's layout.
+  EXPECT_EQ(built.schema.user_item.size(), 6u);
+  EXPECT_EQ(built.schema.user_item[4].cardinality, 1u);  // one kept user
+  EXPECT_TRUE(built.schema.has_item_table);
+}
+
+// ---------- Criteo loader ---------------------------------------------------------
+
+std::string criteo_line(int label, const std::string& dense_fill,
+                        const std::string& cat_fill) {
+  std::string line = std::to_string(label);
+  for (int i = 0; i < 13; ++i) line += "\t" + dense_fill;
+  for (int i = 0; i < 26; ++i) line += "\t" + cat_fill;
+  return line;
+}
+
+TEST(CriteoLoader, ParsesWellFormedLine) {
+  const auto s = data::parse_criteo_line(criteo_line(1, "5", "68fd1e64"), 1000);
+  EXPECT_EQ(s.label, 1);
+  ASSERT_EQ(s.dense.size(), 13u);
+  EXPECT_FLOAT_EQ(s.dense[0], std::log1p(5.0f));
+  ASSERT_EQ(s.sparse.size(), 26u);
+  for (auto idx : s.sparse) EXPECT_LT(idx, 1000u);
+  // Same field text hashes differently per column (per-column salt).
+  EXPECT_NE(s.sparse[0], s.sparse[1]);
+}
+
+TEST(CriteoLoader, MissingFieldsGetDefaults) {
+  const auto s = data::parse_criteo_line(criteo_line(0, "", ""), 500);
+  for (float d : s.dense) EXPECT_FLOAT_EQ(d, 0.0f);
+  for (auto idx : s.sparse) EXPECT_EQ(idx, 0u);
+}
+
+TEST(CriteoLoader, NegativeDenseClampsToZero) {
+  const auto s = data::parse_criteo_line(criteo_line(0, "-3", "a"), 500);
+  for (float d : s.dense) EXPECT_FLOAT_EQ(d, 0.0f);
+}
+
+TEST(CriteoLoader, RejectsMalformedLines) {
+  EXPECT_THROW((void)data::parse_criteo_line("1\t2\t3", 100), Error);
+  EXPECT_THROW((void)data::parse_criteo_line(criteo_line(7, "1", "a"), 100),
+               Error);  // label must be 0/1
+  EXPECT_THROW((void)data::parse_criteo_line(criteo_line(1, "1", "a"), 0),
+               Error);  // zero hash buckets
+}
+
+TEST(CriteoLoader, StreamParsingRespectsLimit) {
+  std::stringstream ss;
+  for (int i = 0; i < 10; ++i) ss << criteo_line(i % 2, "1", "ff") << "\n";
+  const auto all = [&] {
+    std::stringstream copy(ss.str());
+    return data::parse_criteo(copy, 100);
+  }();
+  EXPECT_EQ(all.size(), 10u);
+  std::stringstream copy(ss.str());
+  EXPECT_EQ(data::parse_criteo(copy, 100, 4).size(), 4u);
+}
+
+TEST(CriteoLoader, DeterministicHashing) {
+  const auto a = data::parse_criteo_line(criteo_line(1, "7", "deadbeef"), 30000);
+  const auto b = data::parse_criteo_line(criteo_line(1, "7", "deadbeef"), 30000);
+  EXPECT_EQ(a.sparse, b.sparse);
+}
+
+}  // namespace
+}  // namespace imars

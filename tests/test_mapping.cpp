@@ -1,0 +1,186 @@
+// Tests for the Sec III-B embedding-table mapping and the area model,
+// including the Table I configurations.
+#include <gtest/gtest.h>
+
+#include "core/area.hpp"
+#include "core/config.hpp"
+#include "core/mapping.hpp"
+#include "data/criteo.hpp"
+#include "data/movielens.hpp"
+#include "util/error.hpp"
+
+namespace imars {
+namespace {
+
+using core::ArchConfig;
+using core::EtMapping;
+
+TEST(Mapping, NextPow2) {
+  EXPECT_EQ(core::next_pow2(1), 1u);
+  EXPECT_EQ(core::next_pow2(2), 2u);
+  EXPECT_EQ(core::next_pow2(3), 4u);
+  EXPECT_EQ(core::next_pow2(118), 128u);  // the paper's example
+  EXPECT_EQ(core::next_pow2(128), 128u);
+  EXPECT_THROW(core::next_pow2(0), Error);
+}
+
+TEST(Mapping, CmasForRowsCeilDivision) {
+  const EtMapping m(ArchConfig{});
+  EXPECT_EQ(m.cmas_for_rows(1), 1u);
+  EXPECT_EQ(m.cmas_for_rows(256), 1u);
+  EXPECT_EQ(m.cmas_for_rows(257), 2u);
+  // Paper: 30,000 entries / 256 rows = 118 CMAs.
+  EXPECT_EQ(m.cmas_for_rows(30000), 118u);
+  EXPECT_THROW(m.cmas_for_rows(0), Error);
+}
+
+TEST(Mapping, Pow2RoundingMatchesPaperExample) {
+  const EtMapping m(ArchConfig{}, /*round_pow2=*/true);
+  // "118 CMAs ... rounded up to the nearest power-of-two value, i.e., 128."
+  EXPECT_EQ(m.cmas_for_rows(30000), 128u);
+}
+
+TEST(Mapping, MatsForCmas) {
+  const EtMapping m(ArchConfig{});  // C = 32
+  EXPECT_EQ(m.mats_for_cmas(1), 1u);
+  EXPECT_EQ(m.mats_for_cmas(32), 1u);
+  EXPECT_EQ(m.mats_for_cmas(33), 2u);
+  // Paper: 118 CMAs -> 4 mats (M = 4) per Criteo bank.
+  EXPECT_EQ(m.mats_for_cmas(118), 4u);
+}
+
+TEST(Mapping, CriteoMatchesTableI) {
+  const data::CriteoSynth ds(data::CriteoConfig{.num_samples = 1, .seed = 1,
+                                                .base_ctr = 0.25});
+  const EtMapping m(ArchConfig{});
+  const auto report = m.map(ds.schema());
+
+  // Table I: 26 banks, one per sparse feature.
+  EXPECT_EQ(report.active_banks, 26u);
+  // Largest feature: 30,000 rows -> 118 CMAs -> 4 mats.
+  std::size_t max_cmas = 0, max_mats = 0;
+  for (const auto& t : report.tables) {
+    max_cmas = std::max(max_cmas, t.total_cmas());
+    max_mats = std::max(max_mats, t.mats);
+  }
+  EXPECT_EQ(max_cmas, 118u);
+  EXPECT_EQ(max_mats, 4u);
+  // Our synthetic cardinalities include several 30k tables; the paper's
+  // Table I instead assumes uniform 28,000-row hashed tables. Same order,
+  // exact equality under the paper's uniform-hash assumption (below).
+  EXPECT_GT(report.active_cmas, 400u);
+  EXPECT_LE(report.active_cmas, 26u * 118u);
+  EXPECT_GE(report.active_mats, 26u);
+  EXPECT_LE(report.active_mats, 26u * 4u);
+}
+
+TEST(Mapping, CriteoUniformHashReproducesTableIExactly) {
+  // Table I: "# Row per ET 28000" -> 110 CMAs and 4 mats per feature,
+  // totalling 26 banks / 104 mats / 2860 CMAs.
+  const data::CriteoSynth ds(data::CriteoConfig{.num_samples = 1, .seed = 1,
+                                                .base_ctr = 0.25});
+  data::DatasetSchema hashed = ds.schema();
+  for (auto& f : hashed.user_item) f.cardinality = 28000;
+
+  const EtMapping m(ArchConfig{});
+  const auto report = m.map(hashed);
+  EXPECT_EQ(report.active_banks, 26u);
+  EXPECT_EQ(report.active_mats, 104u);
+  EXPECT_EQ(report.active_cmas, 2860u);
+}
+
+TEST(Mapping, MovieLensMatchesTableIShape) {
+  data::MovieLensConfig cfg;  // full-size defaults: 6040 users, 3952 items
+  const data::MovieLensSynth ds(cfg);
+  const EtMapping m(ArchConfig{});
+  const auto report = m.map(ds.schema());
+
+  // Table I: 7 active banks (6 UIETs + ItET).
+  EXPECT_EQ(report.active_banks, 7u);
+
+  // ItET: 3952 rows -> 16 data CMAs + 16 signature CMAs (256-bit LSH
+  // doubles the per-entry storage: "requires 2 CMAs to store a single
+  // entry").
+  const auto& itet = report.tables.back();
+  EXPECT_TRUE(itet.is_item_table);
+  EXPECT_EQ(itet.data_cmas, 16u);
+  EXPECT_EQ(itet.sig_cmas, 16u);
+
+  // user_id table: 6040 rows -> 24 CMAs, one mat.
+  const auto& user_id = report.tables[4];
+  EXPECT_EQ(user_id.rows, 6040u);
+  EXPECT_EQ(user_id.data_cmas, 24u);
+  EXPECT_EQ(user_id.mats, 1u);
+
+  // Totals in the neighbourhood of Table I's 8 mats / 54 CMAs (the paper
+  // appears to omit sub-CMA tables from its count; we report all of them).
+  EXPECT_GE(report.active_mats, 7u);
+  EXPECT_LE(report.active_mats, 9u);
+  EXPECT_GE(report.active_cmas, 54u);
+  EXPECT_LE(report.active_cmas, 90u);
+}
+
+TEST(Mapping, RejectsOversizedTable) {
+  ArchConfig arch;
+  arch.mats_per_bank = 1;  // tiny bank: 32 CMAs = 8192 rows
+  const EtMapping m(arch);
+  data::DatasetSchema schema;
+  schema.user_item = {{"huge", 10000, 1, data::StageUse::kShared}};
+  EXPECT_THROW(m.map(schema), Error);
+}
+
+TEST(Mapping, RejectsTooManyFeatures) {
+  ArchConfig arch;
+  arch.banks = 2;
+  const EtMapping m(arch);
+  data::DatasetSchema schema;
+  for (int i = 0; i < 3; ++i)
+    schema.user_item.push_back({"f" + std::to_string(i), 10, 1,
+                                data::StageUse::kShared});
+  EXPECT_THROW(m.map(schema), Error);
+}
+
+TEST(Mapping, BanksAreExclusivePerFeature) {
+  const EtMapping m(ArchConfig{});
+  data::DatasetSchema schema;
+  for (int i = 0; i < 4; ++i)
+    schema.user_item.push_back({"f" + std::to_string(i), 100, 1,
+                                data::StageUse::kShared});
+  const auto report = m.map(schema);
+  for (std::size_t i = 0; i < report.tables.size(); ++i)
+    EXPECT_EQ(report.tables[i].bank, i);
+}
+
+// ---------- Area model -----------------------------------------------------------
+
+TEST(Area, ScalesWithDimensioning) {
+  const auto profile = device::DeviceProfile::fefet45();
+  ArchConfig small;
+  small.banks = 8;
+  ArchConfig big = small;
+  big.banks = 32;
+  const auto a = core::chip_area(small, profile, 10);
+  const auto b = core::chip_area(big, profile, 10);
+  EXPECT_NEAR(b.cmas / a.cmas, 4.0, 1e-9);
+  EXPECT_GT(b.total(), a.total());
+}
+
+TEST(Area, FanInGrowsTreeArea) {
+  const auto profile = device::DeviceProfile::fefet45();
+  ArchConfig narrow;
+  narrow.bank_fan_in = 4;
+  ArchConfig wide = narrow;
+  wide.bank_fan_in = 16;
+  EXPECT_GT(core::chip_area(wide, profile, 0).bank_trees,
+            core::chip_area(narrow, profile, 0).bank_trees);
+}
+
+TEST(Area, CmosCellsAreBigger) {
+  ArchConfig arch;
+  const auto fefet = core::chip_area(arch, device::DeviceProfile::fefet45(), 0);
+  const auto cmos = core::chip_area(arch, device::DeviceProfile::cmos45(), 0);
+  EXPECT_GT(cmos.cmas, 2.0 * fefet.cmas);
+}
+
+}  // namespace
+}  // namespace imars

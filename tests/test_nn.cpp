@@ -1,0 +1,313 @@
+// Unit + property tests for the nn module: gradient checks, training
+// convergence, embedding pooling, losses.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/embedding.hpp"
+#include "nn/layer.hpp"
+#include "nn/loss.hpp"
+#include "nn/mlp.hpp"
+#include "nn/optimizer.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace imars {
+namespace {
+
+using nn::Activation;
+using nn::Dense;
+using nn::EmbeddingTable;
+using nn::Mlp;
+using nn::Pooling;
+using tensor::Vector;
+
+// Numerical gradient check of a Dense layer: perturb each weight and compare
+// the finite difference of a scalar loss with the analytic gradient.
+TEST(Dense, WeightGradientMatchesFiniteDifference) {
+  util::Xoshiro256 rng(1);
+  Dense layer(4, 3, Activation::kRelu, rng);
+  const Vector x = {0.5f, -1.0f, 2.0f, 0.25f};
+
+  // Loss = sum(outputs).
+  const auto loss_of = [&](Dense& l) {
+    const Vector y = l.infer(x);
+    float s = 0.0f;
+    for (float v : y) s += v;
+    return s;
+  };
+
+  layer.forward(x);
+  layer.backward(Vector(3, 1.0f));
+  const auto& analytic = layer.weight_grad();
+
+  const float eps = 1e-3f;
+  for (std::size_t o = 0; o < 3; ++o) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      Dense probe = layer;
+      probe.mutable_weight().at(o, i) += eps;
+      const float up = loss_of(probe);
+      probe.mutable_weight().at(o, i) -= 2 * eps;
+      const float down = loss_of(probe);
+      const float numeric = (up - down) / (2 * eps);
+      EXPECT_NEAR(analytic.at(o, i), numeric, 5e-2f)
+          << "weight (" << o << "," << i << ")";
+    }
+  }
+}
+
+TEST(Dense, InputGradientMatchesFiniteDifference) {
+  util::Xoshiro256 rng(2);
+  Dense layer(5, 2, Activation::kSigmoid, rng);
+  Vector x = {0.1f, -0.2f, 0.3f, 0.7f, -0.5f};
+
+  const auto loss_of = [&](const Vector& in) {
+    const Vector y = layer.infer(in);
+    return y[0] + 2.0f * y[1];
+  };
+
+  layer.forward(x);
+  const Vector gin = layer.backward(Vector{1.0f, 2.0f});
+
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    Vector up = x, down = x;
+    up[i] += eps;
+    down[i] -= eps;
+    const float numeric = (loss_of(up) - loss_of(down)) / (2 * eps);
+    EXPECT_NEAR(gin[i], numeric, 5e-3f) << "input " << i;
+  }
+}
+
+TEST(Dense, BackwardWithoutForwardThrows) {
+  util::Xoshiro256 rng(3);
+  Dense layer(2, 2, Activation::kIdentity, rng);
+  EXPECT_THROW(layer.backward(Vector{1.0f, 1.0f}), Error);
+}
+
+TEST(Dense, ForwardChecksDimensions) {
+  util::Xoshiro256 rng(4);
+  Dense layer(3, 2, Activation::kIdentity, rng);
+  EXPECT_THROW(layer.forward(Vector{1.0f}), Error);
+}
+
+TEST(Dense, SgdStepReducesLoss) {
+  util::Xoshiro256 rng(5);
+  Dense layer(2, 1, Activation::kIdentity, rng);
+  const Vector x = {1.0f, -1.0f};
+  const float target = 3.0f;
+  float prev = 1e9f;
+  for (int step = 0; step < 50; ++step) {
+    const float y = layer.forward(x)[0];
+    const float loss = 0.5f * (y - target) * (y - target);
+    layer.backward(Vector{y - target});
+    layer.apply_sgd(0.1f);
+    if (step > 0) {
+      EXPECT_LE(loss, prev + 1e-5f);
+    }
+    prev = loss;
+  }
+  EXPECT_NEAR(layer.infer(x)[0], target, 1e-3f);
+}
+
+TEST(Mlp, DimsAndParameterCount) {
+  util::Xoshiro256 rng(6);
+  Mlp mlp({8, 16, 4}, Activation::kIdentity, rng);
+  EXPECT_EQ(mlp.in_dim(), 8u);
+  EXPECT_EQ(mlp.out_dim(), 4u);
+  EXPECT_EQ(mlp.layer_count(), 2u);
+  EXPECT_EQ(mlp.parameter_count(), 8u * 16 + 16 + 16 * 4 + 4);
+}
+
+TEST(Mlp, NeedsAtLeastTwoDims) {
+  util::Xoshiro256 rng(7);
+  EXPECT_THROW(Mlp({5}, Activation::kIdentity, rng), Error);
+}
+
+TEST(Mlp, InferMatchesForward) {
+  util::Xoshiro256 rng(8);
+  Mlp mlp({4, 8, 2}, Activation::kSigmoid, rng);
+  const Vector x = {0.1f, 0.2f, -0.3f, 0.4f};
+  const Vector a = mlp.forward(x);
+  const Vector b = mlp.infer(x);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(Mlp, LearnsXor) {
+  util::Xoshiro256 rng(42);
+  Mlp mlp({2, 8, 1}, Activation::kSigmoid, rng);
+  const std::vector<std::pair<Vector, float>> data = {
+      {{0, 0}, 0}, {{0, 1}, 1}, {{1, 0}, 1}, {{1, 1}, 0}};
+  for (int epoch = 0; epoch < 3000; ++epoch) {
+    for (const auto& [x, t] : data) {
+      const float p = mlp.forward(x)[0];
+      float g = 0.0f;
+      nn::bce_loss(p, t, &g);
+      mlp.backward(Vector{g});
+      mlp.apply_sgd(0.5f);
+    }
+  }
+  for (const auto& [x, t] : data) {
+    const float p = mlp.infer(x)[0];
+    EXPECT_NEAR(p, t, 0.25f) << "(" << x[0] << "," << x[1] << ")";
+  }
+}
+
+// ---------- EmbeddingTable ---------------------------------------------------
+
+TEST(Embedding, LookupPooledSumMeanConcat) {
+  util::Xoshiro256 rng(9);
+  EmbeddingTable t(4, 2, rng);
+  t.set_row(0, Vector{1, 2});
+  t.set_row(1, Vector{3, 4});
+  const std::size_t idx[2] = {0, 1};
+
+  EXPECT_EQ(t.lookup_pooled(idx, Pooling::kSum), (Vector{4, 6}));
+  EXPECT_EQ(t.lookup_pooled(idx, Pooling::kMean), (Vector{2, 3}));
+  EXPECT_EQ(t.lookup_pooled(idx, Pooling::kConcat), (Vector{1, 2, 3, 4}));
+}
+
+TEST(Embedding, EmptySumIsZeroConcatThrows) {
+  util::Xoshiro256 rng(10);
+  EmbeddingTable t(4, 3, rng);
+  EXPECT_EQ(t.lookup_pooled({}, Pooling::kSum), Vector(3, 0.0f));
+  EXPECT_THROW(t.lookup_pooled({}, Pooling::kConcat), Error);
+}
+
+TEST(Embedding, OutOfRangeLookupThrows) {
+  util::Xoshiro256 rng(11);
+  EmbeddingTable t(4, 2, rng);
+  const std::size_t idx[1] = {4};
+  EXPECT_THROW(t.lookup_pooled(idx, Pooling::kSum), Error);
+}
+
+TEST(Embedding, GradientDistributesOverMeanPooling) {
+  util::Xoshiro256 rng(12);
+  EmbeddingTable t(3, 2, rng);
+  t.set_row(0, Vector{0, 0});
+  t.set_row(1, Vector{0, 0});
+  const std::size_t idx[2] = {0, 1};
+  const Vector grad = {2.0f, 4.0f};
+  t.accumulate_grad(idx, Pooling::kMean, grad);
+  t.apply_sgd(1.0f);
+  // Each row receives grad/2 and moves by -lr * grad/2.
+  EXPECT_EQ(Vector(t.row(0).begin(), t.row(0).end()), (Vector{-1.0f, -2.0f}));
+  EXPECT_EQ(Vector(t.row(1).begin(), t.row(1).end()), (Vector{-1.0f, -2.0f}));
+}
+
+TEST(Embedding, TrainingPullsEmbeddingTowardTarget) {
+  util::Xoshiro256 rng(13);
+  EmbeddingTable t(2, 4, rng);
+  const Vector target = {1.0f, -1.0f, 0.5f, 0.0f};
+  const std::size_t idx[1] = {0};
+  for (int step = 0; step < 200; ++step) {
+    const Vector e = t.lookup_pooled(idx, Pooling::kSum);
+    Vector grad(4);
+    for (int c = 0; c < 4; ++c) grad[c] = e[c] - target[c];
+    t.accumulate_grad(idx, Pooling::kSum, grad);
+    t.apply_sgd(0.1f);
+  }
+  const auto e = t.row(0);
+  for (int c = 0; c < 4; ++c) EXPECT_NEAR(e[c], target[c], 1e-3f);
+}
+
+TEST(Embedding, QuantizedSnapshotRoundTrips) {
+  util::Xoshiro256 rng(14);
+  EmbeddingTable t(8, 4, rng);
+  const auto q = t.quantized();
+  EXPECT_EQ(q.rows(), 8u);
+  EXPECT_EQ(q.cols(), 4u);
+  for (std::size_t r = 0; r < 8; ++r) {
+    const auto back = q.dequantize_row(r);
+    const auto orig = t.row(r);
+    for (std::size_t c = 0; c < 4; ++c)
+      EXPECT_NEAR(back[c], orig[c], q.params().scale * 0.5f + 1e-6f);
+  }
+}
+
+// ---------- Losses -----------------------------------------------------------
+
+TEST(Loss, BceAtHalfIsLog2) {
+  float g = 0.0f;
+  EXPECT_NEAR(nn::bce_loss(0.5f, 1.0f, &g), std::log(2.0f), 1e-6f);
+  EXPECT_NEAR(g, -2.0f, 1e-4f);  // (p - y) / (p(1-p)) = -0.5/0.25
+}
+
+TEST(Loss, BceGradientSign) {
+  float g = 0.0f;
+  nn::bce_loss(0.9f, 1.0f, &g);
+  EXPECT_LT(g, 0.0f);  // increase p to reduce loss
+  nn::bce_loss(0.9f, 0.0f, &g);
+  EXPECT_GT(g, 0.0f);
+}
+
+TEST(Loss, SampledSoftmaxPrefersPositive) {
+  const Vector user = {1.0f, 0.0f};
+  const Vector pos = {1.0f, 0.0f};
+  const std::vector<Vector> negs = {{-1.0f, 0.0f}, {0.0f, 1.0f}};
+  Vector gu, gp;
+  std::vector<Vector> gn;
+  const float loss = nn::sampled_softmax_loss(user, pos, negs, &gu, &gp, &gn);
+  EXPECT_GT(loss, 0.0f);
+  // Gradient on the positive pushes it toward the user; on negatives away.
+  EXPECT_LT(gp[0], 0.0f);
+  EXPECT_GT(gn[1][0], 0.0f);  // second negative's first coord grows... sign:
+}
+
+TEST(Loss, SampledSoftmaxGradCheckOnUser) {
+  util::Xoshiro256 rng(15);
+  Vector user(3), pos(3);
+  std::vector<Vector> negs(2, Vector(3));
+  for (auto& v : user) v = static_cast<float>(rng.normal());
+  for (auto& v : pos) v = static_cast<float>(rng.normal());
+  for (auto& n : negs)
+    for (auto& v : n) v = static_cast<float>(rng.normal());
+
+  Vector gu, gp;
+  std::vector<Vector> gn;
+  nn::sampled_softmax_loss(user, pos, negs, &gu, &gp, &gn);
+
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < user.size(); ++i) {
+    Vector up = user, down = user;
+    up[i] += eps;
+    down[i] -= eps;
+    Vector tu, tp;
+    std::vector<Vector> tn;
+    const float lu = nn::sampled_softmax_loss(up, pos, negs, &tu, &tp, &tn);
+    const float ld = nn::sampled_softmax_loss(down, pos, negs, &tu, &tp, &tn);
+    EXPECT_NEAR(gu[i], (lu - ld) / (2 * eps), 5e-3f);
+  }
+}
+
+TEST(Loss, SampledSoftmaxLossDropsWhenPositiveCloser) {
+  const Vector user = {1.0f, 0.0f};
+  const std::vector<Vector> negs = {{0.0f, 1.0f}};
+  Vector gu, gp;
+  std::vector<Vector> gn;
+  const float far =
+      nn::sampled_softmax_loss(user, Vector{0.1f, 0.0f}, negs, &gu, &gp, &gn);
+  const float close =
+      nn::sampled_softmax_loss(user, Vector{2.0f, 0.0f}, negs, &gu, &gp, &gn);
+  EXPECT_LT(close, far);
+}
+
+// ---------- LrSchedule --------------------------------------------------------
+
+TEST(LrSchedule, StepDecay) {
+  nn::LrSchedule s(1.0f, 0.5f, 10);
+  EXPECT_FLOAT_EQ(s.at(0), 1.0f);
+  EXPECT_FLOAT_EQ(s.at(9), 1.0f);
+  EXPECT_FLOAT_EQ(s.at(10), 0.5f);
+  EXPECT_FLOAT_EQ(s.at(25), 0.25f);
+}
+
+TEST(LrSchedule, RejectsBadParams) {
+  EXPECT_THROW(nn::LrSchedule(0.0f, 0.5f, 10), Error);
+  EXPECT_THROW(nn::LrSchedule(1.0f, 1.5f, 10), Error);
+  EXPECT_THROW(nn::LrSchedule(1.0f, 0.5f, 0), Error);
+}
+
+}  // namespace
+}  // namespace imars

@@ -1,0 +1,134 @@
+// Tests for the NoC: RSC bus serialization, IBC shots, controller schedule.
+#include <gtest/gtest.h>
+
+#include "noc/bus.hpp"
+#include "noc/controller.hpp"
+#include "util/error.hpp"
+
+namespace imars {
+namespace {
+
+using device::Component;
+using device::DeviceProfile;
+using device::EnergyLedger;
+using noc::Controller;
+using noc::IbcNetwork;
+using noc::MatGroup;
+using noc::RscBus;
+
+struct Fixture {
+  DeviceProfile profile = DeviceProfile::fefet45();
+  EnergyLedger ledger;
+};
+
+TEST(RscBus, CyclesCeilDivide) {
+  Fixture f;
+  RscBus bus(f.profile, &f.ledger);
+  EXPECT_EQ(bus.width_bits(), 256u);
+  EXPECT_EQ(bus.cycles_for(0), 0u);
+  EXPECT_EQ(bus.cycles_for(1), 1u);
+  EXPECT_EQ(bus.cycles_for(32), 1u);   // exactly one 256-bit beat
+  EXPECT_EQ(bus.cycles_for(33), 2u);
+  EXPECT_EQ(bus.cycles_for(128), 4u);  // four beats for 128 B
+}
+
+TEST(RscBus, TransferLatencyAndEnergyScaleWithCycles) {
+  Fixture f;
+  RscBus bus(f.profile, &f.ledger);
+  const auto lat = bus.transfer(128);
+  EXPECT_DOUBLE_EQ(lat.value, 4 * f.profile.rsc_cycle.value);
+  EXPECT_DOUBLE_EQ(f.ledger.energy(Component::kRscBus).value,
+                   4 * f.profile.rsc_energy.value);
+  EXPECT_EQ(bus.total_cycles(), 4u);
+  bus.transfer(32);
+  EXPECT_EQ(bus.total_cycles(), 5u);
+}
+
+TEST(Ibc, ShotsForWords) {
+  Fixture f;
+  IbcNetwork ibc(f.profile, &f.ledger);
+  EXPECT_EQ(ibc.shot_bytes(), 128u);
+  // One shot carries four 256-bit words.
+  EXPECT_EQ(ibc.shots_for_words(0), 0u);
+  EXPECT_EQ(ibc.shots_for_words(1), 1u);
+  EXPECT_EQ(ibc.shots_for_words(4), 1u);
+  EXPECT_EQ(ibc.shots_for_words(5), 2u);
+  EXPECT_EQ(ibc.shots_for_words(104), 26u);
+}
+
+TEST(Ibc, TransferCharges) {
+  Fixture f;
+  IbcNetwork ibc(f.profile, &f.ledger);
+  const auto lat = ibc.transfer_words(8);  // 2 shots
+  EXPECT_DOUBLE_EQ(lat.value, 2 * f.profile.ibc_cycle.value);
+  EXPECT_DOUBLE_EQ(f.ledger.energy(Component::kIbcNetwork).value,
+                   2 * f.profile.ibc_energy.value);
+  EXPECT_EQ(ibc.total_shots(), 2u);
+}
+
+// ---------- Controller --------------------------------------------------------
+
+TEST(Controller, SingleBankFewMats) {
+  Fixture f;
+  Controller ctrl(f.profile, &f.ledger);
+  const auto sched = ctrl.schedule(1, 3, 4);
+  ASSERT_EQ(sched.size(), 1u);
+  EXPECT_EQ(sched[0].bank, 0u);
+  EXPECT_EQ(sched[0].first_mat, 0u);
+  EXPECT_EQ(sched[0].count, 3u);
+}
+
+TEST(Controller, MultiRoundLeavesSlotForRunningSum) {
+  Fixture f;
+  Controller ctrl(f.profile, &f.ledger);
+  // 10 mats at fan-in 4: groups of 4, 3, 3.
+  const auto sched = ctrl.schedule(1, 10, 4);
+  ASSERT_EQ(sched.size(), 3u);
+  EXPECT_EQ(sched[0].count, 4u);
+  EXPECT_EQ(sched[1].count, 3u);
+  EXPECT_EQ(sched[2].count, 3u);
+  EXPECT_EQ(sched[1].first_mat, 4u);
+  EXPECT_EQ(sched[2].first_mat, 7u);
+}
+
+TEST(Controller, FixedOrderAcrossBanks) {
+  Fixture f;
+  Controller ctrl(f.profile, &f.ledger);
+  const auto sched = ctrl.schedule(3, 4, 4);
+  ASSERT_EQ(sched.size(), 3u);
+  for (std::size_t b = 0; b < 3; ++b) {
+    EXPECT_EQ(sched[b].bank, b);  // deterministic bank order, no routing
+    EXPECT_EQ(sched[b].first_mat, 0u);
+    EXPECT_EQ(sched[b].count, 4u);
+  }
+}
+
+TEST(Controller, ScheduleCoversEveryMatExactlyOnce) {
+  Fixture f;
+  Controller ctrl(f.profile, &f.ledger);
+  const std::size_t mats = 26;
+  const auto sched = ctrl.schedule(2, mats, 4);
+  std::vector<int> seen(2 * mats, 0);
+  for (const auto& g : sched)
+    for (std::size_t m = g.first_mat; m < g.first_mat + g.count; ++m)
+      seen[g.bank * mats + m]++;
+  for (int c : seen) EXPECT_EQ(c, 1);
+}
+
+TEST(Controller, DecisionsCountAndCharge) {
+  Fixture f;
+  Controller ctrl(f.profile, &f.ledger);
+  (void)ctrl.schedule(1, 10, 4);  // 3 groups
+  EXPECT_EQ(ctrl.decisions(), 3u);
+  EXPECT_DOUBLE_EQ(f.ledger.energy(Component::kController).value,
+                   3 * f.profile.controller_energy.value);
+}
+
+TEST(Controller, RejectsDegenerateGroupSize) {
+  Fixture f;
+  Controller ctrl(f.profile, &f.ledger);
+  EXPECT_THROW((void)ctrl.schedule(1, 4, 1), Error);
+}
+
+}  // namespace
+}  // namespace imars

@@ -1,0 +1,173 @@
+// Tests for the analytical performance model, including consistency with
+// the functional machine and reproduction of the Table III iMARS numbers.
+#include <gtest/gtest.h>
+
+#include "core/accelerator.hpp"
+#include "core/calibration.hpp"
+#include "core/perf_model.hpp"
+#include "util/rng.hpp"
+
+namespace imars {
+namespace {
+
+using core::ArchConfig;
+using core::EtLookupParams;
+using core::PerfModel;
+using device::DeviceProfile;
+using tensor::Matrix;
+using tensor::QMatrix;
+
+struct Fixture {
+  DeviceProfile profile = DeviceProfile::fefet45();
+  ArchConfig arch;
+  PerfModel model{arch, profile};
+};
+
+TEST(PerfModel, EtLookupMonotoneInEveryParameter) {
+  Fixture f;
+  EtLookupParams base;
+  base.tables = 6;
+  base.lookups_per_table = 8;
+  base.mats_per_table = 1;
+  base.active_cmas = 70;
+  const auto c0 = f.model.et_lookup(base);
+
+  auto more_lookups = base;
+  more_lookups.lookups_per_table = 16;
+  EXPECT_GT(f.model.et_lookup(more_lookups).latency.value, c0.latency.value);
+
+  auto more_tables = base;
+  more_tables.tables = 26;
+  more_tables.active_cmas = 26 * 12;  // arrays scale with the tables touched
+  // Banks are parallel: more tables only add RSC beats...
+  EXPECT_GT(f.model.et_lookup(more_tables).latency.value, c0.latency.value);
+  EXPECT_LT(f.model.et_lookup(more_tables).latency.value,
+            2.0 * c0.latency.value);
+  // ...but much more energy.
+  EXPECT_GT(f.model.et_lookup(more_tables).energy.value, 1.5 * c0.energy.value);
+
+  auto more_cmas = base;
+  more_cmas.active_cmas = 2860;
+  EXPECT_GT(f.model.et_lookup(more_cmas).energy.value, 10.0 * c0.energy.value);
+  EXPECT_DOUBLE_EQ(f.model.et_lookup(more_cmas).latency.value,
+                   c0.latency.value);  // peripherals cost energy, not time
+
+  auto more_mats = base;
+  more_mats.mats_per_table = 8;  // > fan-in 4: extra intra-bank rounds
+  EXPECT_GT(f.model.et_lookup(more_mats).latency.value, c0.latency.value);
+}
+
+// The headline reproduction: with the paper's worst-case assumption
+// (L = kWorstCaseLookupsPerTable), the model lands on Table III's iMARS
+// latencies for all three workload points.
+TEST(PerfModel, TableIIIMovieLensFilteringLatency) {
+  Fixture f;
+  EtLookupParams p;
+  p.tables = 6;  // 5 UIETs + ItET
+  p.lookups_per_table = core::kWorstCaseLookupsPerTable;
+  p.mats_per_table = 1;
+  p.active_cmas = 73;
+  // Paper: 0.21 us.
+  EXPECT_NEAR(f.model.et_lookup(p).latency.us(), 0.21, 0.04);
+}
+
+TEST(PerfModel, TableIIIMovieLensRankingLatency) {
+  Fixture f;
+  EtLookupParams p;
+  p.tables = 7;  // 6 UIETs + ItET
+  p.lookups_per_table = core::kWorstCaseLookupsPerTable;
+  p.mats_per_table = 1;
+  p.active_cmas = 74;
+  // Paper: 0.21 us.
+  EXPECT_NEAR(f.model.et_lookup(p).latency.us(), 0.21, 0.04);
+}
+
+TEST(PerfModel, TableIIICriteoRankingLatency) {
+  Fixture f;
+  EtLookupParams p;
+  p.tables = 26;
+  p.lookups_per_table = core::kWorstCaseLookupsPerTable;
+  p.mats_per_table = 4;  // 118 CMAs span all 4 mats
+  p.active_cmas = 2860;
+  // Paper: 0.24 us.
+  EXPECT_NEAR(f.model.et_lookup(p).latency.us(), 0.24, 0.06);
+}
+
+TEST(PerfModel, TableIIICriteoRankingEnergy) {
+  Fixture f;
+  EtLookupParams p;
+  p.tables = 26;
+  p.lookups_per_table = core::kWorstCaseLookupsPerTable;
+  p.mats_per_table = 4;
+  p.active_cmas = 2860;
+  // Paper: 6.88 uJ; the peripheral calibration targets this point.
+  EXPECT_NEAR(f.model.et_lookup(p).energy.uj(), 6.88, 0.8);
+}
+
+TEST(PerfModel, NnsIsO1InItems) {
+  Fixture f;
+  // Latency is one search regardless of array count; energy scales.
+  EXPECT_DOUBLE_EQ(f.model.nns(16).latency.value,
+                   f.model.nns(128).latency.value);
+  EXPECT_LT(f.model.nns(16).energy.value, f.model.nns(128).energy.value);
+  // Paper (Sec IV-C2): NNS latency ~ 6.97us / 3.8e4 ~ 0.18 ns + encode.
+  EXPECT_LT(f.model.nns(16).latency.value, 2.0);
+}
+
+TEST(PerfModel, DnnTilesAndLatency) {
+  Fixture f;
+  // Paper filtering stack on 196-wide input: 3 layers, all single-tile.
+  const std::size_t dims[] = {196, 128, 64, 32};
+  EXPECT_EQ(f.model.dnn_tiles(dims), 3u);
+  const auto c = f.model.dnn(dims);
+  // 3 x (matmul + per-layer overhead): calibrated to ~2.34 us (2.69x GPU).
+  EXPECT_NEAR(c.latency.us(), 2.34, 0.1);
+}
+
+TEST(PerfModel, DnnWideLayerNeedsMoreTiles) {
+  Fixture f;
+  const std::size_t dims[] = {383, 256, 64, 1};
+  // Layer1: ceil(383/256) x ceil(256/128) = 2x2 = 4; layer2: 1x2... wait
+  // layer2 is (256 -> 64): 1 row tile x 1 col tile; layer3 (64 -> 1): 1.
+  EXPECT_EQ(f.model.dnn_tiles(dims), 4u + 1u + 1u);
+}
+
+TEST(PerfModel, TopkScalesWithCandidates) {
+  Fixture f;
+  EXPECT_LT(f.model.topk(10, 5).latency.value,
+            f.model.topk(100, 5).latency.value);
+  // Paper's GPU top-k is ~5 us; iMARS stays well below 1 us at 20 scores.
+  EXPECT_LT(f.model.topk(20, 10).latency.us(), 1.0);
+}
+
+// Cross-check: the analytical worst-case ET model equals the functional
+// machine's worst-case accounting for a single-mat table.
+TEST(PerfModel, MatchesFunctionalMachineWorstCase) {
+  Fixture f;
+  core::ImarsAccelerator acc(f.arch, f.profile);
+  util::Xoshiro256 rng(5);
+  const QMatrix table = QMatrix::quantize(Matrix::randn(500, 32, 0.5f, rng));
+  const auto id = acc.load_uiet("t", table);
+  acc.reset_energy();
+
+  const std::size_t L = 8;
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < L; ++i) indices.push_back(i * 37 % 500);
+  const core::LookupRequest req{id, indices, true};
+  recsys::OpCost functional;
+  (void)acc.lookup_pooled(std::span(&req, 1),
+                          core::TimingMode::kWorstCaseSameArray, &functional);
+
+  EtLookupParams p;
+  p.tables = 1;
+  p.lookups_per_table = L;
+  p.mats_per_table = 1;
+  p.active_cmas = 2;  // ceil(500/256)
+  const auto analytic = f.model.et_lookup(p);
+
+  EXPECT_NEAR(functional.latency.value, analytic.latency.value, 1e-6);
+  EXPECT_NEAR(functional.energy.value, analytic.energy.value, 1e-6);
+}
+
+}  // namespace
+}  // namespace imars

@@ -1,0 +1,329 @@
+// Cross-module property tests: randomized sweeps (parameterized gtest) that
+// pin down invariants rather than example values. Each property names the
+// paper mechanism it protects.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bitset>
+#include <numeric>
+
+#include "adder/adder_tree.hpp"
+#include "baseline/exact_nns.hpp"
+#include "baseline/gpu_model.hpp"
+#include "cma/cma.hpp"
+#include "core/accelerator.hpp"
+#include "core/mapping.hpp"
+#include "core/perf_model.hpp"
+#include "nn/mlp.hpp"
+#include "util/bitvec.hpp"
+#include "util/quant.hpp"
+#include "util/rng.hpp"
+#include "xbar/crossbar.hpp"
+
+namespace imars {
+namespace {
+
+using device::DeviceProfile;
+using tensor::Matrix;
+using tensor::QMatrix;
+using tensor::Vector;
+
+// ---------- BitVec vs std::bitset oracle ------------------------------------
+
+class BitVecProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BitVecProperty, MatchesStdBitsetSemantics) {
+  util::Xoshiro256 rng(GetParam());
+  constexpr std::size_t kBits = 192;
+  util::BitVec a(kBits), b(kBits);
+  std::bitset<kBits> ra, rb;
+  for (std::size_t i = 0; i < kBits; ++i) {
+    const bool ba = rng.bernoulli(0.5);
+    const bool bb = rng.bernoulli(0.5);
+    a.set(i, ba);
+    ra[i] = ba;
+    b.set(i, bb);
+    rb[i] = bb;
+  }
+  EXPECT_EQ(a.popcount(), ra.count());
+  EXPECT_EQ((a ^ b).popcount(), (ra ^ rb).count());
+  EXPECT_EQ((a & b).popcount(), (ra & rb).count());
+  EXPECT_EQ((a | b).popcount(), (ra | rb).count());
+  EXPECT_EQ((~a).popcount(), kBits - ra.count());
+  EXPECT_EQ(a.hamming(b), (ra ^ rb).count());
+
+  // Random single-bit operations keep agreement.
+  for (int step = 0; step < 100; ++step) {
+    const std::size_t i = rng.below(kBits);
+    a.flip(i);
+    ra.flip(i);
+  }
+  EXPECT_EQ(a.popcount(), ra.count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitVecProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------- Quantization roundtrip -------------------------------------------
+
+class QuantProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantProperty, RoundTripErrorWithinHalfStep) {
+  const double range = GetParam();
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(range * 1000));
+  std::vector<float> xs(512);
+  for (auto& x : xs) x = static_cast<float>(rng.uniform(-range, range));
+  const auto p = util::choose_symmetric(xs);
+  for (float x : xs) {
+    const float back = p.dequantize(p.quantize(x));
+    EXPECT_LE(std::abs(back - x), p.scale * 0.5f + 1e-6f);
+  }
+  // Quantization is monotone: x <= y => q(x) <= q(y).
+  std::vector<float> sorted(xs);
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 1; i < sorted.size(); ++i)
+    EXPECT_LE(p.quantize(sorted[i - 1]), p.quantize(sorted[i]));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, QuantProperty,
+                         ::testing::Values(0.01, 0.5, 1.0, 7.3, 100.0,
+                                           12345.0));
+
+// ---------- CMA pooled lookup == integer oracle (Sec III-A1 pooling) ---------
+
+class PoolingProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PoolingProperty, AcceleratorPoolingMatchesOracleAnyPattern) {
+  const std::size_t n_lookups = GetParam();
+  const DeviceProfile profile = DeviceProfile::fefet45();
+  core::ImarsAccelerator acc(core::ArchConfig{}, profile);
+  util::Xoshiro256 rng(n_lookups * 31 + 7);
+  const QMatrix table =
+      QMatrix::quantize(Matrix::randn(1500, 32, 0.4f, rng));
+  const auto id = acc.load_uiet("t", table);
+
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<std::size_t> idx(n_lookups);
+    for (auto& i : idx) i = rng.below(1500);
+
+    const core::LookupRequest req{id, idx, false};
+    for (auto mode : {core::TimingMode::kActualPlacement,
+                      core::TimingMode::kWorstCaseSameArray}) {
+      const auto out = acc.lookup_pooled(std::span(&req, 1), mode, nullptr);
+      std::vector<std::int32_t> expected(32, 0);
+      for (auto i : idx)
+        for (std::size_t c = 0; c < 32; ++c)
+          expected[c] += static_cast<std::int32_t>(table.at(i, c));
+      EXPECT_EQ(out[0].lanes, expected);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lookups, PoolingProperty,
+                         ::testing::Values(1, 2, 3, 8, 17, 64, 200));
+
+// ---------- TCAM threshold search == Hamming filter at scale ------------------
+
+class TcamScaleProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TcamScaleProperty, FullBankSearchMatchesOracle) {
+  const std::size_t rows = GetParam();
+  const DeviceProfile profile = DeviceProfile::fefet45();
+  core::ImarsAccelerator acc(core::ArchConfig{}, profile);
+  util::Xoshiro256 rng(rows);
+
+  const QMatrix table =
+      QMatrix::quantize(Matrix::randn(rows, 32, 0.4f, rng));
+  std::vector<util::BitVec> sigs;
+  for (std::size_t r = 0; r < rows; ++r) {
+    util::BitVec s(256);
+    for (std::size_t i = 0; i < 256; ++i) s.set(i, rng.bernoulli(0.5));
+    sigs.push_back(s);
+  }
+  const auto id = acc.load_itet("ItET", table, sigs);
+
+  for (std::size_t radius : {90ul, 110ul, 128ul}) {
+    util::BitVec q(256);
+    for (std::size_t i = 0; i < 256; ++i) q.set(i, rng.bernoulli(0.5));
+    const auto got = acc.nns(id, q, radius, nullptr);
+    const auto expected = baseline::radius_hamming(sigs, q, radius);
+    EXPECT_EQ(got, expected) << "rows=" << rows << " radius=" << radius;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TableSizes, TcamScaleProperty,
+                         ::testing::Values(1, 255, 256, 257, 1000, 4000));
+
+// ---------- Mapping invariants (Sec III-B) -----------------------------------
+
+class MappingProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MappingProperty, CapacityAndMonotonicity) {
+  const std::size_t rows = GetParam();
+  const core::EtMapping m(core::ArchConfig{});
+  const std::size_t cmas = m.cmas_for_rows(rows);
+
+  // Capacity: the allocated arrays hold the table, minimally.
+  EXPECT_GE(cmas * 256, rows);
+  EXPECT_LT((cmas - 1) * 256, rows);
+
+  // Monotone in rows.
+  EXPECT_LE(m.cmas_for_rows(std::max<std::size_t>(1, rows - 1)), cmas);
+  EXPECT_GE(m.cmas_for_rows(rows + 1), cmas);
+
+  // Mats cover the arrays at fan-out C=32.
+  const std::size_t mats = m.mats_for_cmas(cmas);
+  EXPECT_GE(mats * 32, cmas);
+  EXPECT_LT((mats - 1) * 32, cmas);
+
+  // Power-of-two rounding only grows the count, at most 2x - 1.
+  const core::EtMapping rounded(core::ArchConfig{}, true);
+  const std::size_t r = rounded.cmas_for_rows(rows);
+  EXPECT_GE(r, cmas);
+  EXPECT_LT(r, 2 * cmas);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rows, MappingProperty,
+                         ::testing::Values(1, 3, 255, 256, 257, 3000, 6040,
+                                           28000, 30000, 32768));
+
+// ---------- Adder trees: arbitrary k equals the plain sum ---------------------
+
+class AdderProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AdderProperty, MultiRoundSumEqualsOracle) {
+  const std::size_t k = GetParam();
+  const DeviceProfile profile = DeviceProfile::fefet45();
+  device::EnergyLedger ledger;
+  const adder::IntraBankAdderTree tree(profile, &ledger, 4);
+  util::Xoshiro256 rng(k * 13 + 1);
+
+  std::vector<adder::Lanes> in;
+  adder::Lanes expected(32, 0);
+  for (std::size_t i = 0; i < k; ++i) {
+    adder::Lanes l(32);
+    for (auto& v : l)
+      v = static_cast<std::int32_t>(rng.below(5001)) - 2500;
+    for (std::size_t c = 0; c < 32; ++c) expected[c] += l[c];
+    in.push_back(std::move(l));
+  }
+  device::Ns lat{0.0};
+  EXPECT_EQ(tree.sum(in, &lat), expected);
+  // Latency is rounds * Table II figure, and rounds grows ~k/3.
+  EXPECT_DOUBLE_EQ(lat.value,
+                   44.2 * static_cast<double>(tree.rounds_for(k)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Inputs, AdderProperty,
+                         ::testing::Values(1, 4, 5, 9, 26, 104, 333));
+
+// ---------- Crossbar tiling: shape-independent correctness --------------------
+
+class XbarShapeProperty
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(XbarShapeProperty, TilingNeverChangesResult) {
+  const auto [out_dim, in_dim] = GetParam();
+  const DeviceProfile profile = DeviceProfile::fefet45();
+  device::EnergyLedger ledger;
+  util::Xoshiro256 rng(out_dim * 7919 + in_dim);
+  const QMatrix w = QMatrix::quantize(
+      Matrix::randn(out_dim, in_dim, 1.0f, rng));
+  const xbar::TiledMatVec tiled(profile, &ledger, w);
+
+  std::vector<std::int8_t> in(in_dim);
+  for (auto& v : in)
+    v = static_cast<std::int8_t>(static_cast<int>(rng.below(255)) - 127);
+  EXPECT_EQ(tiled.gemv(in, nullptr), tensor::gemv_i8(w, in));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, XbarShapeProperty,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{1, 1},
+                      std::pair<std::size_t, std::size_t>{127, 255},
+                      std::pair<std::size_t, std::size_t>{128, 256},
+                      std::pair<std::size_t, std::size_t>{129, 257},
+                      std::pair<std::size_t, std::size_t>{256, 512},
+                      std::pair<std::size_t, std::size_t>{383, 383},
+                      std::pair<std::size_t, std::size_t>{1, 1000}));
+
+// ---------- GPU model linearity ------------------------------------------------
+
+TEST(GpuModelProperty, EtLookupIsAffineInTables) {
+  const baseline::GpuModel gpu;
+  const double l1 = gpu.et_lookup(1).latency.value;
+  const double l2 = gpu.et_lookup(2).latency.value;
+  const double step = l2 - l1;
+  for (std::size_t t = 3; t <= 40; ++t) {
+    EXPECT_NEAR(gpu.et_lookup(t).latency.value,
+                l1 + step * static_cast<double>(t - 1), 1e-6);
+  }
+}
+
+TEST(GpuModelProperty, EnergyProportionalToLatencyEverywhere) {
+  const baseline::GpuModel gpu;
+  const double w = gpu.calibration().power_w;
+  for (std::size_t t : {1ul, 7ul, 26ul}) {
+    const auto c = gpu.et_lookup(t);
+    // 1 W x 1 ns = 1000 pJ.
+    EXPECT_NEAR(c.energy.value, c.latency.value * w * 1e3, 1.0);
+  }
+  for (std::size_t n : {10ul, 3952ul, 100000ul}) {
+    const auto c = gpu.nns(baseline::GpuNnsKind::kBruteCosine, n);
+    EXPECT_NEAR(c.energy.uj(), c.latency.us() * w, 1e-9);
+  }
+}
+
+// ---------- PerfModel: latency decomposition sanity ----------------------------
+
+class PerfModelProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PerfModelProperty, LatencyStrictlyIncreasesWithLookups) {
+  const std::size_t tables = GetParam();
+  const core::PerfModel pm(core::ArchConfig{}, DeviceProfile::fefet45());
+  double prev = 0.0;
+  for (std::size_t L = 1; L <= 32; L *= 2) {
+    core::EtLookupParams p;
+    p.tables = tables;
+    p.lookups_per_table = L;
+    p.mats_per_table = 1;
+    p.active_cmas = tables * 4;
+    const double lat = pm.et_lookup(p).latency.value;
+    EXPECT_GT(lat, prev);
+    prev = lat;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tables, PerfModelProperty,
+                         ::testing::Values(1, 6, 7, 26));
+
+// ---------- NNS oracles agree with each other ---------------------------------
+
+TEST(NnsOracleProperty, TopkIsPrefixOfExpandingRadius) {
+  util::Xoshiro256 rng(99);
+  std::vector<util::BitVec> sigs;
+  for (int i = 0; i < 300; ++i) {
+    util::BitVec s(128);
+    for (std::size_t b = 0; b < 128; ++b) s.set(b, rng.bernoulli(0.5));
+    sigs.push_back(s);
+  }
+  util::BitVec q(128);
+  for (std::size_t b = 0; b < 128; ++b) q.set(b, rng.bernoulli(0.5));
+
+  // Every radius-set is a superset of all smaller radius-sets, and top-k
+  // members always appear once the radius reaches their distance.
+  std::vector<std::size_t> prev;
+  for (std::size_t radius = 0; radius <= 128; radius += 8) {
+    const auto cur = baseline::radius_hamming(sigs, q, radius);
+    EXPECT_TRUE(std::includes(cur.begin(), cur.end(), prev.begin(),
+                              prev.end()));
+    prev = cur;
+  }
+  const auto top = baseline::topk_hamming(sigs, q, 10);
+  const auto all = baseline::radius_hamming(sigs, q, 128);
+  for (auto t : top)
+    EXPECT_NE(std::find(all.begin(), all.end(), t), all.end());
+}
+
+}  // namespace
+}  // namespace imars

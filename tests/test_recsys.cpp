@@ -1,0 +1,278 @@
+// Tests for the RecSys models: YouTubeDNN and DLRM construction, feature
+// assembly, training signal, metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/criteo.hpp"
+#include "data/movielens.hpp"
+#include "recsys/dlrm.hpp"
+#include "recsys/metrics.hpp"
+#include "recsys/types.hpp"
+#include "recsys/youtube_dnn.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace imars {
+namespace {
+
+using data::CriteoConfig;
+using data::CriteoSynth;
+using data::MovieLensConfig;
+using data::MovieLensSynth;
+using recsys::Dlrm;
+using recsys::DlrmConfig;
+using recsys::YoutubeDnn;
+using recsys::YoutubeDnnConfig;
+
+MovieLensConfig small_ml() {
+  MovieLensConfig cfg;
+  cfg.num_users = 150;
+  cfg.num_items = 120;
+  cfg.history_min = 3;
+  cfg.history_max = 10;
+  cfg.seed = 5;
+  return cfg;
+}
+
+YoutubeDnnConfig small_model() {
+  YoutubeDnnConfig cfg;
+  cfg.emb_dim = 16;
+  cfg.filter_hidden = {32, 16};
+  cfg.rank_hidden = {32};
+  cfg.negatives = 4;
+  cfg.lr = 0.05f;
+  cfg.seed = 31;
+  return cfg;
+}
+
+// ---------- OpKind / StageStats ----------------------------------------------
+
+TEST(StageStats, TotalsAndMerge) {
+  recsys::StageStats s;
+  s.at(recsys::OpKind::kEtLookup) += {device::Ns{10.0}, device::Pj{100.0}};
+  s.at(recsys::OpKind::kDnn) += {device::Ns{5.0}, device::Pj{50.0}};
+  EXPECT_DOUBLE_EQ(s.total().latency.value, 15.0);
+  EXPECT_DOUBLE_EQ(s.total().energy.value, 150.0);
+
+  recsys::StageStats t;
+  t.at(recsys::OpKind::kDnn) += {device::Ns{1.0}, device::Pj{1.0}};
+  s.merge(t);
+  EXPECT_DOUBLE_EQ(s.at(recsys::OpKind::kDnn).latency.value, 6.0);
+}
+
+TEST(OpKind, NamesMatchFig2Categories) {
+  EXPECT_EQ(recsys::op_name(recsys::OpKind::kEtLookup), "ET Lookup");
+  EXPECT_EQ(recsys::op_name(recsys::OpKind::kDnn), "DNN Stack");
+  EXPECT_EQ(recsys::op_name(recsys::OpKind::kNns), "NNS");
+  EXPECT_EQ(recsys::op_name(recsys::OpKind::kTopK), "TopK");
+}
+
+// ---------- YoutubeDnn --------------------------------------------------------
+
+TEST(YoutubeDnn, ConstructionMatchesSchema) {
+  const MovieLensSynth ds(small_ml());
+  const YoutubeDnn model(ds.schema(), small_model());
+
+  EXPECT_EQ(model.filter_features().size(), 5u);  // Table I filtering UIETs
+  EXPECT_EQ(model.rank_features().size(), 6u);    // Table I ranking UIETs
+  EXPECT_EQ(model.item_table().rows(), ds.num_items());
+  EXPECT_EQ(model.item_table().dim(), 16u);
+  // Tower output dim = emb_dim (needed for NNS against the ItET).
+  EXPECT_EQ(model.filter_mlp().out_dim(), 16u);
+  EXPECT_EQ(model.rank_mlp().out_dim(), 1u);
+}
+
+TEST(YoutubeDnn, PaperDnnDimensions) {
+  // The default config carries the paper's 128-64-32 / 128-1 networks.
+  const YoutubeDnnConfig cfg;
+  EXPECT_EQ(cfg.filter_hidden, (std::vector<std::size_t>{128, 64, 32}));
+  EXPECT_EQ(cfg.rank_hidden, (std::vector<std::size_t>{128}));
+  EXPECT_EQ(cfg.emb_dim, 32u);
+}
+
+TEST(YoutubeDnn, FilterInputLayout) {
+  const MovieLensSynth ds(small_ml());
+  const YoutubeDnn model(ds.schema(), small_model());
+  const auto ctx = model.make_context(ds, 3);
+  const auto in = model.filter_input(ctx);
+  // 5 pooled UIET segments + history segment + dense features.
+  EXPECT_EQ(in.size(), 5u * 16 + 16 + MovieLensSynth::kDenseDim);
+  EXPECT_EQ(in.size(), model.filter_input_dim());
+  for (float x : in) EXPECT_TRUE(std::isfinite(x));
+}
+
+TEST(YoutubeDnn, RankInputLayout) {
+  const MovieLensSynth ds(small_ml());
+  const YoutubeDnn model(ds.schema(), small_model());
+  const auto ctx = model.make_context(ds, 3);
+  const auto in = model.rank_input(ctx, 7);
+  // 6 pooled UIETs + item + history + dense.
+  EXPECT_EQ(in.size(), 6u * 16 + 16 + 16 + MovieLensSynth::kDenseDim);
+  EXPECT_EQ(in.size(), model.rank_input_dim());
+}
+
+TEST(YoutubeDnn, CtrInUnitInterval) {
+  const MovieLensSynth ds(small_ml());
+  const YoutubeDnn model(ds.schema(), small_model());
+  const auto ctx = model.make_context(ds, 0);
+  for (std::size_t item = 0; item < 20; ++item) {
+    const float p = model.ctr(ctx, item);
+    EXPECT_GE(p, 0.0f);
+    EXPECT_LE(p, 1.0f);
+  }
+}
+
+TEST(YoutubeDnn, FilterTrainingReducesLoss) {
+  const MovieLensSynth ds(small_ml());
+  YoutubeDnn model(ds.schema(), small_model());
+  util::Xoshiro256 rng(77);
+  const float first = model.train_filter_epoch(ds, rng);
+  float last = first;
+  for (int e = 0; e < 4; ++e) last = model.train_filter_epoch(ds, rng);
+  EXPECT_LT(last, first);
+}
+
+TEST(YoutubeDnn, RankTrainingReducesLoss) {
+  const MovieLensSynth ds(small_ml());
+  YoutubeDnn model(ds.schema(), small_model());
+  util::Xoshiro256 rng(78);
+  const float first = model.train_rank_epoch(ds, rng);
+  float last = first;
+  for (int e = 0; e < 4; ++e) last = model.train_rank_epoch(ds, rng);
+  EXPECT_LT(last, first);
+}
+
+TEST(YoutubeDnn, TrainedTowerSeparatesHeldoutFromRandom) {
+  const MovieLensSynth ds(small_ml());
+  YoutubeDnn model(ds.schema(), small_model());
+  util::Xoshiro256 rng(79);
+  for (int e = 0; e < 8; ++e) model.train_filter_epoch(ds, rng);
+
+  // Score(heldout) should exceed score(random item) on average.
+  util::RunningStats held, rnd;
+  for (std::size_t u = 0; u < ds.num_users(); ++u) {
+    const auto ctx = model.make_context(ds, u);
+    const auto ue = model.user_embedding(ctx);
+    held.add(tensor::dot(ue, model.item_table().row(ds.user(u).heldout)));
+    rnd.add(tensor::dot(ue, model.item_table().row(rng.below(ds.num_items()))));
+  }
+  EXPECT_GT(held.mean(), rnd.mean());
+}
+
+// ---------- Dlrm ---------------------------------------------------------------
+
+CriteoConfig small_criteo() {
+  CriteoConfig cfg;
+  cfg.num_samples = 2000;
+  cfg.seed = 3;
+  return cfg;
+}
+
+DlrmConfig small_dlrm() {
+  DlrmConfig cfg;
+  cfg.emb_dim = 8;
+  cfg.bottom_hidden = {32, 8};
+  cfg.top_hidden = {32};
+  cfg.lr = 0.05f;
+  cfg.seed = 21;
+  return cfg;
+}
+
+TEST(Dlrm, ConstructionMatchesSchema) {
+  const CriteoSynth ds(small_criteo());
+  const Dlrm model(ds.schema(), small_dlrm());
+  EXPECT_EQ(model.table_count(), 26u);
+  EXPECT_EQ(model.bottom_mlp().in_dim(), 13u);
+  EXPECT_EQ(model.bottom_mlp().out_dim(), 8u);
+  // Top input: 27*26/2 pair dots + emb_dim.
+  EXPECT_EQ(model.top_input_dim(), 27u * 26 / 2 + 8);
+  EXPECT_EQ(model.top_mlp().out_dim(), 1u);
+}
+
+TEST(Dlrm, PaperDnnDimensions) {
+  const DlrmConfig cfg;
+  EXPECT_EQ(cfg.bottom_hidden, (std::vector<std::size_t>{256, 128, 32}));
+  EXPECT_EQ(cfg.top_hidden, (std::vector<std::size_t>{256, 64}));
+}
+
+TEST(Dlrm, BottomMustEndAtEmbDim) {
+  const CriteoSynth ds(small_criteo());
+  DlrmConfig bad = small_dlrm();
+  bad.bottom_hidden = {32, 16};  // != emb_dim 8
+  EXPECT_THROW(Dlrm(ds.schema(), bad), Error);
+}
+
+TEST(Dlrm, InteractLayoutAndSymmetry) {
+  const CriteoSynth ds(small_criteo());
+  const Dlrm model(ds.schema(), small_dlrm());
+  util::Xoshiro256 rng(4);
+  std::vector<tensor::Vector> embs(26, tensor::Vector(8));
+  for (auto& e : embs)
+    for (auto& x : e) x = static_cast<float>(rng.normal());
+  tensor::Vector b(8);
+  for (auto& x : b) x = static_cast<float>(rng.normal());
+
+  const auto z = model.interact(embs, b);
+  EXPECT_EQ(z.size(), model.top_input_dim());
+  // First pair dot is emb0 . emb1.
+  EXPECT_NEAR(z[0], tensor::dot(embs[0], embs[1]), 1e-5f);
+  // The last emb_dim entries are the bottom output.
+  for (std::size_t c = 0; c < 8; ++c)
+    EXPECT_FLOAT_EQ(z[z.size() - 8 + c], b[c]);
+}
+
+TEST(Dlrm, InferInUnitInterval) {
+  const CriteoSynth ds(small_criteo());
+  const Dlrm model(ds.schema(), small_dlrm());
+  for (std::size_t i = 0; i < 50; ++i) {
+    const auto& s = ds.sample(i);
+    const float p = model.infer(s.dense, s.sparse);
+    EXPECT_GE(p, 0.0f);
+    EXPECT_LE(p, 1.0f);
+  }
+}
+
+TEST(Dlrm, TrainingImprovesAuc) {
+  const CriteoSynth ds(small_criteo());
+  Dlrm model(ds.schema(), small_dlrm());
+  util::Xoshiro256 rng(5);
+
+  const auto auc_of = [&] {
+    std::vector<int> labels;
+    std::vector<double> scores;
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+      labels.push_back(ds.sample(i).label);
+      scores.push_back(model.infer(ds.sample(i).dense, ds.sample(i).sparse));
+    }
+    return util::auc(labels, scores);
+  };
+
+  const double before = auc_of();
+  for (int e = 0; e < 3; ++e) model.train_epoch(ds, rng);
+  const double after = auc_of();
+  EXPECT_GT(after, before);
+  EXPECT_GT(after, 0.6);  // learns real signal from the synthetic oracle
+}
+
+// ---------- Metrics --------------------------------------------------------------
+
+TEST(Metrics, HitRateCountsMembership) {
+  const auto retrieve = [](std::size_t u) {
+    return std::vector<std::size_t>{u, u + 1};
+  };
+  const auto heldout_hit = [](std::size_t u) { return u + 1; };
+  const auto heldout_miss = [](std::size_t) { return std::size_t{999}; };
+  EXPECT_DOUBLE_EQ(recsys::hit_rate(10, retrieve, heldout_hit), 1.0);
+  EXPECT_DOUBLE_EQ(recsys::hit_rate(10, retrieve, heldout_miss), 0.0);
+}
+
+TEST(Metrics, RecallIntersection) {
+  const std::vector<std::size_t> retrieved = {1, 2, 3, 4};
+  const std::vector<std::size_t> relevant = {2, 4, 6};
+  EXPECT_NEAR(recsys::recall(retrieved, relevant), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(recsys::recall(retrieved, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace imars

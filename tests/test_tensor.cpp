@@ -1,0 +1,198 @@
+// Unit + property tests for the tensor module.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/qtensor.hpp"
+#include "tensor/tensor.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace imars {
+namespace {
+
+using tensor::Matrix;
+using tensor::Vector;
+
+Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  return Matrix::randn(r, c, 1.0f, rng);
+}
+
+TEST(Matrix, ConstructZeroInitialized) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  for (float x : m.data()) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(Matrix, DataConstructorChecksSize) {
+  EXPECT_THROW(Matrix(2, 2, {1.0f, 2.0f}), Error);
+}
+
+TEST(Matrix, AtOutOfRangeThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), Error);
+  EXPECT_THROW(m.at(0, 2), Error);
+}
+
+TEST(Matrix, TransposedTwiceIsIdentity) {
+  const Matrix m = random_matrix(5, 7, 1);
+  EXPECT_EQ(m.transposed().transposed(), m);
+}
+
+TEST(Matrix, MatmulAgainstManual) {
+  const Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix b(3, 2, {7, 8, 9, 10, 11, 12});
+  const Matrix c = tensor::matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(Matrix, MatmulDimMismatchThrows) {
+  EXPECT_THROW(tensor::matmul(Matrix(2, 3), Matrix(2, 3)), Error);
+}
+
+TEST(Matrix, MatmulAssociativityProperty) {
+  const Matrix a = random_matrix(4, 5, 2);
+  const Matrix b = random_matrix(5, 6, 3);
+  const Matrix c = random_matrix(6, 3, 4);
+  const Matrix left = tensor::matmul(tensor::matmul(a, b), c);
+  const Matrix right = tensor::matmul(a, tensor::matmul(b, c));
+  for (std::size_t i = 0; i < left.data().size(); ++i)
+    EXPECT_NEAR(left.data()[i], right.data()[i], 1e-3f);
+}
+
+TEST(Matrix, GemvMatchesMatmul) {
+  const Matrix m = random_matrix(6, 4, 5);
+  util::Xoshiro256 rng(6);
+  Vector v(4);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  const Vector out = tensor::gemv(m, v);
+  const Matrix vm(4, 1, {v[0], v[1], v[2], v[3]});
+  const Matrix ref = tensor::matmul(m, vm);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_NEAR(out[i], ref.at(i, 0), 1e-4f);
+}
+
+TEST(Matrix, GevmIsTransposedGemv) {
+  const Matrix m = random_matrix(5, 7, 8);
+  util::Xoshiro256 rng(9);
+  Vector v(5);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  const Vector a = tensor::gevm(v, m);
+  const Vector b = tensor::gemv(m.transposed(), v);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-4f);
+}
+
+TEST(Elementwise, AddSubHadamard) {
+  const Vector a = {1, 2, 3};
+  const Vector b = {4, 5, 6};
+  EXPECT_EQ(tensor::add(a, b), (Vector{5, 7, 9}));
+  EXPECT_EQ(tensor::sub(b, a), (Vector{3, 3, 3}));
+  EXPECT_EQ(tensor::hadamard(a, b), (Vector{4, 10, 18}));
+}
+
+TEST(Elementwise, SizeMismatchThrows) {
+  const Vector a = {1, 2};
+  const Vector b = {1, 2, 3};
+  EXPECT_THROW(tensor::add(a, b), Error);
+  EXPECT_THROW(tensor::dot(a, b), Error);
+}
+
+TEST(Elementwise, DotNormCosine) {
+  const Vector a = {3, 4};
+  EXPECT_FLOAT_EQ(tensor::norm(a), 5.0f);
+  const Vector b = {4, -3};  // orthogonal
+  EXPECT_FLOAT_EQ(tensor::dot(a, b), 0.0f);
+  EXPECT_FLOAT_EQ(tensor::cosine(a, b), 0.0f);
+  EXPECT_NEAR(tensor::cosine(a, a), 1.0f, 1e-6f);
+}
+
+TEST(Elementwise, CosineZeroVectorIsZero) {
+  const Vector z = {0, 0};
+  const Vector a = {1, 1};
+  EXPECT_EQ(tensor::cosine(z, a), 0.0f);
+}
+
+TEST(Activations, ReluClampsNegatives) {
+  const Vector x = {-1.0f, 0.0f, 2.5f};
+  EXPECT_EQ(tensor::relu(x), (Vector{0.0f, 0.0f, 2.5f}));
+}
+
+TEST(Activations, SigmoidRangeAndMidpoint) {
+  const Vector x = {-100.0f, 0.0f, 100.0f};
+  const Vector s = tensor::sigmoid(x);
+  EXPECT_NEAR(s[0], 0.0f, 1e-6f);
+  EXPECT_FLOAT_EQ(s[1], 0.5f);
+  EXPECT_NEAR(s[2], 1.0f, 1e-6f);
+}
+
+TEST(Activations, SoftmaxSumsToOneAndIsStable) {
+  const Vector x = {1000.0f, 1001.0f, 999.0f};  // would overflow naive exp
+  const Vector s = tensor::softmax(x);
+  float sum = 0.0f;
+  for (float v : s) {
+    EXPECT_TRUE(std::isfinite(v));
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-6f);
+  EXPECT_GT(s[1], s[0]);
+  EXPECT_GT(s[0], s[2]);
+}
+
+TEST(Concat, PreservesOrder) {
+  const std::vector<Vector> parts = {{1, 2}, {3}, {4, 5}};
+  EXPECT_EQ(tensor::concat(parts), (Vector{1, 2, 3, 4, 5}));
+}
+
+// ---------- QMatrix ---------------------------------------------------------
+
+TEST(QMatrix, QuantizeDequantizeBounded) {
+  const Matrix m = random_matrix(8, 8, 11);
+  const auto q = tensor::QMatrix::quantize(m);
+  const Matrix back = q.dequantize();
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c)
+      EXPECT_NEAR(back.at(r, c), m.at(r, c), q.params().scale * 0.5f + 1e-6f);
+}
+
+TEST(QMatrix, RowViewMatchesAt) {
+  const Matrix m = random_matrix(4, 6, 12);
+  const auto q = tensor::QMatrix::quantize(m);
+  for (std::size_t r = 0; r < q.rows(); ++r) {
+    const auto row = q.row(r);
+    for (std::size_t c = 0; c < q.cols(); ++c) EXPECT_EQ(row[c], q.at(r, c));
+  }
+}
+
+TEST(QMatrix, GemvI8MatchesFloatWithinQuantError) {
+  const Matrix m = random_matrix(16, 32, 13);
+  util::Xoshiro256 rng(14);
+  Vector v(32);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+  const auto wq = tensor::QMatrix::quantize(m);
+  const auto vp = util::choose_symmetric(v);
+  const auto vq = util::quantize(v, vp);
+
+  const auto acc = tensor::gemv_i8(wq, vq);
+  const Vector ref = tensor::gemv(m, v);
+  const float scale = wq.params().scale * vp.scale;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    // Error bound: each product has quant error ~scale/2 per operand.
+    EXPECT_NEAR(scale * static_cast<float>(acc[i]), ref[i], 0.15f);
+  }
+}
+
+TEST(QMatrix, GemvI8DimMismatchThrows) {
+  const auto q = tensor::QMatrix::quantize(Matrix(2, 3));
+  const std::vector<std::int8_t> v(4, 1);
+  EXPECT_THROW(tensor::gemv_i8(q, v), Error);
+}
+
+}  // namespace
+}  // namespace imars

@@ -1,0 +1,191 @@
+// Tests for the training driver and the query-stream engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/cpu_backend.hpp"
+#include "core/backend.hpp"
+#include "core/query_engine.hpp"
+#include "data/movielens.hpp"
+#include "recsys/trainer.hpp"
+#include "recsys/youtube_dnn.hpp"
+#include "util/rng.hpp"
+
+namespace imars {
+namespace {
+
+using data::MovieLensConfig;
+using data::MovieLensSynth;
+using recsys::TrainOptions;
+using recsys::YoutubeDnn;
+using recsys::YoutubeDnnConfig;
+
+struct Fixture {
+  Fixture() {
+    MovieLensConfig dcfg;
+    dcfg.num_users = 100;
+    dcfg.num_items = 90;
+    dcfg.history_min = 3;
+    dcfg.history_max = 8;
+    dcfg.seed = 71;
+    ds = std::make_unique<MovieLensSynth>(dcfg);
+
+    YoutubeDnnConfig mcfg;
+    mcfg.emb_dim = 16;
+    mcfg.filter_hidden = {32, 16};
+    mcfg.rank_hidden = {16};
+    mcfg.negatives = 4;
+    mcfg.seed = 72;
+    model = std::make_unique<YoutubeDnn>(ds->schema(), mcfg);
+  }
+  std::unique_ptr<MovieLensSynth> ds;
+  std::unique_ptr<YoutubeDnn> model;
+};
+
+// ---------- trainer -----------------------------------------------------------
+
+TEST(Trainer, RunsRequestedEpochsAndRecordsHistory) {
+  Fixture f;
+  TrainOptions opts;
+  opts.max_epochs = 3;
+  opts.seed = 73;
+  const auto result = recsys::train_filter(*f.model, *f.ds, opts);
+  ASSERT_EQ(result.history.size(), 3u);
+  for (std::size_t e = 0; e < 3; ++e) EXPECT_EQ(result.history[e].epoch, e);
+  EXPECT_FALSE(result.early_stopped);
+  // No eval schedule: metrics stay NaN.
+  for (const auto& h : result.history) EXPECT_TRUE(std::isnan(h.metric));
+}
+
+TEST(Trainer, EvalScheduleComputesHitRate) {
+  Fixture f;
+  TrainOptions opts;
+  opts.max_epochs = 4;
+  opts.eval_every = 2;
+  opts.seed = 74;
+  const auto result = recsys::train_filter(*f.model, *f.ds, opts);
+  // Epochs 2 and 4 evaluated.
+  EXPECT_TRUE(std::isnan(result.history[0].metric));
+  EXPECT_FALSE(std::isnan(result.history[1].metric));
+  EXPECT_TRUE(std::isnan(result.history[2].metric));
+  EXPECT_FALSE(std::isnan(result.history[3].metric));
+  EXPECT_GE(result.best_metric, 0.0);
+  EXPECT_LE(result.best_metric, 1.0);
+}
+
+TEST(Trainer, EpochCallbackFires) {
+  Fixture f;
+  TrainOptions opts;
+  opts.max_epochs = 2;
+  opts.seed = 75;
+  std::size_t calls = 0;
+  opts.on_epoch = [&](const recsys::EpochStats&) { ++calls; };
+  (void)recsys::train_rank(*f.model, *f.ds, opts);
+  EXPECT_EQ(calls, 2u);
+}
+
+TEST(Trainer, EarlyStoppingHonorsPatience) {
+  Fixture f;
+  TrainOptions opts;
+  opts.max_epochs = 50;  // would take a while without early stop
+  opts.eval_every = 1;
+  opts.patience = 2;
+  opts.seed = 76;
+  const auto result = recsys::train_filter(*f.model, *f.ds, opts);
+  // With eval every epoch and patience 2, the run must terminate as soon as
+  // two consecutive evaluations fail to improve.
+  EXPECT_LT(result.history.size(), 50u);
+  EXPECT_TRUE(result.early_stopped);
+  EXPECT_LE(result.best_epoch + 3, result.history.size() + 1);
+}
+
+TEST(Trainer, DlrmAucImprovesOverTraining) {
+  data::CriteoConfig dcfg;
+  dcfg.num_samples = 1500;
+  dcfg.seed = 77;
+  const data::CriteoSynth ds(dcfg);
+  recsys::DlrmConfig mcfg;
+  mcfg.emb_dim = 8;
+  mcfg.bottom_hidden = {16, 8};
+  mcfg.top_hidden = {16};
+  mcfg.seed = 78;
+  recsys::Dlrm model(ds.schema(), mcfg);
+
+  TrainOptions opts;
+  opts.max_epochs = 3;
+  opts.eval_every = 1;
+  opts.seed = 79;
+  const auto result = recsys::train_dlrm(model, ds, opts);
+  EXPECT_GT(result.best_metric, 0.55);  // AUC above chance
+  // Last evaluation should not be far below the best (stable training).
+  EXPECT_GT(result.history.back().metric, result.best_metric - 0.1);
+}
+
+// ---------- query engine --------------------------------------------------------
+
+TEST(QueryEngine, StreamOverCpuBackend) {
+  Fixture f;
+  util::Xoshiro256 rng(80);
+  for (int e = 0; e < 2; ++e) f.model->train_filter_epoch(*f.ds, rng);
+
+  baseline::CpuBackendConfig cfg;
+  cfg.candidates = 10;
+  baseline::CpuBackend backend(*f.model, cfg);
+
+  std::vector<recsys::UserContext> users;
+  for (std::size_t u = 0; u < 25; ++u)
+    users.push_back(f.model->make_context(*f.ds, u));
+
+  const auto report = core::run_stream(backend, users, 5);
+  EXPECT_EQ(report.size(), 25u);
+  for (const auto& q : report.queries) EXPECT_EQ(q.candidates, 10u);
+  // CPU oracle carries no cost model: all latencies zero, percentiles safe.
+  EXPECT_DOUBLE_EQ(report.mean_latency_ns(), 0.0);
+  EXPECT_DOUBLE_EQ(report.p99_latency_ns(), 0.0);
+}
+
+TEST(QueryEngine, StreamOverImarsBackendHasOrderedPercentiles) {
+  MovieLensConfig dcfg;
+  dcfg.num_users = 60;
+  dcfg.num_items = 80;
+  dcfg.seed = 81;
+  const MovieLensSynth ds(dcfg);
+  YoutubeDnnConfig mcfg;  // 32-d default for the hardware constraint
+  mcfg.seed = 82;
+  YoutubeDnn model(ds.schema(), mcfg);
+
+  std::vector<recsys::UserContext> calib;
+  for (std::size_t u = 0; u < 6; ++u) calib.push_back(model.make_context(ds, u));
+  core::ImarsBackendConfig icfg;
+  icfg.nns_radius = 110;
+  core::ImarsBackend backend(model, core::ArchConfig{},
+                             device::DeviceProfile::fefet45(), icfg, calib);
+
+  std::vector<recsys::UserContext> users;
+  for (std::size_t u = 0; u < 30; ++u) users.push_back(model.make_context(ds, u));
+  const auto report = core::run_stream(backend, users, 5);
+
+  EXPECT_GT(report.mean_latency_ns(), 0.0);
+  EXPECT_LE(report.p50_latency_ns(), report.p95_latency_ns());
+  EXPECT_LE(report.p95_latency_ns(), report.p99_latency_ns());
+  EXPECT_GT(report.mean_energy_pj(), 0.0);
+
+  // Pipelining never hurts and never beats the bottleneck stage.
+  EXPECT_GE(report.qps_pipelined(), report.qps_serial());
+}
+
+TEST(QueryEngine, StageStatsAccumulateAcrossStream) {
+  Fixture f;
+  baseline::CpuBackendConfig cfg;
+  baseline::CpuBackend backend(*f.model, cfg);
+  std::vector<recsys::UserContext> users;
+  for (std::size_t u = 0; u < 5; ++u)
+    users.push_back(f.model->make_context(*f.ds, u));
+  const auto report = core::run_stream(backend, users, 3);
+  // Functional-only backend: stats exist but are all zero.
+  EXPECT_DOUBLE_EQ(report.filter_stats.total().latency.value, 0.0);
+  EXPECT_EQ(report.queries.size(), 5u);
+}
+
+}  // namespace
+}  // namespace imars

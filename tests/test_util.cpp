@@ -1,0 +1,323 @@
+// Unit + property tests for the util module: RNG, BitVec, quantization,
+// statistics, table rendering.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/bitvec.hpp"
+#include "util/error.hpp"
+#include "util/quant.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace imars {
+namespace {
+
+using util::BitVec;
+
+// ---------- RNG -----------------------------------------------------------
+
+TEST(Rng, SplitMixIsDeterministic) {
+  util::SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SplitMixDiffersAcrossSeeds) {
+  util::SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, Hash64IsStable) {
+  EXPECT_EQ(util::hash64(7, 9), util::hash64(7, 9));
+  EXPECT_NE(util::hash64(7, 9), util::hash64(7, 10));
+  EXPECT_NE(util::hash64(8, 9), util::hash64(7, 9));
+}
+
+TEST(Rng, XoshiroUniformRange) {
+  util::Xoshiro256 rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, XoshiroUniformMeanApproxHalf) {
+  util::Xoshiro256 rng(7);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, XoshiroBelowIsInRange) {
+  util::Xoshiro256 rng(99);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, XoshiroBelowCoversAllValues) {
+  util::Xoshiro256 rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NormalMomentsApproxStandard) {
+  util::Xoshiro256 rng(11);
+  util::RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.normal());
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  util::Xoshiro256 rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+// ---------- BitVec --------------------------------------------------------
+
+TEST(BitVec, StartsAllZero) {
+  BitVec v(300);
+  EXPECT_EQ(v.size(), 300u);
+  EXPECT_EQ(v.popcount(), 0u);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_FALSE(v.get(i));
+}
+
+TEST(BitVec, SetGetFlipRoundTrip) {
+  BitVec v(130);
+  v.set(0, true);
+  v.set(64, true);   // word boundary
+  v.set(129, true);  // last bit
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(129));
+  EXPECT_EQ(v.popcount(), 3u);
+  v.flip(64);
+  EXPECT_FALSE(v.get(64));
+  EXPECT_EQ(v.popcount(), 2u);
+}
+
+TEST(BitVec, FromStringMatchesToString) {
+  const std::string s = "1010011100101";
+  const BitVec v = BitVec::from_string(s);
+  EXPECT_EQ(v.to_string(), s);
+  EXPECT_EQ(v.popcount(), 7u);
+}
+
+TEST(BitVec, FromStringRejectsNonBinary) {
+  EXPECT_THROW(BitVec::from_string("10x1"), Error);
+}
+
+TEST(BitVec, FillSetsEverythingAndClearsTail) {
+  BitVec v(70);
+  v.fill(true);
+  EXPECT_EQ(v.popcount(), 70u);
+  // Tail bits beyond size must not leak into popcount via operator~.
+  const BitVec w = ~v;
+  EXPECT_EQ(w.popcount(), 0u);
+}
+
+TEST(BitVec, HammingAgainstManual) {
+  const BitVec a = BitVec::from_string("110010");
+  const BitVec b = BitVec::from_string("011011");
+  EXPECT_EQ(a.hamming(b), 3u);
+  EXPECT_EQ(a.hamming(a), 0u);
+}
+
+TEST(BitVec, HammingSizeMismatchThrows) {
+  EXPECT_THROW(BitVec(8).hamming(BitVec(9)), Error);
+}
+
+TEST(BitVec, XorEqualsHammingPopcount) {
+  util::Xoshiro256 rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    BitVec a(257), b(257);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      a.set(i, rng.bernoulli(0.5));
+      b.set(i, rng.bernoulli(0.5));
+    }
+    EXPECT_EQ((a ^ b).popcount(), a.hamming(b));
+  }
+}
+
+TEST(BitVec, AndOrDeMorgan) {
+  util::Xoshiro256 rng(4);
+  BitVec a(100), b(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    a.set(i, rng.bernoulli(0.5));
+    b.set(i, rng.bernoulli(0.5));
+  }
+  EXPECT_EQ(~(a & b), (~a | ~b));
+  EXPECT_EQ(~(a | b), (~a & ~b));
+}
+
+TEST(BitVec, ByteRoundTrip) {
+  BitVec v(256);
+  for (int x : {0, 1, 127, 128, 200, 255}) {
+    v.set_byte(8, static_cast<std::uint8_t>(x));
+    EXPECT_EQ(v.byte_at(8), static_cast<std::uint8_t>(x));
+  }
+}
+
+TEST(BitVec, SliceAndCopyFrom) {
+  const BitVec v = BitVec::from_string("11001010");
+  const BitVec s = v.slice(2, 4);
+  EXPECT_EQ(s.to_string(), "0010");
+  BitVec d(10);
+  d.copy_from(v, 0, 8, 1);
+  EXPECT_EQ(d.to_string(), "0110010100");
+}
+
+TEST(BitVec, OutOfRangeThrows) {
+  BitVec v(16);
+  EXPECT_THROW(v.get(16), Error);
+  EXPECT_THROW(v.set(100, true), Error);
+  EXPECT_THROW(v.slice(10, 8), Error);
+  EXPECT_THROW(v.byte_at(9), Error);
+}
+
+TEST(BitVec, FromWordsUsesLowBits) {
+  const std::uint64_t words[2] = {0xFFULL, 0x1ULL};
+  const BitVec v = BitVec::from_words(words, 66);
+  EXPECT_EQ(v.popcount(), 9u);
+  EXPECT_TRUE(v.get(64));
+  EXPECT_FALSE(v.get(65));
+}
+
+// ---------- Quantization ---------------------------------------------------
+
+TEST(Quant, ChooseSymmetricMapsMaxTo127) {
+  const float xs[] = {-2.0f, 0.5f, 1.0f};
+  const auto p = util::choose_symmetric(xs);
+  EXPECT_FLOAT_EQ(p.scale, 2.0f / 127.0f);
+  EXPECT_EQ(p.quantize(-2.0f), -127);
+  EXPECT_EQ(p.quantize(2.0f), 127);
+}
+
+TEST(Quant, ZeroInputGetsUnitScale) {
+  const std::vector<float> xs(4, 0.0f);
+  const auto p = util::choose_symmetric(xs);
+  EXPECT_FLOAT_EQ(p.scale, 1.0f);
+  EXPECT_EQ(p.quantize(0.0f), 0);
+}
+
+TEST(Quant, RoundTripErrorBounded) {
+  util::Xoshiro256 rng(21);
+  std::vector<float> xs(256);
+  for (auto& x : xs) x = static_cast<float>(rng.uniform(-3.0, 3.0));
+  const auto p = util::choose_symmetric(xs);
+  const auto q = util::quantize(xs, p);
+  const auto back = util::dequantize(q, p);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_NEAR(back[i], xs[i], p.scale * 0.5f + 1e-6f);
+  }
+}
+
+TEST(Quant, SaturatingAddClamps) {
+  EXPECT_EQ(util::sat_add_i8(100, 100), 127);
+  EXPECT_EQ(util::sat_add_i8(-100, -100), -127);
+  EXPECT_EQ(util::sat_add_i8(50, -20), 30);
+}
+
+TEST(Quant, SatCastSymmetricRange) {
+  EXPECT_EQ(util::sat_cast_i8(1000), 127);
+  EXPECT_EQ(util::sat_cast_i8(-1000), -127);
+  EXPECT_EQ(util::sat_cast_i8(-127), -127);
+  EXPECT_EQ(util::sat_cast_i8(5), 5);
+}
+
+// ---------- Stats -----------------------------------------------------------
+
+TEST(Stats, RunningStatsMatchesClosedForm) {
+  util::RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(util::percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(util::percentile(xs, 100), 4.0);
+  EXPECT_DOUBLE_EQ(util::percentile(xs, 50), 2.5);
+}
+
+TEST(Stats, PercentileRejectsBadInput) {
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW(util::percentile({}, 50), Error);
+  EXPECT_THROW(util::percentile(xs, 101), Error);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> ys = {2, 4, 6, 8};
+  EXPECT_NEAR(util::pearson(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg(ys);
+  for (auto& y : neg) y = -y;
+  EXPECT_NEAR(util::pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, SpearmanRobustToMonotoneTransform) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(std::exp(x));  // monotone, nonlinear
+  EXPECT_NEAR(util::spearman(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Stats, AucPerfectAndRandom) {
+  const std::vector<int> labels = {0, 0, 1, 1};
+  const std::vector<double> good = {0.1, 0.2, 0.8, 0.9};
+  EXPECT_DOUBLE_EQ(util::auc(labels, good), 1.0);
+  const std::vector<double> inverted = {0.9, 0.8, 0.2, 0.1};
+  EXPECT_DOUBLE_EQ(util::auc(labels, inverted), 0.0);
+}
+
+TEST(Stats, AucDegenerateLabelsGiveHalf) {
+  const std::vector<int> labels = {1, 1};
+  const std::vector<double> scores = {0.1, 0.9};
+  EXPECT_DOUBLE_EQ(util::auc(labels, scores), 0.5);
+}
+
+// ---------- Table -----------------------------------------------------------
+
+TEST(Table, RendersHeaderAndRows) {
+  util::Table t("Demo");
+  t.header({"A", "B"}).row({"1", "22"}).separator().row({"333", "4"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("Demo"), std::string::npos);
+  EXPECT_NE(s.find("| A "), std::string::npos);
+  EXPECT_NE(s.find("| 333 |"), std::string::npos);
+}
+
+TEST(Table, RowBeforeHeaderThrows) {
+  util::Table t("x");
+  EXPECT_THROW(t.row({"1"}), Error);
+}
+
+TEST(Table, NumTrimsTrailingZeros) {
+  EXPECT_EQ(util::Table::num(1.5, 3), "1.5");
+  EXPECT_EQ(util::Table::num(2.0, 2), "2");
+  EXPECT_EQ(util::Table::num(0.125, 2), "0.12");  // round-half-to-even
+}
+
+TEST(Table, FactorUsesScientificForHuge) {
+  EXPECT_EQ(util::Table::factor(16.8), "16.8x");
+  const std::string f = util::Table::factor(38000.0);
+  EXPECT_NE(f.find("e+"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace imars

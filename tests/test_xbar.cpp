@@ -1,0 +1,208 @@
+// Tests for the crossbar module: tile gemv vs integer oracle, tiling of
+// larger matrices, XbarMlp quantized inference vs float reference.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/mlp.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "xbar/crossbar.hpp"
+#include "xbar/xbar_mlp.hpp"
+
+namespace imars {
+namespace {
+
+using device::Component;
+using device::DeviceProfile;
+using device::EnergyLedger;
+using tensor::Matrix;
+using tensor::QMatrix;
+using tensor::Vector;
+
+struct Fixture {
+  DeviceProfile profile = DeviceProfile::fefet45();
+  EnergyLedger ledger;
+};
+
+TEST(Crossbar, TileGeometry) {
+  Fixture f;
+  xbar::Crossbar xb(f.profile, &f.ledger);
+  EXPECT_EQ(xb.rows(), 256u);
+  EXPECT_EQ(xb.cols(), 128u);
+}
+
+TEST(Crossbar, GemvMatchesIntegerOracle) {
+  Fixture f;
+  xbar::Crossbar xb(f.profile, &f.ledger);
+  util::Xoshiro256 rng(1);
+  const Matrix w = Matrix::randn(64, 100, 1.0f, rng);  // fits in one tile
+  const QMatrix wq = QMatrix::quantize(w);
+  // Tile orientation: (input rows x output cols) = transpose of wq.
+  QMatrix tile(100, 64, wq.params());
+  for (std::size_t r = 0; r < 64; ++r)
+    for (std::size_t c = 0; c < 100; ++c) tile.at(c, r) = wq.at(r, c);
+  xb.load_weights(tile);
+
+  std::vector<std::int8_t> in(256, 0);
+  for (std::size_t i = 0; i < 100; ++i)
+    in[i] = static_cast<std::int8_t>(static_cast<int>(rng.below(200)) - 100);
+
+  device::Ns lat{0.0};
+  const auto out = xb.gemv(in, &lat);
+  EXPECT_DOUBLE_EQ(lat.value, 225.0);
+
+  for (std::size_t o = 0; o < 64; ++o) {
+    std::int32_t acc = 0;
+    for (std::size_t i = 0; i < 100; ++i)
+      acc += static_cast<std::int32_t>(wq.at(o, i)) * in[i];
+    EXPECT_EQ(out[o], acc) << "output " << o;
+  }
+}
+
+TEST(Crossbar, LoadRejectsOversizedBlock) {
+  Fixture f;
+  xbar::Crossbar xb(f.profile, &f.ledger);
+  EXPECT_THROW(xb.load_weights(QMatrix(300, 10, {})), Error);
+  EXPECT_THROW(xb.load_weights(QMatrix(10, 200, {})), Error);
+}
+
+TEST(Crossbar, GemvChargesOneMatmul) {
+  Fixture f;
+  xbar::Crossbar xb(f.profile, &f.ledger);
+  const auto before = f.ledger.ops(Component::kCrossbar);
+  (void)xb.gemv(std::vector<std::int8_t>(256, 0), nullptr);
+  EXPECT_EQ(f.ledger.ops(Component::kCrossbar), before + 1);
+}
+
+// ---------- TiledMatVec -------------------------------------------------------
+
+class TiledShapes
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(TiledShapes, MatchesIntegerGemvOracle) {
+  const auto [out_dim, in_dim] = GetParam();
+  Fixture f;
+  util::Xoshiro256 rng(7);
+  const Matrix w = Matrix::randn(out_dim, in_dim, 1.0f, rng);
+  const QMatrix wq = QMatrix::quantize(w);
+  xbar::TiledMatVec tiled(f.profile, &f.ledger, wq);
+
+  const std::size_t expected_tiles =
+      ((in_dim + 255) / 256) * ((out_dim + 127) / 128);
+  EXPECT_EQ(tiled.tile_count(), expected_tiles);
+
+  std::vector<std::int8_t> in(in_dim);
+  for (auto& v : in)
+    v = static_cast<std::int8_t>(static_cast<int>(rng.below(200)) - 100);
+
+  device::Ns lat{0.0};
+  const auto out = tiled.gemv(in, &lat);
+  const auto oracle = tensor::gemv_i8(wq, in);
+  EXPECT_EQ(out, oracle);
+  // Tiles run in parallel: latency is one matmul + log2 merge of row tiles.
+  EXPECT_GE(lat.value, 225.0);
+  EXPECT_LT(lat.value, 225.0 + 10.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TiledShapes,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{16, 16},
+                      std::pair<std::size_t, std::size_t>{128, 256},
+                      std::pair<std::size_t, std::size_t>{130, 260},
+                      std::pair<std::size_t, std::size_t>{1, 300},
+                      std::pair<std::size_t, std::size_t>{383, 100},
+                      std::pair<std::size_t, std::size_t>{64, 700}));
+
+TEST(TiledMatVec, InputSizeChecked) {
+  Fixture f;
+  xbar::TiledMatVec tiled(f.profile, &f.ledger,
+                          QMatrix(10, 20, util::QuantParams{0.1f}));
+  EXPECT_THROW((void)tiled.gemv(std::vector<std::int8_t>(19, 0), nullptr),
+               Error);
+}
+
+// ---------- XbarMlp -----------------------------------------------------------
+
+TEST(XbarMlp, TracksFloatMlpWithinQuantizationError) {
+  Fixture f;
+  util::Xoshiro256 rng(11);
+  nn::Mlp mlp({24, 32, 16, 8}, nn::Activation::kIdentity, rng);
+
+  std::vector<Vector> calib;
+  for (int i = 0; i < 16; ++i) {
+    Vector v(24);
+    for (auto& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+    calib.push_back(v);
+  }
+  xbar::XbarMlp qmlp(f.profile, &f.ledger, mlp, calib);
+  EXPECT_EQ(qmlp.in_dim(), 24u);
+  EXPECT_EQ(qmlp.out_dim(), 8u);
+  EXPECT_EQ(qmlp.layer_count(), 3u);
+
+  // Compare on fresh inputs from the calibration distribution.
+  double err = 0.0, mag = 0.0;
+  for (int t = 0; t < 20; ++t) {
+    Vector v(24);
+    for (auto& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+    const Vector ref = mlp.infer(v);
+    const Vector got = qmlp.infer(v, nullptr);
+    ASSERT_EQ(ref.size(), got.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      err += std::fabs(ref[i] - got[i]);
+      mag += std::fabs(ref[i]);
+    }
+  }
+  // Relative L1 error of int8 inference stays below ~10%.
+  EXPECT_LT(err / mag, 0.10);
+}
+
+TEST(XbarMlp, SigmoidOutputStaysInUnitInterval) {
+  Fixture f;
+  util::Xoshiro256 rng(12);
+  nn::Mlp mlp({10, 16, 1}, nn::Activation::kSigmoid, rng);
+  std::vector<Vector> calib(4, Vector(10, 0.5f));
+  xbar::XbarMlp qmlp(f.profile, &f.ledger, mlp, calib);
+  for (int t = 0; t < 10; ++t) {
+    Vector v(10);
+    for (auto& x : v) x = static_cast<float>(rng.uniform(-2.0, 2.0));
+    const float y = qmlp.infer(v, nullptr)[0];
+    EXPECT_GE(y, 0.0f);
+    EXPECT_LE(y, 1.0f);
+  }
+}
+
+TEST(XbarMlp, LatencyIncludesPerLayerOverhead) {
+  Fixture f;
+  util::Xoshiro256 rng(13);
+  nn::Mlp mlp({8, 8, 8}, nn::Activation::kIdentity, rng);
+  std::vector<Vector> calib(2, Vector(8, 0.25f));
+  xbar::XbarMlp qmlp(f.profile, &f.ledger, mlp, calib);
+  device::Ns lat{0.0};
+  (void)qmlp.infer(Vector(8, 0.1f), &lat);
+  const double expected_min =
+      2 * (f.profile.xbar_matmul.latency.value +
+           f.profile.xbar_layer_overhead.value);
+  EXPECT_GE(lat.value, expected_min - 1e-9);
+}
+
+TEST(XbarMlp, RequiresCalibration) {
+  Fixture f;
+  util::Xoshiro256 rng(14);
+  nn::Mlp mlp({4, 4}, nn::Activation::kIdentity, rng);
+  EXPECT_THROW(xbar::XbarMlp(f.profile, &f.ledger, mlp, {}), Error);
+}
+
+TEST(XbarMlp, TileCountMatchesAnalyticFormula) {
+  Fixture f;
+  util::Xoshiro256 rng(15);
+  // Layer (196 -> 128): 1 row tile x 1 col tile; (128 -> 64): 1x1;
+  // (64 -> 32): 1x1. Then a wide layer (383 -> 256): 2x2 = 4.
+  nn::Mlp mlp({383, 256, 64}, nn::Activation::kIdentity, rng);
+  std::vector<Vector> calib(2, Vector(383, 0.1f));
+  xbar::XbarMlp qmlp(f.profile, &f.ledger, mlp, calib);
+  EXPECT_EQ(qmlp.tile_count(), 2u * 2u + 1u * 1u);
+}
+
+}  // namespace
+}  // namespace imars
