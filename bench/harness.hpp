@@ -3,10 +3,17 @@
 // Table I workload parameters used by the analytical models.
 #pragma once
 
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <variant>
+#include <vector>
 
 #include "data/criteo.hpp"
 #include "data/movielens.hpp"
@@ -114,5 +121,110 @@ inline bool quick_mode() {
   const char* v = std::getenv("IMARS_BENCH_QUICK");
   return v != nullptr && std::string(v) == "1";
 }
+
+/// Machine-readable bench records: collects flat key/value rows and writes
+/// them as a JSON array to `BENCH_<bench>.json`, so the perf trajectory of
+/// a bench can be tracked across commits. Values are numbers or strings.
+class JsonReport {
+ public:
+  using Value = std::variant<double, std::int64_t, std::string>;
+
+  explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
+
+  /// Starts a new record; `name` identifies the configuration measured.
+  JsonReport& record(const std::string& name) {
+    rows_.emplace_back();
+    set("bench", bench_);
+    set("name", name);
+    return *this;
+  }
+
+  JsonReport& set(const std::string& key, double v) {
+    return put(key, Value{v});
+  }
+  JsonReport& set(const std::string& key, std::size_t v) {
+    return put(key, Value{static_cast<std::int64_t>(v)});
+  }
+  JsonReport& set(const std::string& key, int v) {
+    return put(key, Value{static_cast<std::int64_t>(v)});
+  }
+  JsonReport& set(const std::string& key, const std::string& v) {
+    return put(key, Value{v});
+  }
+  JsonReport& set(const std::string& key, const char* v) {
+    return put(key, Value{std::string(v)});
+  }
+
+  /// Writes `BENCH_<bench>.json` (or `path` if given) and reports on
+  /// stderr; returns false (loudly) if the file could not be written.
+  bool write(const std::string& path = "") const {
+    const std::string file = path.empty() ? "BENCH_" + bench_ + ".json" : path;
+    std::ofstream out(file);
+    if (!out) {
+      std::cerr << "[bench] ERROR: cannot open " << file << " for writing\n";
+      return false;
+    }
+    out << "[\n";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      out << "  {";
+      for (std::size_t i = 0; i < rows_[r].size(); ++i) {
+        const auto& [key, value] = rows_[r][i];
+        out << (i == 0 ? "" : ", ") << '"' << escape(key) << "\": ";
+        if (const auto* d = std::get_if<double>(&value)) {
+          std::ostringstream num;
+          num.precision(12);
+          num << *d;
+          out << num.str();
+        } else if (const auto* n = std::get_if<std::int64_t>(&value)) {
+          out << *n;
+        } else {
+          out << '"' << escape(std::get<std::string>(value)) << '"';
+        }
+      }
+      out << (r + 1 < rows_.size() ? "},\n" : "}\n");
+    }
+    out << "]\n";
+    out.flush();
+    if (!out) {
+      std::cerr << "[bench] ERROR: write to " << file << " failed\n";
+      return false;
+    }
+    std::cerr << "[bench] wrote " << rows_.size() << " records to " << file
+              << "\n";
+    return true;
+  }
+
+ private:
+  JsonReport& put(const std::string& key, Value value) {
+    rows_.back().emplace_back(key, std::move(value));
+    return *this;
+  }
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (c == '\n') {
+        out += "\\n";
+      } else if (c == '\t') {
+        out += "\\t";
+      } else if (c == '\r') {
+        out += "\\r";
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out += buf;
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  std::string bench_;
+  std::vector<std::vector<std::pair<std::string, Value>>> rows_;
+};
 
 }  // namespace imars::bench

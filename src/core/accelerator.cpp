@@ -322,7 +322,9 @@ PooledResult ImarsAccelerator::read_row(std::size_t table_id, std::size_t row,
   Ns lat{0.0};
   const auto lanes = arr.read_row_i8(
       local_of(b.placement, row, b.data_cmas.size(), arch_.cma_rows), &lat);
-  Ns comm = rsc_.transfer(32);
+  // One row = emb_dim int8 lanes on the RSC bus (PerfModel::row_fetch
+  // mirrors this).
+  Ns comm = rsc_.transfer(arch_.emb_dim);
 
   PooledResult result;
   result.scale = b.scale;

@@ -1,0 +1,25 @@
+#include "core/backend_factory.hpp"
+
+namespace imars::core {
+
+BackendFactory imars_backend_factory(
+    const recsys::YoutubeDnn& model, const ArchConfig& arch,
+    const device::DeviceProfile& profile, const ImarsBackendConfig& cfg,
+    std::vector<recsys::UserContext> calibration) {
+  const recsys::YoutubeDnn* model_ptr = &model;
+  return [model_ptr, arch, profile, cfg,
+          calib = std::move(calibration)]() {
+    return std::make_unique<ImarsBackend>(*model_ptr, arch, profile, cfg,
+                                          calib);
+  };
+}
+
+BackendFactory cpu_backend_factory(const recsys::YoutubeDnn& model,
+                                   const baseline::CpuBackendConfig& cfg) {
+  const recsys::YoutubeDnn* model_ptr = &model;
+  return [model_ptr, cfg]() {
+    return std::make_unique<baseline::CpuBackend>(*model_ptr, cfg);
+  };
+}
+
+}  // namespace imars::core

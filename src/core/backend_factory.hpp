@@ -1,0 +1,39 @@
+// Backend factories: replicate a FilterRankBackend per accelerator shard.
+//
+// The serving runtime (src/serve/) spins up N independent accelerator
+// instances over the same trained model — a replicated filter stage and a
+// sharded rank stage. A BackendFactory captures everything needed to build
+// one replica so ShardRouter can clone backends without knowing their
+// concrete type.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "baseline/cpu_backend.hpp"
+#include "core/backend.hpp"
+#include "recsys/types.hpp"
+
+namespace imars::core {
+
+/// Builds one independent backend replica per call. Replicas must be
+/// functionally identical (same model, same configuration) so that sharded
+/// execution reproduces single-backend results.
+using BackendFactory =
+    std::function<std::unique_ptr<recsys::FilterRankBackend>()>;
+
+/// Factory for iMARS replicas: each call quantizes/loads the model into a
+/// fresh functional accelerator. `model` must outlive the factory and every
+/// backend it builds; `calibration` is copied into the factory.
+BackendFactory imars_backend_factory(
+    const recsys::YoutubeDnn& model, const ArchConfig& arch,
+    const device::DeviceProfile& profile, const ImarsBackendConfig& cfg,
+    std::vector<recsys::UserContext> calibration);
+
+/// Factory for CPU-reference replicas (exact software oracle; used by the
+/// shard-merge correctness tests). `model` must outlive the factory.
+BackendFactory cpu_backend_factory(const recsys::YoutubeDnn& model,
+                                   const baseline::CpuBackendConfig& cfg);
+
+}  // namespace imars::core

@@ -141,4 +141,33 @@ OpCost PerfModel::topk(std::size_t candidates, std::size_t k) const {
   return cost;
 }
 
+OpCost PerfModel::row_fetch() const {
+  const auto& p = profile_;
+  // RAM-mode row read + one 32-byte embedding transfer on the RSC bus
+  // (matches ImarsAccelerator::read_row's accounting).
+  const std::size_t bytes = arch_.emb_dim;  // int8 lanes
+  const std::size_t cycles =
+      (bytes * 8 + p.rsc_bus_bits - 1) / p.rsc_bus_bits;
+  OpCost cost;
+  cost.latency = p.cma_read.latency + p.rsc_cycle * static_cast<double>(cycles);
+  cost.energy = p.cma_read.energy + p.rsc_energy * static_cast<double>(cycles);
+  return cost;
+}
+
+OpCost PerfModel::pooled_row() const {
+  const auto& p = profile_;
+  // One additional row folded into the running in-array sum: read +
+  // write-back + GPCiM add (the per-lookup increment of et_lookup's
+  // serialized array phase).
+  OpCost cost;
+  cost.latency =
+      p.cma_read.latency + p.cma_write.latency + p.cma_add.latency;
+  cost.energy = p.cma_read.energy + p.cma_write.energy + p.cma_add.energy;
+  return cost;
+}
+
+OpCost PerfModel::cached_row() const {
+  return OpCost{profile_.cache_read.latency, profile_.cache_read.energy};
+}
+
 }  // namespace imars::core

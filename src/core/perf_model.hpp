@@ -46,6 +46,23 @@ class PerfModel {
   /// (full threshold binary search).
   recsys::OpCost topk(std::size_t candidates, std::size_t k) const;
 
+  // --- Hot-embedding cache costs (serving extension) --------------------
+  // The serve/ subsystem uses these to swap device-accounted ET row costs
+  // for buffer-hit costs without re-running the functional machine, so the
+  // batched/pipelined throughput numbers stay anchored to Table II.
+
+  /// One ET row fetched in RAM mode and moved over the RSC bus (the
+  /// ranking-stage item fetch; the cache-miss cost of a row read).
+  recsys::OpCost row_fetch() const;
+
+  /// One row folded into an in-array pooled accumulation (the cache-miss
+  /// cost of a pooled UIET/ItET lookup row).
+  recsys::OpCost pooled_row() const;
+
+  /// One row served from the controller-periphery hot-row SRAM buffer
+  /// (the cache-hit cost: no CMA access, no RSC transfer).
+  recsys::OpCost cached_row() const;
+
   const ArchConfig& arch() const noexcept { return arch_; }
   const device::DeviceProfile& profile() const noexcept { return profile_; }
 

@@ -24,7 +24,8 @@ DeviceProfile DeviceProfile::fefet22() {
   // CV^2 (~0.45x), wire/array latency ~0.7x, cell area ~(22/45)^2 ~ 0.24x.
   const double e = 0.45, l = 0.7;
   for (OpCost* c : {&p.cma_write, &p.cma_read, &p.cma_add, &p.cma_search,
-                    &p.intra_mat_add, &p.intra_bank_add, &p.xbar_matmul}) {
+                    &p.intra_mat_add, &p.intra_bank_add, &p.xbar_matmul,
+                    &p.cache_read}) {
     c->energy = c->energy * e;
     c->latency = c->latency * l;
   }

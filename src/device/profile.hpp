@@ -41,6 +41,13 @@ struct DeviceProfile {
   std::size_t xbar_cols = 128;
   OpCost xbar_matmul;  ///< one tile matrix-vector multiply
 
+  // --- Hot-embedding buffer (serving extension) ------------------------
+  /// One row read from the digital hot-row SRAM buffer at the controller
+  /// periphery (the serve/ hot-embedding cache). A hit serves the row
+  /// without touching the CMA arrays or the serialized RSC bus. Register-
+  /// file-class SRAM macro, NanGate 45nm synthesis numbers.
+  OpCost cache_read{Pj{1.1}, Ns{0.5}};
+
   /// Per-layer digital overhead of a crossbar DNN pass (DAC input streaming,
   /// ADC conversion, activation periphery). Calibrated so that the filtering
   /// DNN stack (3 layers) reproduces the paper's reported 2.69x improvement

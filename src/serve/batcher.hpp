@@ -1,0 +1,74 @@
+// Dynamic batching policy: coalesce queued requests into batches under a
+// max-latency deadline.
+//
+// A batch closes when either trigger fires:
+//   * size trigger      — max_batch requests are pending;
+//   * deadline trigger  — the oldest pending request has waited max_wait.
+//
+// The policy is a pure object over simulated-hardware timestamps (device
+// nanoseconds), so the runtime's event loop and the unit tests drive it
+// deterministically; the worker threads only execute the batches it emits.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "device/units.hpp"
+
+namespace imars::serve {
+
+/// One recommendation request entering the serving runtime.
+struct Request {
+  std::size_t id = 0;      ///< global sequence number
+  std::size_t user = 0;    ///< index into the user-context population
+  std::size_t client = 0;  ///< closed-loop client that issued it
+  device::Ns enqueue;      ///< simulated arrival time
+};
+
+/// A closed batch, ready for dispatch to the shard router.
+struct Batch {
+  std::size_t id = 0;
+  device::Ns dispatch;  ///< simulated close/dispatch time
+  std::vector<Request> requests;
+
+  std::size_t size() const noexcept { return requests.size(); }
+};
+
+struct DynamicBatcherConfig {
+  std::size_t max_batch = 8;        ///< size trigger
+  device::Ns max_wait{200000.0};    ///< deadline trigger (200 us default)
+};
+
+class DynamicBatcher {
+ public:
+  explicit DynamicBatcher(const DynamicBatcherConfig& cfg);
+
+  const DynamicBatcherConfig& config() const noexcept { return cfg_; }
+
+  /// Adds a request (arrival order must be non-decreasing in enqueue time).
+  void add(const Request& r);
+
+  std::size_t pending() const noexcept { return pending_.size(); }
+  bool empty() const noexcept { return pending_.empty(); }
+
+  /// Simulated time at which the deadline trigger fires for the current
+  /// oldest request; nullopt when nothing is pending.
+  std::optional<device::Ns> deadline() const;
+
+  /// Closes and returns a batch if either trigger has fired by `now`.
+  std::optional<Batch> poll(device::Ns now);
+
+  /// Unconditionally closes the remaining requests (end-of-stream drain).
+  std::optional<Batch> flush(device::Ns now);
+
+ private:
+  Batch close_batch(device::Ns now, std::size_t count);
+
+  DynamicBatcherConfig cfg_;
+  std::deque<Request> pending_;
+  std::size_t next_batch_id_ = 0;
+};
+
+}  // namespace imars::serve

@@ -1,0 +1,79 @@
+// Per-shard worker threads. Each accelerator shard owns one ShardExecutor:
+// a single thread draining a FIFO work queue, so a shard's (non-thread-safe)
+// backend replica is only ever touched from one thread, while distinct
+// shards run their functional work concurrently.
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "serve/request_queue.hpp"
+
+namespace imars::serve {
+
+class ShardExecutor {
+ public:
+  ShardExecutor() : thread_([this] { run(); }) {}
+
+  ~ShardExecutor() {
+    tasks_.close();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  ShardExecutor(const ShardExecutor&) = delete;
+  ShardExecutor& operator=(const ShardExecutor&) = delete;
+
+  /// Enqueues `fn`; tasks execute in submission order on the shard thread.
+  std::future<void> submit(std::function<void()> fn) {
+    std::packaged_task<void()> task(std::move(fn));
+    std::future<void> fut = task.get_future();
+    tasks_.push(std::make_shared<std::packaged_task<void()>>(std::move(task)));
+    return fut;
+  }
+
+ private:
+  void run() {
+    while (auto task = tasks_.pop()) (**task)();
+  }
+
+  RequestQueue<std::shared_ptr<std::packaged_task<void()>>> tasks_;
+  std::thread thread_;
+};
+
+/// One executor per shard.
+class ExecutorPool {
+ public:
+  explicit ExecutorPool(std::size_t shards) : executors_(shards) {
+    for (auto& e : executors_) e = std::make_unique<ShardExecutor>();
+  }
+
+  std::size_t size() const noexcept { return executors_.size(); }
+  ShardExecutor& at(std::size_t shard) { return *executors_[shard]; }
+
+  /// Waits for every pending future, then rethrows the first failure (if
+  /// any). Draining before rethrowing matters: the queued tasks capture
+  /// references to the caller's stack, so unwinding while siblings are
+  /// still queued would leave them writing into freed frames.
+  static void wait_all(std::vector<std::future<void>>& futures) {
+    std::exception_ptr first;
+    for (auto& f : futures) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    futures.clear();
+    if (first) std::rethrow_exception(first);
+  }
+
+ private:
+  std::vector<std::unique_ptr<ShardExecutor>> executors_;
+};
+
+}  // namespace imars::serve

@@ -1,0 +1,65 @@
+#include "serve/hot_cache.hpp"
+
+namespace imars::serve {
+
+HotEmbeddingCache::HotEmbeddingCache(const HotCacheConfig& cfg) : cfg_(cfg) {}
+
+bool HotEmbeddingCache::contains(std::uint32_t table, std::uint32_t row) const {
+  return resident_.find(key_of(table, row)) != resident_.end();
+}
+
+bool HotEmbeddingCache::settle_heap() {
+  while (!heap_.empty()) {
+    const auto [freq, key] = heap_.top();
+    const auto it = resident_.find(key);
+    if (it == resident_.end()) {
+      heap_.pop();  // evicted row, stale entry
+      continue;
+    }
+    if (it->second != freq) {
+      heap_.pop();  // frequency advanced since this entry was pushed
+      heap_.emplace(it->second, key);
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+bool HotEmbeddingCache::access(std::uint32_t table, std::uint32_t row) {
+  const std::uint64_t key = key_of(table, row);
+  const std::uint64_t freq = ++freq_[key];
+
+  if (cfg_.capacity_rows == 0) {
+    ++stats_.misses;
+    return false;
+  }
+
+  if (auto it = resident_.find(key); it != resident_.end()) {
+    it->second = freq;  // heap entry refreshed lazily in settle_heap()
+    ++stats_.hits;
+    return true;
+  }
+
+  ++stats_.misses;
+  if (resident_.size() < cfg_.capacity_rows) {
+    resident_.emplace(key, freq);
+    heap_.emplace(freq, key);
+    return false;
+  }
+
+  // Frequency-based admission: replace the coldest resident row only if the
+  // missed row is now strictly hotter.
+  if (settle_heap()) {
+    const auto [min_freq, min_key] = heap_.top();
+    if (freq > min_freq) {
+      heap_.pop();
+      resident_.erase(min_key);
+      resident_.emplace(key, freq);
+      heap_.emplace(freq, key);
+    }
+  }
+  return false;
+}
+
+}  // namespace imars::serve

@@ -1,0 +1,74 @@
+// Frequency-aware hot-embedding cache.
+//
+// Recommendation ET traffic is Zipf-skewed (src/data/zipf.*): a small set
+// of popular item rows absorbs most accesses. The serving runtime keeps a
+// digital SRAM hot-row buffer at the controller periphery and serves hot
+// UIET/ItET rows from it at device::DeviceProfile::cache_read cost instead
+// of the CMA-array + RSC-bus cost (core::PerfModel::row_fetch /
+// pooled_row). Admission is frequency-based (LFU over full access history,
+// TinyLFU-style): a row is admitted only once its observed frequency
+// exceeds the coldest resident row's, so one-off scans cannot flush the
+// hot set.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace imars::serve {
+
+struct HotCacheConfig {
+  std::size_t capacity_rows = 0;  ///< 0 disables the cache (all misses)
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+
+  std::uint64_t accesses() const noexcept { return hits + misses; }
+  double hit_rate() const noexcept {
+    const std::uint64_t n = accesses();
+    return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+  }
+};
+
+class HotEmbeddingCache {
+ public:
+  explicit HotEmbeddingCache(const HotCacheConfig& cfg);
+
+  const HotCacheConfig& config() const noexcept { return cfg_; }
+
+  /// Records one access to row `row` of table `table`; returns true on a
+  /// cache hit. Updates frequency counters and the resident set.
+  bool access(std::uint32_t table, std::uint32_t row);
+
+  const CacheStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = CacheStats{}; }
+
+  std::size_t resident_rows() const noexcept { return resident_.size(); }
+  bool contains(std::uint32_t table, std::uint32_t row) const;
+
+ private:
+  static std::uint64_t key_of(std::uint32_t table, std::uint32_t row) {
+    return (static_cast<std::uint64_t>(table) << 32) | row;
+  }
+
+  /// Pops stale heap entries until the top reflects a current resident
+  /// frequency; returns false when the resident set is empty.
+  bool settle_heap();
+
+  using HeapEntry = std::pair<std::uint64_t, std::uint64_t>;  // (freq, key)
+
+  HotCacheConfig cfg_;
+  CacheStats stats_;
+  std::unordered_map<std::uint64_t, std::uint64_t> freq_;      // full history
+  std::unordered_map<std::uint64_t, std::uint64_t> resident_;  // key -> freq
+  // Lazy min-heap over resident frequencies (stale entries skipped).
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap_;
+};
+
+}  // namespace imars::serve

@@ -1,0 +1,25 @@
+#include "serve/load_gen.hpp"
+
+#include "util/error.hpp"
+
+namespace imars::serve {
+
+LoadGenerator::LoadGenerator(const LoadGenConfig& cfg)
+    : cfg_(cfg), users_(cfg.num_users, cfg.user_zipf_s), rng_(cfg.seed) {
+  IMARS_REQUIRE(cfg_.clients >= 1, "LoadGenerator: need at least one client");
+  IMARS_REQUIRE(cfg_.num_users >= 1, "LoadGenerator: empty user population");
+}
+
+std::optional<Request> LoadGenerator::next(std::size_t client,
+                                           device::Ns ready) {
+  IMARS_REQUIRE(client < cfg_.clients, "LoadGenerator: client out of range");
+  if (issued_ >= cfg_.total_queries) return std::nullopt;
+  Request r;
+  r.id = issued_++;
+  r.client = client;
+  r.user = users_.sample(rng_);
+  r.enqueue = ready + cfg_.think;
+  return r;
+}
+
+}  // namespace imars::serve

@@ -1,0 +1,46 @@
+// Closed-loop load generator: C concurrent clients, each issuing its next
+// query the moment its previous one completes (plus optional think time).
+// Users are drawn from a Zipf(s) popularity distribution over the user
+// population (data/zipf.*), reproducing the skewed traffic that makes the
+// hot-embedding cache effective.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "data/zipf.hpp"
+#include "device/units.hpp"
+#include "serve/batcher.hpp"
+#include "util/rng.hpp"
+
+namespace imars::serve {
+
+struct LoadGenConfig {
+  std::size_t clients = 16;        ///< closed-loop concurrency
+  std::size_t total_queries = 256; ///< stream length
+  std::size_t num_users = 1;       ///< user-context population size
+  double user_zipf_s = 0.9;        ///< popularity skew over users
+  device::Ns think{0.0};           ///< per-client think time
+  std::uint64_t seed = 7;
+};
+
+class LoadGenerator {
+ public:
+  explicit LoadGenerator(const LoadGenConfig& cfg);
+
+  const LoadGenConfig& config() const noexcept { return cfg_; }
+  std::size_t issued() const noexcept { return issued_; }
+
+  /// The next request of `client`, arriving at `ready` (the completion time
+  /// of its previous query, or the stagger offset for the first one).
+  /// Returns nullopt once the stream budget is exhausted.
+  std::optional<Request> next(std::size_t client, device::Ns ready);
+
+ private:
+  LoadGenConfig cfg_;
+  data::ZipfSampler users_;
+  util::Xoshiro256 rng_;
+  std::size_t issued_ = 0;
+};
+
+}  // namespace imars::serve

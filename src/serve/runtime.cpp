@@ -1,0 +1,112 @@
+#include "serve/runtime.hpp"
+
+#include <queue>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace imars::serve {
+
+ServingRuntime::ServingRuntime(const core::BackendFactory& factory,
+                               const ServingConfig& cfg,
+                               const core::ArchConfig& arch,
+                               const device::DeviceProfile& profile)
+    : cfg_(cfg),
+      timing_(CacheTiming::from_model(core::PerfModel(arch, profile))),
+      router_(factory, cfg.shards, profile, cfg.traffic) {
+  IMARS_REQUIRE(cfg_.k >= 1, "ServingRuntime: k must be >= 1");
+}
+
+namespace {
+
+struct ArrivalLater {
+  bool operator()(const Request& a, const Request& b) const {
+    if (a.enqueue.value != b.enqueue.value)
+      return a.enqueue.value > b.enqueue.value;
+    return a.id > b.id;  // deterministic tie-break
+  }
+};
+
+}  // namespace
+
+ServeReport ServingRuntime::run(LoadGenerator& gen,
+                                std::span<const recsys::UserContext> users) {
+  IMARS_REQUIRE(!users.empty(), "ServingRuntime::run: empty user population");
+  router_.reset_clock();
+  HotEmbeddingCache cache(cfg_.cache);
+  DynamicBatcher batcher(cfg_.batcher);
+
+  std::priority_queue<Request, std::vector<Request>, ArrivalLater> arrivals;
+  for (std::size_t c = 0; c < gen.config().clients; ++c)
+    if (auto r = gen.next(c, device::Ns{0.0})) arrivals.push(*r);
+
+  ServeReport report;
+
+  auto dispatch = [&](device::Ns when, bool drain) {
+    auto batch = drain ? batcher.flush(when) : batcher.poll(when);
+    IMARS_REQUIRE(batch.has_value(), "ServingRuntime: spurious dispatch");
+    const auto results =
+        router_.execute_batch(*batch, users, cfg_.k,
+                              cfg_.cache.capacity_rows > 0 ? &cache : nullptr,
+                              timing_);
+    ++report.batches;
+    for (std::size_t i = 0; i < batch->size(); ++i) {
+      const Request& req = batch->requests[i];
+      const auto& res = results[i];
+      ServedQuery q;
+      q.id = req.id;
+      q.user = req.user;
+      q.client = req.client;
+      q.batch = batch->id;
+      q.batch_size = batch->size();
+      q.home_shard = res.home_shard;
+      q.candidates = res.candidates;
+      q.enqueue = req.enqueue;
+      q.dispatch = batch->dispatch;
+      q.complete = res.complete;
+      q.filter_latency = res.filter_latency;
+      q.rank_latency = res.rank_latency;
+      q.energy = res.filter_stats.total().energy +
+                 res.rank_stats.total().energy;
+      report.queries.push_back(q);
+      report.filter_stats.merge(res.filter_stats);
+      report.rank_stats.merge(res.rank_stats);
+      report.makespan = device::max(report.makespan, res.complete);
+
+      // Closed loop: the client issues its next query on completion.
+      if (auto next = gen.next(req.client, res.complete))
+        arrivals.push(*next);
+    }
+  };
+
+  device::Ns last_enqueue{0.0};
+  while (!arrivals.empty() || !batcher.empty()) {
+    if (!arrivals.empty()) {
+      const device::Ns next_arrival = arrivals.top().enqueue;
+      const auto deadline = batcher.deadline();
+      if (!deadline.has_value() || next_arrival <= *deadline) {
+        // The arrival is the earliest actionable event.
+        const Request r = arrivals.top();
+        arrivals.pop();
+        batcher.add(r);
+        last_enqueue = r.enqueue;
+        if (batcher.pending() >= batcher.config().max_batch)
+          dispatch(r.enqueue, false);  // size trigger fires as it fills
+        continue;
+      }
+      // Deadline trigger: the oldest pending request has waited max_wait.
+      dispatch(*deadline, false);
+      continue;
+    }
+    // No arrival can occur before a completion (closed loop, nothing in
+    // flight): waiting out the deadline would be pure simulation artifact,
+    // so drain the partial batch at the newest request's arrival time.
+    dispatch(last_enqueue, true);
+  }
+
+  report.shards.assign(router_.usage().begin(), router_.usage().end());
+  report.cache = cache.stats();
+  return report;
+}
+
+}  // namespace imars::serve

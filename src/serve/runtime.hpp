@@ -1,0 +1,58 @@
+// The concurrent serving runtime: glue between the closed-loop load
+// generator, the dynamic batcher, the hot-embedding cache and the sharded
+// accelerator fabric.
+//
+// The event loop advances simulated hardware time deterministically
+// (arrivals, batch triggers, completions), while the functional
+// recommendation work of each dispatched batch executes concurrently on
+// the per-shard worker threads. Reported QPS / latency percentiles are in
+// the device-model time domain, so they compose with every other number
+// the simulator produces.
+#pragma once
+
+#include <span>
+
+#include "core/backend_factory.hpp"
+#include "core/config.hpp"
+#include "core/perf_model.hpp"
+#include "serve/batcher.hpp"
+#include "serve/hot_cache.hpp"
+#include "serve/load_gen.hpp"
+#include "serve/serve_stats.hpp"
+#include "serve/shard_router.hpp"
+
+namespace imars::serve {
+
+struct ServingConfig {
+  std::size_t shards = 4;
+  std::size_t k = 10;  ///< global top-k per query
+  DynamicBatcherConfig batcher;
+  HotCacheConfig cache;
+  TrafficSpec traffic;  ///< per-stage ET traffic (cache bookkeeping)
+};
+
+class ServingRuntime {
+ public:
+  /// Builds the shard fabric (one backend replica per shard, in parallel).
+  /// `arch`/`profile` parameterize the cache/merge timing model and should
+  /// match what the factory's backends use.
+  ServingRuntime(const core::BackendFactory& factory,
+                 const ServingConfig& cfg, const core::ArchConfig& arch,
+                 const device::DeviceProfile& profile);
+
+  const ServingConfig& config() const noexcept { return cfg_; }
+  ShardRouter& router() noexcept { return router_; }
+  const CacheTiming& cache_timing() const noexcept { return timing_; }
+
+  /// Serves the generator's whole closed-loop stream against the user
+  /// population; resets clocks and cache statistics first.
+  ServeReport run(LoadGenerator& gen,
+                  std::span<const recsys::UserContext> users);
+
+ private:
+  ServingConfig cfg_;
+  CacheTiming timing_;
+  ShardRouter router_;
+};
+
+}  // namespace imars::serve

@@ -1,0 +1,61 @@
+#include "serve/serve_stats.hpp"
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace imars::serve {
+
+std::vector<double> ServeReport::latencies_ns() const {
+  std::vector<double> out;
+  out.reserve(queries.size());
+  for (const auto& q : queries) out.push_back((q.complete - q.enqueue).value);
+  return out;
+}
+
+double ServeReport::mean_latency_ns() const {
+  IMARS_REQUIRE(!queries.empty(), "ServeReport: empty run");
+  double sum = 0.0;
+  for (const auto& q : queries) sum += (q.complete - q.enqueue).value;
+  return sum / static_cast<double>(queries.size());
+}
+
+double ServeReport::p50_latency_ns() const {
+  return util::percentile(latencies_ns(), 50.0);
+}
+double ServeReport::p95_latency_ns() const {
+  return util::percentile(latencies_ns(), 95.0);
+}
+double ServeReport::p99_latency_ns() const {
+  return util::percentile(latencies_ns(), 99.0);
+}
+
+double ServeReport::qps() const {
+  if (queries.empty() || makespan.value <= 0.0) return 0.0;
+  return static_cast<double>(queries.size()) / makespan.seconds();
+}
+
+double ServeReport::mean_batch_size() const {
+  if (batches == 0) return 0.0;
+  return static_cast<double>(queries.size()) / static_cast<double>(batches);
+}
+
+double ServeReport::mean_energy_pj() const {
+  IMARS_REQUIRE(!queries.empty(), "ServeReport: empty run");
+  double sum = 0.0;
+  for (const auto& q : queries) sum += q.energy.value;
+  return sum / static_cast<double>(queries.size());
+}
+
+double ServeReport::rank_utilization(std::size_t s) const {
+  IMARS_REQUIRE(s < shards.size(), "ServeReport: shard out of range");
+  if (makespan.value <= 0.0) return 0.0;
+  return shards[s].rank_busy.value / makespan.value;
+}
+
+double ServeReport::filter_utilization(std::size_t s) const {
+  IMARS_REQUIRE(s < shards.size(), "ServeReport: shard out of range");
+  if (makespan.value <= 0.0) return 0.0;
+  return shards[s].filter_busy.value / makespan.value;
+}
+
+}  // namespace imars::serve

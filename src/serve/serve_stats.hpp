@@ -1,0 +1,73 @@
+// Serving telemetry, following the StreamReport idioms of
+// core/query_engine.hpp: per-query records plus aggregate QPS, latency
+// percentiles, cache hit rate and per-shard utilization — but over the
+// *concurrent* runtime, so latencies include queueing/batching delay and
+// throughput is makespan-based rather than derived from mean stage times.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "device/units.hpp"
+#include "recsys/types.hpp"
+#include "serve/hot_cache.hpp"
+
+namespace imars::serve {
+
+/// One served query's record.
+struct ServedQuery {
+  std::size_t id = 0;
+  std::size_t user = 0;
+  std::size_t client = 0;
+  std::size_t batch = 0;
+  std::size_t batch_size = 0;
+  std::size_t home_shard = 0;   ///< shard that ran the replicated filter
+  std::size_t candidates = 0;
+  device::Ns enqueue;           ///< simulated arrival
+  device::Ns dispatch;          ///< batch close
+  device::Ns complete;          ///< top-k merged
+  device::Ns filter_latency;    ///< cache-adjusted filter service time
+  device::Ns rank_latency;      ///< cache-adjusted critical-path rank time
+  device::Pj energy;            ///< cache-adjusted query energy
+};
+
+/// Busy time of one shard's pipeline units over the run.
+struct ShardUsage {
+  device::Ns filter_busy;
+  device::Ns rank_busy;
+};
+
+/// Aggregated results of one serving run.
+struct ServeReport {
+  std::vector<ServedQuery> queries;
+  std::vector<ShardUsage> shards;
+  CacheStats cache;
+  recsys::StageStats filter_stats;  ///< summed, cache-adjusted
+  recsys::StageStats rank_stats;
+  device::Ns makespan;              ///< last completion time
+  std::size_t batches = 0;
+
+  std::size_t size() const noexcept { return queries.size(); }
+
+  /// Per-query end-to-end latencies (ns), enqueue to merged top-k —
+  /// queueing and batching delay included.
+  std::vector<double> latencies_ns() const;
+
+  double mean_latency_ns() const;
+  double p50_latency_ns() const;
+  double p95_latency_ns() const;
+  double p99_latency_ns() const;
+
+  /// Served queries per second of simulated hardware time.
+  double qps() const;
+
+  double mean_batch_size() const;
+  double mean_energy_pj() const;
+
+  /// Fraction of the makespan shard `s` kept its rank units busy (the
+  /// sharded stage; the figure of merit for load balance).
+  double rank_utilization(std::size_t s) const;
+  double filter_utilization(std::size_t s) const;
+};
+
+}  // namespace imars::serve

@@ -1,0 +1,287 @@
+#include "serve/shard_router.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+
+#include "util/error.hpp"
+
+namespace imars::serve {
+
+using recsys::OpCost;
+using recsys::OpKind;
+using recsys::StageStats;
+
+ShardRouter::ShardRouter(const core::BackendFactory& factory,
+                         std::size_t shards,
+                         const device::DeviceProfile& profile,
+                         TrafficSpec traffic)
+    : profile_(profile),
+      traffic_(std::move(traffic)),
+      executors_(shards),
+      usage_(shards) {
+  IMARS_REQUIRE(shards >= 1, "ShardRouter: need at least one shard");
+  shards_.resize(shards);
+  // Replicas are built on their own executor threads (construction — table
+  // loading, crossbar programming — is the expensive part and parallelizes).
+  std::vector<std::future<void>> built;
+  for (std::size_t s = 0; s < shards; ++s) {
+    built.push_back(executors_.at(s).submit(
+        [this, s, &factory] { shards_[s].backend = factory(); }));
+  }
+  ExecutorPool::wait_all(built);
+  for (auto& st : shards_)
+    IMARS_REQUIRE(st.backend != nullptr, "ShardRouter: factory returned null");
+}
+
+recsys::FilterRankBackend& ShardRouter::backend(std::size_t shard) {
+  IMARS_REQUIRE(shard < shards_.size(), "ShardRouter: shard out of range");
+  return *shards_[shard].backend;
+}
+
+void ShardRouter::reset_clock() {
+  for (auto& st : shards_)
+    st.filter_free = st.rank_free = st.et_free = device::Ns{0.0};
+  for (auto& u : usage_) u = ShardUsage{};
+}
+
+namespace {
+
+/// Appends one pooled pass over the user's feature rows + history. The
+/// first row of each table's chain is marked (its in-array cost is a bare
+/// read, not a read+write+add increment).
+void append_pooled_pass(const recsys::UserContext& user,
+                        std::span<const std::size_t> features,
+                        std::vector<RowAccess>& out) {
+  auto add_feature = [&](std::size_t f) {
+    bool first = true;
+    for (std::size_t idx : user.sparse[f]) {
+      out.push_back({ShardRouter::kUietTableBase + static_cast<std::uint32_t>(f),
+                     static_cast<std::uint32_t>(idx), true, first});
+      first = false;
+    }
+  };
+  if (features.empty()) {
+    for (std::size_t f = 0; f < user.sparse.size(); ++f) add_feature(f);
+  } else {
+    for (std::size_t f : features) add_feature(f);
+  }
+  bool first = true;
+  for (std::size_t item : user.history) {
+    out.push_back({ShardRouter::kItetTable, static_cast<std::uint32_t>(item),
+                   true, first});
+    first = false;
+  }
+}
+
+}  // namespace
+
+std::vector<RowAccess> ShardRouter::filter_accesses(
+    const recsys::UserContext& user) const {
+  std::vector<RowAccess> out;
+  append_pooled_pass(user, traffic_.filter_features, out);
+  return out;
+}
+
+std::vector<RowAccess> ShardRouter::rank_accesses(
+    const recsys::UserContext& user,
+    std::span<const std::size_t> slice) const {
+  // The backend re-runs the pooled rank lookups once per candidate item
+  // (backend.cpp (2b)); mirror that so the adjustment matches the measured
+  // per-candidate ET cost.
+  std::vector<RowAccess> out;
+  for (std::size_t item : slice) {
+    append_pooled_pass(user, traffic_.rank_features, out);
+    out.push_back({kItetTable, static_cast<std::uint32_t>(item), false});
+  }
+  return out;
+}
+
+StageStats ShardRouter::adjust_stage(const StageStats& measured,
+                                     std::span<const RowAccess> accesses,
+                                     HotEmbeddingCache* cache,
+                                     const CacheTiming& timing) const {
+  if (cache == nullptr) return measured;
+
+  std::size_t pooled_hits = 0, pooled_first_hits = 0, row_hits = 0;
+  for (const auto& a : accesses) {
+    if (cache->access(a.table, a.row)) {
+      if (!a.pooled)
+        ++row_hits;
+      else if (a.first_in_table)
+        ++pooled_first_hits;
+      else
+        ++pooled_hits;
+    }
+  }
+  if (pooled_hits == 0 && pooled_first_hits == 0 && row_hits == 0)
+    return measured;
+
+  // Replace each hit's CMA+bus cost with the hot-buffer cost, clamped so an
+  // adjustment can never drive the measured ET cost negative (the CPU
+  // oracle charges no hardware cost at all).
+  const double ph = static_cast<double>(pooled_hits);
+  const double pfh = static_cast<double>(pooled_first_hits);
+  const double rh = static_cast<double>(row_hits);
+  StageStats adjusted = measured;
+  OpCost& et = adjusted.at(OpKind::kEtLookup);
+  const device::Ns lat_removed = timing.pooled_miss.latency * ph +
+                                 timing.pooled_first_miss.latency * pfh +
+                                 timing.row_miss.latency * rh;
+  const device::Pj pj_removed = timing.pooled_miss.energy * ph +
+                                timing.pooled_first_miss.energy * pfh +
+                                timing.row_miss.energy * rh;
+  const double hits = ph + pfh + rh;
+  et.latency = device::max(et.latency - lat_removed, device::Ns{0.0}) +
+               timing.hit.latency * hits;
+  et.energy = device::Pj{std::max(0.0, (et.energy - pj_removed).value)} +
+              timing.hit.energy * hits;
+  return adjusted;
+}
+
+OpCost ShardRouter::merge_cost(std::size_t slices, std::size_t k) const {
+  // Each contributing shard ships k (id, score) pairs (8 bytes each) over
+  // the RSC bus; the controller then runs a k-way tournament across slices.
+  const std::size_t bytes = 8 * std::max<std::size_t>(k, 1);
+  const std::size_t cycles_per_shard =
+      (bytes * 8 + profile_.rsc_bus_bits - 1) / profile_.rsc_bus_bits;
+  const double transfers =
+      static_cast<double>(cycles_per_shard) * static_cast<double>(slices);
+  // ceil(log2(slices)) tournament rounds; a single slice needs no merge.
+  double rounds = 0.0;
+  for (std::size_t span = 1; span < slices; span *= 2) rounds += 1.0;
+  const double selects = static_cast<double>(k) * rounds;
+  OpCost cost;
+  cost.latency = profile_.rsc_cycle * transfers +
+                 profile_.controller_cycle * selects;
+  cost.energy = profile_.rsc_energy * transfers +
+                profile_.controller_energy * selects;
+  return cost;
+}
+
+std::vector<ShardRouter::QueryResult> ShardRouter::execute_batch(
+    const Batch& batch, std::span<const recsys::UserContext> users,
+    std::size_t k, HotEmbeddingCache* cache, const CacheTiming& timing) {
+  const std::size_t n = batch.size();
+  const std::size_t ns = shards_.size();
+  IMARS_REQUIRE(n >= 1, "ShardRouter::execute_batch: empty batch");
+  for (const auto& r : batch.requests)
+    IMARS_REQUIRE(r.user < users.size(),
+                  "ShardRouter::execute_batch: user out of range");
+
+  // Phase A — replicated filter stage, queries round-robin over shards;
+  // each shard's worker thread runs its queries in order.
+  std::vector<std::size_t> home(n);
+  std::vector<std::vector<std::size_t>> candidates(n);
+  std::vector<StageStats> fstats(n);
+  {
+    std::vector<std::future<void>> pending;
+    for (std::size_t i = 0; i < n; ++i) {
+      home[i] = batch.requests[i].id % ns;
+      const recsys::UserContext* user = &users[batch.requests[i].user];
+      const std::size_t shard = home[i];
+      pending.push_back(
+          executors_.at(shard).submit([this, i, shard, user, &candidates,
+                                       &fstats] {
+            candidates[i] =
+                shards_[shard].backend->filter(*user, &fstats[i]);
+          }));
+    }
+    ExecutorPool::wait_all(pending);
+  }
+
+  // Phase B — sharded rank stage: each shard ranks the candidates it owns.
+  std::vector<std::vector<std::vector<std::size_t>>> slices(
+      n, std::vector<std::vector<std::size_t>>(ns));
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t item : candidates[i])
+      slices[i][shard_of_item(item)].push_back(item);
+
+  std::vector<std::vector<std::vector<recsys::ScoredItem>>> scored(
+      n, std::vector<std::vector<recsys::ScoredItem>>(ns));
+  std::vector<std::vector<StageStats>> rstats(n,
+                                              std::vector<StageStats>(ns));
+  {
+    std::vector<std::future<void>> pending;
+    for (std::size_t i = 0; i < n; ++i) {
+      const recsys::UserContext* user = &users[batch.requests[i].user];
+      for (std::size_t s = 0; s < ns; ++s) {
+        if (slices[i][s].empty()) continue;
+        pending.push_back(executors_.at(s).submit([this, i, s, user, &slices,
+                                                   &scored, &rstats, k] {
+          scored[i][s] = shards_[s].backend->rank(*user, slices[i][s], k,
+                                                  &rstats[i][s]);
+        }));
+      }
+    }
+    ExecutorPool::wait_all(pending);
+  }
+
+  // Phase C — deterministic accounting in batch order: cache rewrite of ET
+  // costs, then the event model (per-shard two-stage pipeline with ET-bank
+  // contention, as in core/throughput.hpp) composes hardware time.
+  std::vector<QueryResult> results(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& req = batch.requests[i];
+    const auto& user = users[req.user];
+    QueryResult& out = results[i];
+    out.home_shard = home[i];
+    out.candidates = candidates[i].size();
+
+    const auto f_acc = filter_accesses(user);
+    out.filter_stats = adjust_stage(fstats[i], f_acc, cache, timing);
+    const device::Ns f_time = out.filter_stats.total().latency;
+    const device::Ns f_et = out.filter_stats.at(OpKind::kEtLookup).latency;
+
+    ShardState& h = shards_[home[i]];
+    const device::Ns f_start =
+        std::max({batch.dispatch, h.filter_free, h.et_free});
+    const device::Ns f_end = f_start + f_time;
+    h.filter_free = f_end;
+    h.et_free = f_start + f_et;
+    usage_[home[i]].filter_busy += f_time;
+    out.filter_latency = f_time;
+
+    // Rank slices run concurrently across shards; each occupies its shard's
+    // rank unit and ET banks.
+    device::Ns rank_end = f_end;
+    std::size_t contributing = 0;
+    for (std::size_t s = 0; s < ns; ++s) {
+      if (slices[i][s].empty()) continue;
+      ++contributing;
+      const auto r_acc = rank_accesses(user, slices[i][s]);
+      const StageStats adj = adjust_stage(rstats[i][s], r_acc, cache, timing);
+      out.rank_stats.merge(adj);
+      const device::Ns r_time = adj.total().latency;
+      const device::Ns r_et = adj.at(OpKind::kEtLookup).latency;
+
+      ShardState& st = shards_[s];
+      const device::Ns r_start = std::max({f_end, st.rank_free, st.et_free});
+      const device::Ns r_end = r_start + r_time;
+      st.rank_free = r_end;
+      st.et_free = r_start + r_et;
+      usage_[s].rank_busy += r_time;
+      rank_end = device::max(rank_end, r_end);
+    }
+
+    // Merge unit: global top-k from the per-shard top-k lists.
+    const OpCost merge =
+        merge_cost(std::max<std::size_t>(contributing, 1), k);
+    out.rank_stats.at(OpKind::kComm) += merge;
+    out.complete = rank_end + merge.latency;
+    out.rank_latency = out.complete - f_end;
+
+    std::vector<recsys::ScoredItem> all;
+    for (std::size_t s = 0; s < ns; ++s)
+      all.insert(all.end(), scored[i][s].begin(), scored[i][s].end());
+    std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+      if (a.score != b.score) return a.score > b.score;
+      return a.item < b.item;
+    });
+    if (all.size() > k) all.resize(k);
+    out.topk = std::move(all);
+  }
+  return results;
+}
+
+}  // namespace imars::serve

@@ -1,0 +1,159 @@
+// Sharded accelerator fabric: N independent backend replicas serving one
+// catalog.
+//
+// The filter stage is *replicated* — any shard can run any query's
+// filtering pass over the full catalog (queries spread round-robin), while
+// the rank stage is *sharded* — each shard ranks only the candidates it
+// owns (item id mod N) and ships its local top-k to the merge unit, which
+// produces the global top-k. Because the slices are disjoint and cover all
+// candidates, merged results equal single-backend results.
+//
+// Execution is hybrid: the *functional* work runs concurrently on real
+// per-shard worker threads (ShardExecutor), while *hardware time* is
+// composed deterministically from the backends' measured per-stage costs by
+// a small event model: each shard is a two-stage pipeline (filter unit,
+// rank unit) plus an ET-bank resource both stages contend for — the same
+// contention rule as core/throughput.hpp's pipelined bound. The
+// hot-embedding cache rewrites per-row ET costs (core::PerfModel row costs)
+// before times enter the event model, so cached rows neither occupy the
+// CMA arrays nor the contended ET banks.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/backend_factory.hpp"
+#include "core/perf_model.hpp"
+#include "recsys/types.hpp"
+#include "serve/batcher.hpp"
+#include "serve/executor.hpp"
+#include "serve/hot_cache.hpp"
+#include "serve/serve_stats.hpp"
+
+namespace imars::serve {
+
+/// Device-anchored costs the cache substitutes per ET row access.
+struct CacheTiming {
+  recsys::OpCost hit;          ///< hot-row buffer read
+  recsys::OpCost row_miss;     ///< RAM-mode row fetch + RSC transfer
+  recsys::OpCost pooled_miss;  ///< per-row in-array accumulate increment
+  /// The first row of a table's pooled chain costs only the read (no
+  /// write-back + add yet; PerfModel::et_lookup charges read*L +
+  /// (write+add)*(L-1)).
+  recsys::OpCost pooled_first_miss;
+
+  static CacheTiming from_model(const core::PerfModel& model) {
+    const auto& read = model.profile().cma_read;
+    return CacheTiming{model.cached_row(), model.row_fetch(),
+                       model.pooled_row(),
+                       recsys::OpCost{read.latency, read.energy}};
+  }
+};
+
+/// One ET row touched by a query (cache bookkeeping granularity).
+struct RowAccess {
+  std::uint32_t table = 0;  ///< kItetTable or kUietTableBase + feature
+  std::uint32_t row = 0;
+  bool pooled = false;  ///< pooled lookup (vs RAM-mode row fetch)
+  bool first_in_table = false;  ///< first row of its table's pooled chain
+};
+
+/// Which ET rows each stage touches, mirroring ImarsBackend's computation
+/// flow so cache adjustments rewrite exactly the traffic that was measured:
+/// the filter stage pools its feature subset + history once; the rank stage
+/// re-runs its pooled lookups *per candidate* (Table III's ranking lookup
+/// is "for one item input") and row-fetches each candidate's embedding.
+struct TrafficSpec {
+  std::vector<std::size_t> filter_features;  ///< empty = all sparse features
+  std::vector<std::size_t> rank_features;    ///< empty = all sparse features
+};
+
+class ShardRouter {
+ public:
+  /// Table-key namespace of RowAccess: the ItET plus one UIET per sparse
+  /// feature (filter and rank replicas share the hot buffer).
+  static constexpr std::uint32_t kItetTable = 0;
+  static constexpr std::uint32_t kUietTableBase = 1;
+
+  /// Builds `shards` backend replicas from the factory (each on its own
+  /// worker thread). `profile` supplies the merge-unit communication
+  /// timing (stored by value); `traffic` describes the per-stage ET row
+  /// accesses for cache bookkeeping.
+  ShardRouter(const core::BackendFactory& factory, std::size_t shards,
+              const device::DeviceProfile& profile,
+              TrafficSpec traffic = {});
+
+  std::size_t shards() const noexcept { return shards_.size(); }
+  std::size_t shard_of_item(std::size_t item) const noexcept {
+    return item % shards_.size();
+  }
+  recsys::FilterRankBackend& backend(std::size_t shard);
+
+  /// Per-query outcome of a batch execution.
+  struct QueryResult {
+    std::vector<recsys::ScoredItem> topk;
+    std::size_t candidates = 0;
+    std::size_t home_shard = 0;
+    device::Ns complete;         ///< simulated merge-done time
+    device::Ns filter_latency;   ///< filter service time (cache-adjusted)
+    device::Ns rank_latency;     ///< end-of-filter to merge-done
+    recsys::StageStats filter_stats;  ///< cache-adjusted
+    recsys::StageStats rank_stats;    ///< summed over slices + merge comm
+  };
+
+  /// Runs one closed batch: replicated filters (round-robin home shards),
+  /// sharded ranks, per-shard top-k merge. `users` is the context
+  /// population indexed by Request::user. When `cache` is non-null every
+  /// ET row access flows through it and stage costs are rewritten with
+  /// `timing`. Shard pipeline state persists across calls, so consecutive
+  /// batches overlap exactly as the hardware would.
+  std::vector<QueryResult> execute_batch(
+      const Batch& batch, std::span<const recsys::UserContext> users,
+      std::size_t k, HotEmbeddingCache* cache, const CacheTiming& timing);
+
+  /// Cumulative per-shard busy time (for utilization reporting).
+  const std::vector<ShardUsage>& usage() const noexcept { return usage_; }
+
+  /// Resets the event clocks and usage counters (not the replicas).
+  void reset_clock();
+
+  /// ET rows a query's filter pass touches (filter-feature sparse rows +
+  /// history, pooled once).
+  std::vector<RowAccess> filter_accesses(const recsys::UserContext& user) const;
+
+  /// ET rows one shard's rank pass touches: per candidate in the slice, the
+  /// rank-feature sparse rows + history (the backend re-pools them for
+  /// every item) plus the candidate's own ItET row fetch.
+  std::vector<RowAccess> rank_accesses(
+      const recsys::UserContext& user,
+      std::span<const std::size_t> slice) const;
+
+ private:
+  struct ShardState {
+    std::unique_ptr<recsys::FilterRankBackend> backend;
+    device::Ns filter_free;  ///< filter pipeline unit available
+    device::Ns rank_free;    ///< rank pipeline unit available
+    device::Ns et_free;      ///< shared ET banks available
+  };
+
+  /// Applies the cache to `accesses` and rewrites the stage's ET-lookup
+  /// cost; returns the adjusted stats and the adjusted ET-bank occupancy.
+  recsys::StageStats adjust_stage(const recsys::StageStats& measured,
+                                  std::span<const RowAccess> accesses,
+                                  HotEmbeddingCache* cache,
+                                  const CacheTiming& timing) const;
+
+  /// Merge-unit cost: each contributing shard ships its top-k over the RSC
+  /// bus, the controller runs the k-way tournament.
+  recsys::OpCost merge_cost(std::size_t slices, std::size_t k) const;
+
+  device::DeviceProfile profile_;
+  TrafficSpec traffic_;
+  std::vector<ShardState> shards_;
+  ExecutorPool executors_;
+  std::vector<ShardUsage> usage_;
+};
+
+}  // namespace imars::serve
