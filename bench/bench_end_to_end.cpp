@@ -209,6 +209,38 @@ int main() {
          util::Table::factor(cg_e / ch_e), "57.8x"});
   c.print(std::cout);
 
+  bench::JsonReport json("e2e");
+  json.record("movielens")
+      .set("scale", scale)
+      .set("users", users_to_run)
+      .set("k", k)
+      .set("gpu_latency_us", gpu_lat_us)
+      .set("imars_latency_us", hw_lat_us)
+      .set("latency_improvement", gpu_lat_us / hw_lat_us)
+      .set("paper_latency_improvement", 16.8)
+      .set("gpu_energy_uj", gpu_e_uj)
+      .set("imars_energy_uj", hw_e_uj)
+      .set("energy_improvement", gpu_e_uj / hw_e_uj)
+      .set("paper_energy_improvement", 713.0)
+      .set("imars_qps", 1e6 / hw_lat_us)
+      .set("avg_candidates", static_cast<double>(hw_candidates) / n);
+  json.record("dnn_stack")
+      .set("gpu_latency_us", gpu_dnn_us)
+      .set("imars_latency_us", imars_dnn_us)
+      .set("latency_improvement", gpu_dnn_us / imars_dnn_us)
+      .set("paper_latency_improvement", 2.69);
+  json.record("criteo")
+      .set("impressions", impressions)
+      .set("gpu_latency_us", cg_lat)
+      .set("imars_latency_us", ch_lat)
+      .set("latency_improvement", cg_lat / ch_lat)
+      .set("paper_latency_improvement", 13.2)
+      .set("gpu_energy_uj", cg_e)
+      .set("imars_energy_uj", ch_e)
+      .set("energy_improvement", cg_e / ch_e)
+      .set("paper_energy_improvement", 57.8);
+  json.write();
+
   std::cout << "\nShape check: iMARS wins end-to-end on both workloads and\n"
                "both axes; the end-to-end improvement is dominated by the\n"
                "ranking stage (the filtering stage runs once per user while\n"

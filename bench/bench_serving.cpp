@@ -130,6 +130,68 @@ int main() {
         .set("makespan_ms", report.makespan.ms());
   }
   table.print(std::cout);
+
+  // --- Open-loop arrivals: saturation / tail-latency knee -----------------
+  // Poisson arrivals at fractions of the closed-loop capacity; past 1.0x
+  // the queues grow without bound and the tail explodes (the closed loop
+  // cannot produce this regime — it self-throttles to the fabric). The
+  // stream is longer than the closed-loop grid's so the backlog has time
+  // to accumulate past the knee.
+  const std::size_t open_queries = queries * 4;
+  std::cout << "\n";
+  util::Table open_table("Open-loop Poisson arrivals (full+cache fabric, "
+                         "overlap on)");
+  open_table.header({"offered load", "rate qps", "QPS", "p50 us", "p99 us",
+                     "mean batch"});
+  serve::ServingConfig open_cfg;
+  open_cfg.shards = 4;
+  open_cfg.k = k;
+  open_cfg.batcher.max_batch = 8;
+  open_cfg.batcher.max_wait = device::Ns{500000.0};
+  open_cfg.cache.capacity_rows = 4096;
+  open_cfg.traffic.filter_features = ml.model->filter_features();
+  open_cfg.traffic.rank_features = ml.model->rank_features();
+  open_cfg.overlap = true;  // open loop: batches overlap on worker threads
+  // One fabric for the whole sweep: run() resets clocks/usage/cache, so
+  // only the offered rate varies between points.
+  serve::ServingRuntime open_rt(factory, open_cfg, arch, profile);
+  for (const double frac : {0.6, 0.9, 1.2}) {
+    serve::LoadGenConfig lg;
+    lg.clients = 16;
+    lg.total_queries = open_queries;
+    lg.num_users = users.size();
+    lg.user_zipf_s = 0.9;
+    lg.seed = 77;
+    lg.arrivals = serve::ArrivalProcess::kOpenPoisson;
+    lg.rate_qps = frac * qps_full_cache;
+    serve::LoadGenerator gen(lg);
+
+    const auto report = open_rt.run(gen, users);
+    const std::string name =
+        "open@" + util::Table::num(frac, 1) + "x";
+    open_table.row({name, util::Table::num(lg.rate_qps, 0),
+                    util::Table::num(report.qps(), 0),
+                    util::Table::num(report.p50_latency_ns() * 1e-3, 1),
+                    util::Table::num(report.p99_latency_ns() * 1e-3, 1),
+                    util::Table::num(report.mean_batch_size(), 1)});
+    json.record(name)
+        .set("shards", open_cfg.shards)
+        .set("max_batch", open_cfg.batcher.max_batch)
+        .set("cache_rows", open_cfg.cache.capacity_rows)
+        .set("queries", open_queries)
+        .set("k", k)
+        .set("arrivals", "poisson")
+        .set("offered_frac", frac)
+        .set("rate_qps", lg.rate_qps)
+        .set("qps", report.qps())
+        .set("p50_us", report.p50_latency_ns() * 1e-3)
+        .set("p95_us", report.p95_latency_ns() * 1e-3)
+        .set("p99_us", report.p99_latency_ns() * 1e-3)
+        .set("mean_batch", report.mean_batch_size())
+        .set("cache_hit_rate", report.cache.hit_rate())
+        .set("makespan_ms", report.makespan.ms());
+  }
+  open_table.print(std::cout);
   json.write();
 
   const double speedup = qps_serial > 0.0 ? qps_full_cache / qps_serial : 0.0;

@@ -71,6 +71,18 @@ int main() {
              util::Table::factor(core::pipeline_speedup(t))});
   table.print(std::cout);
 
+  bench::JsonReport json("throughput");
+  json.record("stage_pipelining")
+      .set("scale", scale)
+      .set("users", users_to_run)
+      .set("filter_us", t.filter.us())
+      .set("rank_us", t.rank.us())
+      .set("shared_et_us", t.shared_et.us())
+      .set("qps_serial", core::qps_serial(t))
+      .set("qps_pipelined", core::qps_pipelined(t))
+      .set("pipeline_speedup", core::pipeline_speedup(t));
+  json.write();
+
   std::cout << "\nReading: with ranking dominating the query, pipelining\n"
                "hides most of the filtering latency behind the previous\n"
                "query's ranking; the gain approaches (filter+rank)/rank and\n"

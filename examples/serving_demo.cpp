@@ -68,9 +68,11 @@ int main() {
   table.row({"mean batch size", util::Table::num(report.mean_batch_size(), 2)});
   table.row({"cache hit rate", util::Table::num(report.cache.hit_rate(), 3)});
   table.separator();
+  const auto& map = rt.pipeline().shard_map();
   for (std::size_t s = 0; s < cfg.shards; ++s)
-    table.row({"shard " + std::to_string(s) + " rank util",
-               util::Table::num(report.rank_utilization(s), 2)});
+    table.row({"shard " + std::to_string(s) + " rank util / item share",
+               util::Table::num(report.rank_utilization(s), 2) + " / " +
+                   util::Table::num(map.share(s), 2)});
   table.print(std::cout);
 
   // 6. One merged recommendation list, for flavour.

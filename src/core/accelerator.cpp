@@ -478,8 +478,16 @@ std::vector<std::size_t> ImarsAccelerator::topk_ctr(
     const std::size_t mid = (lo + hi) / 2;
     const auto r = ctr_buffer_->search(all_ones, mid);
     search_lat += r.latency;
-    if (r.matches.size() >= k) {
-      matched = r.matches;
+    // Row-valid bits at the priority encoder: the buffer persists across
+    // queries, so rows at positions >= this query's candidate count are
+    // stale leftovers of a previous (larger) ranking pass and must not
+    // drain into the result — without the filter their matchlines alias
+    // other items' scores.
+    std::vector<std::size_t> live;
+    for (std::size_t pos : r.matches)
+      if (pos < scores.size()) live.push_back(pos);
+    if (live.size() >= k) {
+      matched = std::move(live);
       hi = mid;
     } else {
       lo = mid + 1;

@@ -2,6 +2,12 @@
 
 namespace imars::core {
 
+ShardedBackendFactory per_slot(BackendFactory factory) {
+  return [factory = std::move(factory)](const ShardSlot&) {
+    return factory();
+  };
+}
+
 BackendFactory imars_backend_factory(
     const recsys::YoutubeDnn& model, const ArchConfig& arch,
     const device::DeviceProfile& profile, const ImarsBackendConfig& cfg,
@@ -11,6 +17,29 @@ BackendFactory imars_backend_factory(
           calib = std::move(calibration)]() {
     return std::make_unique<ImarsBackend>(*model_ptr, arch, profile, cfg,
                                           calib);
+  };
+}
+
+ShardedBackendFactory imars_sharded_backend_factory(
+    const recsys::YoutubeDnn& model, const ArchConfig& arch,
+    const ImarsBackendConfig& cfg,
+    std::vector<recsys::UserContext> calibration) {
+  const recsys::YoutubeDnn* model_ptr = &model;
+  return [model_ptr, arch, cfg,
+          calib = std::move(calibration)](const ShardSlot& slot) {
+    return std::make_unique<ImarsBackend>(*model_ptr, arch, slot.profile,
+                                          cfg, calib);
+  };
+}
+
+CtrBackendFactory imars_ctr_backend_factory(
+    const recsys::Dlrm& model, const ArchConfig& arch, TimingMode timing,
+    std::vector<data::CriteoSample> calibration) {
+  const recsys::Dlrm* model_ptr = &model;
+  return [model_ptr, arch, timing,
+          calib = std::move(calibration)](const ShardSlot& slot) {
+    return std::make_unique<ImarsCtrBackend>(*model_ptr, arch, slot.profile,
+                                             timing, calib);
   };
 }
 

@@ -1,27 +1,80 @@
-// Backend factories: replicate a FilterRankBackend per accelerator shard.
+// Backend factories: stamp out one backend replica per accelerator shard.
 //
 // The serving runtime (src/serve/) spins up N independent accelerator
-// instances over the same trained model — a replicated filter stage and a
-// sharded rank stage. A BackendFactory captures everything needed to build
-// one replica so ShardRouter can clone backends without knowing their
-// concrete type.
+// instances over the same trained model. A factory captures everything
+// needed to build one replica so the serving fabric can clone backends
+// without knowing their concrete type. Factories come in two flavours:
+//
+//   * BackendFactory — uniform replicas (PR 1's shape): every shard gets an
+//     identical backend.
+//   * ShardedBackendFactory / CtrBackendFactory — per-slot replicas: the
+//     factory sees the ShardSlot (index + device profile) it is building
+//     for, enabling heterogeneous fabrics that mix technologies (e.g.
+//     FeFET-45 next to ReRAM-45 shards) behind one serving runtime.
+//
+// Replicas must be *functionally* identical (same model, same quantization)
+// regardless of slot so that sharded execution reproduces single-backend
+// results; the slot's profile may only change hardware timing/energy.
 #pragma once
 
 #include <functional>
+#include <future>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "baseline/cpu_backend.hpp"
 #include "core/backend.hpp"
+#include "data/criteo.hpp"
+#include "recsys/dlrm.hpp"
 #include "recsys/types.hpp"
+#include "util/error.hpp"
 
 namespace imars::core {
 
-/// Builds one independent backend replica per call. Replicas must be
-/// functionally identical (same model, same configuration) so that sharded
-/// execution reproduces single-backend results.
+/// Builds one independent backend replica per call (uniform fabrics).
 using BackendFactory =
     std::function<std::unique_ptr<recsys::FilterRankBackend>()>;
+
+/// One shard's identity: its index and the device technology it runs on.
+struct ShardSlot {
+  std::size_t index = 0;
+  device::DeviceProfile profile;
+};
+
+/// Builds the replica for one specific shard slot (heterogeneous fabrics).
+using ShardedBackendFactory =
+    std::function<std::unique_ptr<recsys::FilterRankBackend>(
+        const ShardSlot&)>;
+
+/// Builds the CTR (DLRM/Criteo) replica for one shard slot.
+using CtrBackendFactory =
+    std::function<std::unique_ptr<recsys::CtrBackend>(const ShardSlot&)>;
+
+/// Builds one replica per profile slot in parallel (construction — table
+/// loading, crossbar programming — is the expensive part and parallelizes;
+/// the futures' get() orders construction before any worker-thread use).
+template <class Backend>
+std::vector<std::unique_ptr<Backend>> build_replicas(
+    const std::function<std::unique_ptr<Backend>(const ShardSlot&)>& factory,
+    std::span<const device::DeviceProfile> profiles) {
+  std::vector<std::future<std::unique_ptr<Backend>>> futs;
+  futs.reserve(profiles.size());
+  for (std::size_t s = 0; s < profiles.size(); ++s) {
+    futs.push_back(std::async(std::launch::async, [&factory, &profiles, s] {
+      return factory(ShardSlot{s, profiles[s]});
+    }));
+  }
+  std::vector<std::unique_ptr<Backend>> replicas;
+  replicas.reserve(futs.size());
+  for (auto& f : futs) replicas.push_back(f.get());
+  for (const auto& r : replicas)
+    IMARS_REQUIRE(r != nullptr, "build_replicas: factory returned null");
+  return replicas;
+}
+
+/// Lifts a uniform factory into the per-slot shape (the slot is ignored).
+ShardedBackendFactory per_slot(BackendFactory factory);
 
 /// Factory for iMARS replicas: each call quantizes/loads the model into a
 /// fresh functional accelerator. `model` must outlive the factory and every
@@ -30,6 +83,20 @@ BackendFactory imars_backend_factory(
     const recsys::YoutubeDnn& model, const ArchConfig& arch,
     const device::DeviceProfile& profile, const ImarsBackendConfig& cfg,
     std::vector<recsys::UserContext> calibration);
+
+/// Per-slot iMARS factory: the replica is built on the slot's own device
+/// profile (mixed-technology fabrics). `model` must outlive the factory.
+ShardedBackendFactory imars_sharded_backend_factory(
+    const recsys::YoutubeDnn& model, const ArchConfig& arch,
+    const ImarsBackendConfig& cfg,
+    std::vector<recsys::UserContext> calibration);
+
+/// Per-slot iMARS CTR factory (DLRM over Criteo): one ImarsCtrBackend per
+/// shard, built on the slot's device profile. `model` must outlive the
+/// factory; `calibration` is copied into the factory.
+CtrBackendFactory imars_ctr_backend_factory(
+    const recsys::Dlrm& model, const ArchConfig& arch, TimingMode timing,
+    std::vector<data::CriteoSample> calibration);
 
 /// Factory for CPU-reference replicas (exact software oracle; used by the
 /// shard-merge correctness tests). `model` must outlive the factory.

@@ -2,11 +2,14 @@
 // a single thread draining a FIFO work queue, so a shard's (non-thread-safe)
 // backend replica is only ever touched from one thread, while distinct
 // shards run their functional work concurrently.
+//
+// Tasks must not throw: there is no future to carry an exception (the
+// staged-pipeline engine synchronizes through its own per-batch counters
+// and promise, and records failures itself), so a leaked exception would
+// terminate the process.
 #pragma once
 
-#include <exception>
 #include <functional>
-#include <future>
 #include <memory>
 #include <thread>
 #include <utility>
@@ -29,19 +32,14 @@ class ShardExecutor {
   ShardExecutor& operator=(const ShardExecutor&) = delete;
 
   /// Enqueues `fn`; tasks execute in submission order on the shard thread.
-  std::future<void> submit(std::function<void()> fn) {
-    std::packaged_task<void()> task(std::move(fn));
-    std::future<void> fut = task.get_future();
-    tasks_.push(std::make_shared<std::packaged_task<void()>>(std::move(task)));
-    return fut;
-  }
+  void submit(std::function<void()> fn) { tasks_.push(std::move(fn)); }
 
  private:
   void run() {
-    while (auto task = tasks_.pop()) (**task)();
+    while (auto task = tasks_.pop()) (*task)();
   }
 
-  RequestQueue<std::shared_ptr<std::packaged_task<void()>>> tasks_;
+  RequestQueue<std::function<void()>> tasks_;
   std::thread thread_;
 };
 
@@ -54,23 +52,6 @@ class ExecutorPool {
 
   std::size_t size() const noexcept { return executors_.size(); }
   ShardExecutor& at(std::size_t shard) { return *executors_[shard]; }
-
-  /// Waits for every pending future, then rethrows the first failure (if
-  /// any). Draining before rethrowing matters: the queued tasks capture
-  /// references to the caller's stack, so unwinding while siblings are
-  /// still queued would leave them writing into freed frames.
-  static void wait_all(std::vector<std::future<void>>& futures) {
-    std::exception_ptr first;
-    for (auto& f : futures) {
-      try {
-        f.get();
-      } catch (...) {
-        if (!first) first = std::current_exception();
-      }
-    }
-    futures.clear();
-    if (first) std::rethrow_exception(first);
-  }
 
  private:
   std::vector<std::unique_ptr<ShardExecutor>> executors_;

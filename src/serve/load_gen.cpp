@@ -1,17 +1,27 @@
 #include "serve/load_gen.hpp"
 
+#include <cmath>
+
 #include "util/error.hpp"
 
 namespace imars::serve {
 
 LoadGenerator::LoadGenerator(const LoadGenConfig& cfg)
-    : cfg_(cfg), users_(cfg.num_users, cfg.user_zipf_s), rng_(cfg.seed) {
+    : cfg_(cfg),
+      users_(cfg.num_users, cfg.user_zipf_s),
+      rng_(cfg.seed),
+      gap_rng_(util::hash64(cfg.seed, 0x6170736f6e6e6fULL)) {
   IMARS_REQUIRE(cfg_.clients >= 1, "LoadGenerator: need at least one client");
   IMARS_REQUIRE(cfg_.num_users >= 1, "LoadGenerator: empty user population");
+  if (cfg_.arrivals == ArrivalProcess::kOpenPoisson)
+    IMARS_REQUIRE(cfg_.rate_qps > 0.0,
+                  "LoadGenerator: open-loop mode needs a positive rate");
 }
 
 std::optional<Request> LoadGenerator::next(std::size_t client,
                                            device::Ns ready) {
+  IMARS_REQUIRE(cfg_.arrivals == ArrivalProcess::kClosedLoop,
+                "LoadGenerator: next() is the closed-loop entry point");
   IMARS_REQUIRE(client < cfg_.clients, "LoadGenerator: client out of range");
   if (issued_ >= cfg_.total_queries) return std::nullopt;
   Request r;
@@ -19,6 +29,25 @@ std::optional<Request> LoadGenerator::next(std::size_t client,
   r.client = client;
   r.user = users_.sample(rng_);
   r.enqueue = ready + cfg_.think;
+  return r;
+}
+
+std::optional<Request> LoadGenerator::next_arrival() {
+  IMARS_REQUIRE(cfg_.arrivals == ArrivalProcess::kOpenPoisson,
+                "LoadGenerator: next_arrival() is the open-loop entry point");
+  if (issued_ >= cfg_.total_queries) return std::nullopt;
+  // Exponential inter-arrival gap with mean 1/rate, in device nanoseconds
+  // (log1p(-u) with u in [0,1) avoids log(0)). Gaps come from their own
+  // stream so user draws stay seed-comparable between the open and closed
+  // regimes.
+  const double u = gap_rng_.uniform();
+  const double gap_s = -std::log1p(-u) / cfg_.rate_qps;
+  open_clock_ += device::Ns{gap_s * 1e9};
+  Request r;
+  r.id = issued_++;
+  r.client = r.id % cfg_.clients;  // labeling only; arrivals are global
+  r.user = users_.sample(rng_);
+  r.enqueue = open_clock_;
   return r;
 }
 

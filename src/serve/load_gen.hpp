@@ -1,8 +1,18 @@
-// Closed-loop load generator: C concurrent clients, each issuing its next
-// query the moment its previous one completes (plus optional think time).
-// Users are drawn from a Zipf(s) popularity distribution over the user
+// Load generation in two arrival regimes:
+//
+//   * closed loop — C concurrent clients, each issuing its next query the
+//     moment its previous one completes (plus optional think time). The
+//     offered load self-throttles to the fabric's capacity, so the closed
+//     loop can never overload it.
+//   * open loop  — Poisson arrivals at a fixed mean rate in the
+//     device-time domain, independent of completions. This is the regime
+//     that exposes saturation and tail-latency knees: past the capacity
+//     rate, queues grow without bound and p99 explodes.
+//
+// Users are drawn from a Zipf(s) popularity distribution over the
 // population (data/zipf.*), reproducing the skewed traffic that makes the
-// hot-embedding cache effective.
+// hot-embedding cache effective. All randomness is seeded (util/rng.hpp),
+// so a given configuration reproduces its arrival stream bit-for-bit.
 #pragma once
 
 #include <cstddef>
@@ -15,13 +25,20 @@
 
 namespace imars::serve {
 
+enum class ArrivalProcess : std::uint8_t {
+  kClosedLoop,   ///< completions trigger the next query per client
+  kOpenPoisson,  ///< exponential inter-arrival gaps at `rate_qps`
+};
+
 struct LoadGenConfig {
   std::size_t clients = 16;        ///< closed-loop concurrency
   std::size_t total_queries = 256; ///< stream length
   std::size_t num_users = 1;       ///< user-context population size
   double user_zipf_s = 0.9;        ///< popularity skew over users
-  device::Ns think{0.0};           ///< per-client think time
+  device::Ns think{0.0};           ///< per-client think time (closed loop)
   std::uint64_t seed = 7;
+  ArrivalProcess arrivals = ArrivalProcess::kClosedLoop;
+  double rate_qps = 0.0;           ///< open-loop mean arrival rate (device s)
 };
 
 class LoadGenerator {
@@ -31,16 +48,24 @@ class LoadGenerator {
   const LoadGenConfig& config() const noexcept { return cfg_; }
   std::size_t issued() const noexcept { return issued_; }
 
-  /// The next request of `client`, arriving at `ready` (the completion time
-  /// of its previous query, or the stagger offset for the first one).
-  /// Returns nullopt once the stream budget is exhausted.
+  /// Closed loop: the next request of `client`, arriving at `ready` (the
+  /// completion time of its previous query, or the stagger offset for the
+  /// first one). Returns nullopt once the stream budget is exhausted.
   std::optional<Request> next(std::size_t client, device::Ns ready);
+
+  /// Open loop: the next Poisson arrival (non-decreasing in time, clients
+  /// labeled round-robin). Returns nullopt once the budget is exhausted.
+  std::optional<Request> next_arrival();
 
  private:
   LoadGenConfig cfg_;
   data::ZipfSampler users_;
-  util::Xoshiro256 rng_;
+  util::Xoshiro256 rng_;      ///< user draws (shared by both regimes, so a
+                              ///< seed fixes the impression sequence
+                              ///< regardless of arrival process)
+  util::Xoshiro256 gap_rng_;  ///< open-loop inter-arrival draws
   std::size_t issued_ = 0;
+  device::Ns open_clock_{0.0};  ///< last open-loop arrival time
 };
 
 }  // namespace imars::serve

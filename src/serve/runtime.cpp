@@ -1,20 +1,80 @@
 #include "serve/runtime.hpp"
 
+#include <deque>
+#include <optional>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "util/error.hpp"
 
 namespace imars::serve {
 
+ShardMap ServingRuntime::make_map(const ServingConfig& cfg,
+                                  std::size_t shards) {
+  if (!cfg.shard_map.empty()) {
+    IMARS_REQUIRE(cfg.shard_weights.empty(),
+                  "ServingRuntime: set shard_map or shard_weights, not both");
+    IMARS_REQUIRE(cfg.shard_map.shards() == shards,
+                  "ServingRuntime: shard_map covers a different shard count");
+    return cfg.shard_map;
+  }
+  if (cfg.shard_weights.empty()) return ShardMap::uniform(shards);
+  IMARS_REQUIRE(cfg.shard_weights.size() == shards,
+                "ServingRuntime: one shard weight per shard");
+  return ShardMap::weighted(cfg.shard_weights, cfg.map_granularity);
+}
+
 ServingRuntime::ServingRuntime(const core::BackendFactory& factory,
                                const ServingConfig& cfg,
                                const core::ArchConfig& arch,
                                const device::DeviceProfile& profile)
+    : ServingRuntime(std::make_unique<ShardRouter>(factory, cfg.shards,
+                                                   cfg.traffic),
+                     cfg, arch, profile) {}
+
+namespace {
+
+ServableBackend& require_servable(
+    const std::unique_ptr<ServableBackend>& servable) {
+  IMARS_REQUIRE(servable != nullptr, "ServingRuntime: null servable");
+  return *servable;
+}
+
+}  // namespace
+
+ServingRuntime::ServingRuntime(std::unique_ptr<ServableBackend> servable,
+                               const ServingConfig& cfg,
+                               const core::ArchConfig& arch,
+                               const device::DeviceProfile& profile,
+                               std::span<const device::DeviceProfile>
+                                   shard_profiles)
     : cfg_(cfg),
-      timing_(CacheTiming::from_model(core::PerfModel(arch, profile))),
-      router_(factory, cfg.shards, profile, cfg.traffic) {
+      servable_(std::move(servable)),
+      pipeline_(require_servable(servable_).shards(), servable_->spec(),
+                profile, make_map(cfg, servable_->shards())) {
   IMARS_REQUIRE(cfg_.k >= 1, "ServingRuntime: k must be >= 1");
+  // Heterogeneous fabrics: a cache hit must credit back the *owning*
+  // shard's miss cost, so the timing is derived per shard profile.
+  if (shard_profiles.empty()) {
+    timings_ = {CacheTiming::from_model(core::PerfModel(arch, profile))};
+  } else {
+    IMARS_REQUIRE(shard_profiles.size() == servable_->shards(),
+                  "ServingRuntime: one shard profile per shard");
+    for (const auto& p : shard_profiles)
+      timings_.push_back(CacheTiming::from_model(core::PerfModel(arch, p)));
+  }
+  // The config's shard count reflects the fabric actually built.
+  cfg_.shards = servable_->shards();
+  // A filter/rank servable passed through the generic constructor (e.g. a
+  // heterogeneous fabric) still supports run(gen, users).
+  router_ = dynamic_cast<ShardRouter*>(servable_.get());
+}
+
+ShardRouter& ServingRuntime::router() {
+  IMARS_REQUIRE(router_ != nullptr,
+                "ServingRuntime: not a filter/rank fabric");
+  return *router_;
 }
 
 namespace {
@@ -32,62 +92,119 @@ struct ArrivalLater {
 ServeReport ServingRuntime::run(LoadGenerator& gen,
                                 std::span<const recsys::UserContext> users) {
   IMARS_REQUIRE(!users.empty(), "ServingRuntime::run: empty user population");
-  router_.reset_clock();
+  router().bind_users(users);
+  return run(gen);
+}
+
+ServeReport ServingRuntime::run(LoadGenerator& gen) {
+  pipeline_.reset_clock();
   HotEmbeddingCache cache(cfg_.cache);
+  HotEmbeddingCache* cache_ptr =
+      cfg_.cache.capacity_rows > 0 ? &cache : nullptr;
   DynamicBatcher batcher(cfg_.batcher);
 
+  const bool open =
+      gen.config().arrivals == ArrivalProcess::kOpenPoisson;
+  // Deferred collection (cross-batch stage overlap) requires batch
+  // composition to be completion-independent — true only in the open loop.
+  // The closed loop still overlaps query stages *within* a batch (the
+  // engine chains stages with no barrier), but collects batch by batch.
+  const bool defer = cfg_.overlap && open;
+  const std::size_t max_inflight =
+      std::max<std::size_t>(cfg_.max_inflight, 1);
+
+  // Closed loop: completions enqueue out-of-order arrivals, so a heap is
+  // needed. Open loop: next_arrival() already yields sorted arrivals and
+  // completions enqueue nothing, so a one-request lookahead suffices.
   std::priority_queue<Request, std::vector<Request>, ArrivalLater> arrivals;
-  for (std::size_t c = 0; c < gen.config().clients; ++c)
-    if (auto r = gen.next(c, device::Ns{0.0})) arrivals.push(*r);
+  std::optional<Request> lookahead;
+  if (open) {
+    lookahead = gen.next_arrival();
+  } else {
+    for (std::size_t c = 0; c < gen.config().clients; ++c)
+      if (auto r = gen.next(c, device::Ns{0.0})) arrivals.push(*r);
+  }
+  auto arrivals_empty = [&] {
+    return open ? !lookahead.has_value() : arrivals.empty();
+  };
+  auto peek_arrival = [&]() -> const Request& {
+    return open ? *lookahead : arrivals.top();
+  };
+  auto pop_arrival = [&] {
+    const Request r = peek_arrival();
+    if (open)
+      lookahead = gen.next_arrival();
+    else
+      arrivals.pop();
+    return r;
+  };
 
   ServeReport report;
 
-  auto dispatch = [&](device::Ns when, bool drain) {
-    auto batch = drain ? batcher.flush(when) : batcher.poll(when);
-    IMARS_REQUIRE(batch.has_value(), "ServingRuntime: spurious dispatch");
+  std::deque<StagePipeline::BatchHandle> inflight;
+
+  // Deterministic accounting of the oldest in-flight batch (collection
+  // happens in dispatch order, so overlapped and phased execution yield
+  // bit-identical reports).
+  auto drain_one = [&] {
+    StagePipeline::BatchHandle handle = std::move(inflight.front());
+    inflight.pop_front();
     const auto results =
-        router_.execute_batch(*batch, users, cfg_.k,
-                              cfg_.cache.capacity_rows > 0 ? &cache : nullptr,
-                              timing_);
+        pipeline_.collect(std::move(handle), *servable_, cache_ptr,
+                          timings_);
     ++report.batches;
-    for (std::size_t i = 0; i < batch->size(); ++i) {
-      const Request& req = batch->requests[i];
-      const auto& res = results[i];
+    for (const auto& res : results) {
+      const Request& req = res.request;
       ServedQuery q;
       q.id = req.id;
       q.user = req.user;
       q.client = req.client;
-      q.batch = batch->id;
-      q.batch_size = batch->size();
+      q.batch = res.batch_id;
+      q.batch_size = res.batch_size;
       q.home_shard = res.home_shard;
-      q.candidates = res.candidates;
+      q.candidates = res.work_items;
       q.enqueue = req.enqueue;
-      q.dispatch = batch->dispatch;
+      q.dispatch = res.dispatch;
       q.complete = res.complete;
-      q.filter_latency = res.filter_latency;
-      q.rank_latency = res.rank_latency;
-      q.energy = res.filter_stats.total().energy +
-                 res.rank_stats.total().energy;
+      // Every stage before the last aggregates as "filter", the last as
+      // "rank" (scoring), so the split reconciles with per-query energy
+      // for any stage count.
+      for (std::size_t s = 0; s + 1 < res.stage_latency.size(); ++s)
+        q.filter_latency += res.stage_latency[s];
+      q.rank_latency = res.stage_latency.back();
+      for (const auto& s : res.stage_stats) q.energy += s.total().energy;
       report.queries.push_back(q);
-      report.filter_stats.merge(res.filter_stats);
-      report.rank_stats.merge(res.rank_stats);
+      for (std::size_t s = 0; s + 1 < res.stage_stats.size(); ++s)
+        report.filter_stats.merge(res.stage_stats[s]);
+      report.rank_stats.merge(res.stage_stats.back());
       report.makespan = device::max(report.makespan, res.complete);
 
       // Closed loop: the client issues its next query on completion.
-      if (auto next = gen.next(req.client, res.complete))
-        arrivals.push(*next);
+      if (!open)
+        if (auto next = gen.next(req.client, res.complete))
+          arrivals.push(*next);
+    }
+  };
+
+  auto dispatch = [&](device::Ns when, bool drain) {
+    auto batch = drain ? batcher.flush(when) : batcher.poll(when);
+    IMARS_REQUIRE(batch.has_value(), "ServingRuntime: spurious dispatch");
+    inflight.push_back(pipeline_.submit(*batch, *servable_, cfg_.k));
+    if (!defer) {
+      drain_one();
+    } else {
+      while (inflight.size() > max_inflight) drain_one();
     }
   };
 
   device::Ns last_enqueue{0.0};
-  while (!arrivals.empty() || !batcher.empty()) {
-    if (!arrivals.empty()) {
-      const device::Ns next_arrival = arrivals.top().enqueue;
+  while (!arrivals_empty() || !batcher.empty() || !inflight.empty()) {
+    if (!arrivals_empty()) {
+      const device::Ns next_arrival = peek_arrival().enqueue;
       const auto deadline = batcher.deadline();
       if (!deadline.has_value() || next_arrival <= *deadline) {
         // The arrival is the earliest actionable event.
-        const Request r = arrivals.top();
-        arrivals.pop();
+        const Request r = pop_arrival();
         batcher.add(r);
         last_enqueue = r.enqueue;
         if (batcher.pending() >= batcher.config().max_batch)
@@ -98,13 +215,19 @@ ServeReport ServingRuntime::run(LoadGenerator& gen,
       dispatch(*deadline, false);
       continue;
     }
-    // No arrival can occur before a completion (closed loop, nothing in
-    // flight): waiting out the deadline would be pure simulation artifact,
-    // so drain the partial batch at the newest request's arrival time.
-    dispatch(last_enqueue, true);
+    if (!batcher.empty()) {
+      // No arrival can occur before a completion (closed loop, nothing
+      // pending; open loop, stream exhausted): waiting out the deadline
+      // would be pure simulation artifact, so drain the partial batch at
+      // the newest request's arrival time.
+      dispatch(last_enqueue, true);
+      continue;
+    }
+    // Only in-flight batches remain (deferred collection).
+    drain_one();
   }
 
-  report.shards.assign(router_.usage().begin(), router_.usage().end());
+  report.shards.assign(pipeline_.usage().begin(), pipeline_.usage().end());
   report.cache = cache.stats();
   return report;
 }

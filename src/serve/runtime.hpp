@@ -1,16 +1,22 @@
-// The concurrent serving runtime: glue between the closed-loop load
-// generator, the dynamic batcher, the hot-embedding cache and the sharded
-// accelerator fabric.
+// The concurrent serving runtime: glue between the load generator (closed-
+// loop or open-loop Poisson), the dynamic batcher, the hot-embedding cache
+// and the staged-pipeline engine over an abstract ServableBackend.
 //
 // The event loop advances simulated hardware time deterministically
 // (arrivals, batch triggers, completions), while the functional
 // recommendation work of each dispatched batch executes concurrently on
-// the per-shard worker threads. Reported QPS / latency percentiles are in
-// the device-model time domain, so they compose with every other number
-// the simulator produces.
+// the per-shard worker threads. With `overlap` enabled under open-loop
+// arrivals, up to `max_inflight` batches stay in flight: batch b+1's early
+// stages run on the worker threads while batch b's late stages finish
+// (batch composition is completion-independent in the open loop, so the
+// deferred accounting is bit-identical to phased execution). Reported
+// QPS / latency percentiles are in the device-model time domain, so they
+// compose with every other number the simulator produces.
 #pragma once
 
+#include <memory>
 #include <span>
+#include <vector>
 
 #include "core/backend_factory.hpp"
 #include "core/config.hpp"
@@ -20,6 +26,7 @@
 #include "serve/load_gen.hpp"
 #include "serve/serve_stats.hpp"
 #include "serve/shard_router.hpp"
+#include "serve/stage_pipeline.hpp"
 
 namespace imars::serve {
 
@@ -28,31 +35,71 @@ struct ServingConfig {
   std::size_t k = 10;  ///< global top-k per query
   DynamicBatcherConfig batcher;
   HotCacheConfig cache;
-  TrafficSpec traffic;  ///< per-stage ET traffic (cache bookkeeping)
+  TrafficSpec traffic;  ///< per-stage ET traffic (filter/rank servable)
+  /// Explicit item partition (e.g. ShardMap::from_costs over probed stage
+  /// costs); when empty, one is derived from `shard_weights`, or the
+  /// uniform modulo-compatible placement if those are empty too.
+  ShardMap shard_map;
+  /// Capability weights of the item partition (one per shard).
+  std::vector<double> shard_weights;
+  std::size_t map_granularity = 64;  ///< buckets per shard (weighted maps)
+  /// Async stage overlap: keep up to `max_inflight` batches in flight so a
+  /// later batch's early stages overlap an earlier batch's late stages on
+  /// the worker threads. Honored under open-loop arrivals (closed-loop
+  /// batch composition depends on completions, so the loop stays phased);
+  /// hardware-time reports are identical either way.
+  bool overlap = false;
+  std::size_t max_inflight = 4;
 };
 
 class ServingRuntime {
  public:
-  /// Builds the shard fabric (one backend replica per shard, in parallel).
-  /// `arch`/`profile` parameterize the cache/merge timing model and should
-  /// match what the factory's backends use.
+  /// Filter/rank fabric from a uniform factory (one replica per shard,
+  /// built in parallel). `arch`/`profile` parameterize the cache/merge
+  /// timing model and should match what the factory's backends use.
   ServingRuntime(const core::BackendFactory& factory,
                  const ServingConfig& cfg, const core::ArchConfig& arch,
                  const device::DeviceProfile& profile);
 
-  const ServingConfig& config() const noexcept { return cfg_; }
-  ShardRouter& router() noexcept { return router_; }
-  const CacheTiming& cache_timing() const noexcept { return timing_; }
+  /// Generic fabric over any servable (CTR, heterogeneous filter/rank, …).
+  /// The shard count comes from the servable; `profile` supplies the
+  /// controller-side (merge) timing. On mixed-technology fabrics pass the
+  /// per-shard `shard_profiles` so cache hits credit back each shard's own
+  /// miss cost (empty means every shard uses `profile`).
+  ServingRuntime(std::unique_ptr<ServableBackend> servable,
+                 const ServingConfig& cfg, const core::ArchConfig& arch,
+                 const device::DeviceProfile& profile,
+                 std::span<const device::DeviceProfile> shard_profiles = {});
 
-  /// Serves the generator's whole closed-loop stream against the user
-  /// population; resets clocks and cache statistics first.
+  const ServingConfig& config() const noexcept { return cfg_; }
+  StagePipeline& pipeline() noexcept { return pipeline_; }
+  ServableBackend& servable() noexcept { return *servable_; }
+  /// The filter/rank servable (valid whenever the fabric serves one,
+  /// whichever constructor built it).
+  ShardRouter& router();
+  /// Per-shard cache timings (a single entry when all shards share the
+  /// controller profile's technology).
+  std::span<const CacheTiming> cache_timing() const noexcept {
+    return timings_;
+  }
+
+  /// Serves the generator's whole stream against the user population
+  /// (filter/rank fabrics); resets clocks and cache statistics first.
   ServeReport run(LoadGenerator& gen,
                   std::span<const recsys::UserContext> users);
 
+  /// Serves the generator's whole stream; the servable's population must
+  /// already be bound (e.g. CtrServable::bind_samples).
+  ServeReport run(LoadGenerator& gen);
+
  private:
+  static ShardMap make_map(const ServingConfig& cfg, std::size_t shards);
+
   ServingConfig cfg_;
-  CacheTiming timing_;
-  ShardRouter router_;
+  std::vector<CacheTiming> timings_;  ///< one, or one per shard
+  std::unique_ptr<ServableBackend> servable_;
+  ShardRouter* router_ = nullptr;  ///< non-null for filter/rank fabrics
+  StagePipeline pipeline_;
 };
 
 }  // namespace imars::serve

@@ -1,0 +1,97 @@
+#include "serve/servable_ctr.hpp"
+
+#include "util/error.hpp"
+
+namespace imars::serve {
+
+using recsys::StageStats;
+
+PipelineSpec CtrServable::pipeline_spec() {
+  PipelineSpec spec;
+  spec.stages = {{"score", StageKind::kSharded}};
+  spec.merge_topk = false;  // one shard scores the impression; no tournament
+  return spec;
+}
+
+CtrServable::CtrServable(const core::CtrBackendFactory& factory,
+                         std::span<const device::DeviceProfile> profiles)
+    : spec_(pipeline_spec()) {
+  IMARS_REQUIRE(!profiles.empty(), "CtrServable: need at least one shard");
+  shards_ = core::build_replicas(factory, profiles);
+}
+
+void CtrServable::bind_samples(std::span<const data::CriteoSample> samples) {
+  IMARS_REQUIRE(!samples.empty(), "CtrServable: empty impression population");
+  samples_ = samples;
+}
+
+recsys::CtrBackend& CtrServable::backend(std::size_t shard) {
+  IMARS_REQUIRE(shard < shards_.size(), "CtrServable: shard out of range");
+  return *shards_[shard];
+}
+
+const data::CriteoSample& CtrServable::sample_of(const Request& req) const {
+  IMARS_REQUIRE(req.user < samples_.size(),
+                "CtrServable: sample out of range (bind_samples first)");
+  return samples_[req.user];
+}
+
+std::vector<device::Ns> CtrServable::probe_score_cost(
+    const data::CriteoSample& probe) {
+  std::vector<device::Ns> costs;
+  costs.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    StageStats stats;
+    (void)shard->score(probe.dense, probe.sparse, &stats);
+    costs.push_back(stats.total().latency);
+  }
+  return costs;
+}
+
+std::vector<std::size_t> CtrServable::run_replicated(std::size_t, std::size_t,
+                                                     const Request&,
+                                                     StageStats*) {
+  IMARS_REQUIRE(false, "CtrServable: no replicated stage in the CTR graph");
+  return {};
+}
+
+std::vector<recsys::ScoredItem> CtrServable::run_sharded(
+    std::size_t stage, std::size_t shard, const Request& req,
+    std::span<const std::size_t> slice, std::size_t /*k*/,
+    StageStats* stats) {
+  IMARS_REQUIRE(stage == 0, "CtrServable: score is stage 0");
+  // The slice carries the request's own id (initial_items); score the
+  // impression the request references.
+  std::vector<recsys::ScoredItem> out;
+  out.reserve(slice.size());
+  for (std::size_t key : slice) {
+    IMARS_REQUIRE(key == req.id, "CtrServable: foreign work item");
+    const auto& s = sample_of(req);
+    const float ctr = shards_[shard]->score(s.dense, s.sparse, stats);
+    out.push_back({req.user, ctr});
+  }
+  return out;
+}
+
+std::vector<RowAccess> CtrServable::accesses(
+    std::size_t /*stage*/, const Request& req,
+    std::span<const std::size_t> slice) const {
+  // One row fetch per categorical feature per scored impression (DLRM
+  // looks up exactly one row per table; no pooling chain). The 26 banks
+  // read in parallel — the measured ET latency is the slowest bank, not a
+  // sum — so hits are flagged parallel_bank, grouped per impression:
+  // energy is credited per hit, latency only when a whole impression hits.
+  std::vector<RowAccess> out;
+  const auto& s = sample_of(req);
+  out.reserve(slice.size() * s.sparse.size());
+  for (std::size_t i = 0; i < slice.size(); ++i)
+    for (std::size_t f = 0; f < s.sparse.size(); ++f)
+      out.push_back({static_cast<std::uint32_t>(f),
+                     static_cast<std::uint32_t>(s.sparse[f]),
+                     /*pooled=*/false, /*first_in_table=*/false,
+                     /*parallel_bank=*/true,
+                     /*parallel_group=*/static_cast<std::uint32_t>(i)});
+  return out;
+}
+
+}  // namespace imars::serve

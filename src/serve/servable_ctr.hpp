@@ -1,0 +1,85 @@
+// The DLRM/Criteo CTR servable: ranking-only scoring behind the generic
+// staged-pipeline engine (ROADMAP "larger-scale serving bench" item).
+//
+// The pipeline is a single *sharded* stage: each impression is one work
+// item, placed on a shard by the ShardMap, so a capability-weighted map
+// sends proportionally more traffic to faster shards (mixed-technology
+// fabrics). Every replica holds the full model — sharding splits the
+// request stream, not the tables — so any disjoint cover serves every
+// impression exactly once and sharded scores equal the serial
+// ImarsCtrBackend::score by construction.
+//
+// The per-impression ET traffic (26 single-row fetches, one per categorical
+// feature) flows through the same hot-embedding cache as the filter/rank
+// servable: Zipf-hot feature rows are served from the periphery buffer.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/backend_factory.hpp"
+#include "data/criteo.hpp"
+#include "serve/stage_pipeline.hpp"
+
+namespace imars::serve {
+
+class CtrServable final : public ServableBackend {
+ public:
+  /// The single-stage scoring graph this servable implements.
+  static PipelineSpec pipeline_spec();
+
+  /// One CtrBackend replica per profile slot, each built on its own device
+  /// technology (built in parallel). `model` captured by `factory` must
+  /// outlive the servable.
+  CtrServable(const core::CtrBackendFactory& factory,
+              std::span<const device::DeviceProfile> profiles);
+
+  /// Binds the impression population `Request::user` indexes. The span must
+  /// outlive the serving run.
+  void bind_samples(std::span<const data::CriteoSample> samples);
+
+  recsys::CtrBackend& backend(std::size_t shard);
+
+  /// Measures each shard's per-impression scoring cost on `probe` (hardware
+  /// latency), for capability-weighted ShardMaps. Runs the replicas on the
+  /// calling thread, so it must NOT be called while a batch is in flight
+  /// (probe before serving, like the benches do).
+  std::vector<device::Ns> probe_score_cost(const data::CriteoSample& probe);
+
+  // --- ServableBackend -----------------------------------------------------
+  std::string_view name() const override { return "ctr-dlrm"; }
+  const PipelineSpec& spec() const override { return spec_; }
+  std::size_t shards() const override { return shards_.size(); }
+
+  /// The impression itself is the only work item; keyed by request id so
+  /// the ShardMap spreads the stream in arrival order, weighted by
+  /// capability (sample ids would pin every repeat of a Zipf-hot impression
+  /// to one shard).
+  std::vector<std::size_t> initial_items(const Request& req) const override {
+    return {req.id};
+  }
+
+  std::vector<std::size_t> run_replicated(
+      std::size_t stage, std::size_t shard, const Request& req,
+      recsys::StageStats* stats) override;
+
+  std::vector<recsys::ScoredItem> run_sharded(
+      std::size_t stage, std::size_t shard, const Request& req,
+      std::span<const std::size_t> slice, std::size_t k,
+      recsys::StageStats* stats) override;
+
+  std::vector<RowAccess> accesses(
+      std::size_t stage, const Request& req,
+      std::span<const std::size_t> slice) const override;
+
+ private:
+  const data::CriteoSample& sample_of(const Request& req) const;
+
+  PipelineSpec spec_;
+  std::vector<std::unique_ptr<recsys::CtrBackend>> shards_;
+  std::span<const data::CriteoSample> samples_;
+};
+
+}  // namespace imars::serve

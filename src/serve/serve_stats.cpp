@@ -49,13 +49,13 @@ double ServeReport::mean_energy_pj() const {
 double ServeReport::rank_utilization(std::size_t s) const {
   IMARS_REQUIRE(s < shards.size(), "ServeReport: shard out of range");
   if (makespan.value <= 0.0) return 0.0;
-  return shards[s].rank_busy.value / makespan.value;
+  return shards[s].last_stage_busy().value / makespan.value;
 }
 
 double ServeReport::filter_utilization(std::size_t s) const {
   IMARS_REQUIRE(s < shards.size(), "ServeReport: shard out of range");
   if (makespan.value <= 0.0) return 0.0;
-  return shards[s].filter_busy.value / makespan.value;
+  return shards[s].first_stage_busy().value / makespan.value;
 }
 
 }  // namespace imars::serve

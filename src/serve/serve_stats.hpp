@@ -31,10 +31,21 @@ struct ServedQuery {
   device::Pj energy;            ///< cache-adjusted query energy
 };
 
-/// Busy time of one shard's pipeline units over the run.
+/// Busy time of one shard's pipeline units over the run, one entry per
+/// pipeline stage (two for the filter/rank pipeline, one for CTR scoring).
 struct ShardUsage {
-  device::Ns filter_busy;
-  device::Ns rank_busy;
+  std::vector<device::Ns> stage_busy;
+
+  /// Busy time of the first stage (the replicated filter in the two-stage
+  /// pipeline); zero for single-stage pipelines.
+  device::Ns first_stage_busy() const {
+    return stage_busy.size() > 1 ? stage_busy.front() : device::Ns{0.0};
+  }
+  /// Busy time of the last stage (the sharded rank / scoring stage — the
+  /// figure of merit for load balance).
+  device::Ns last_stage_busy() const {
+    return stage_busy.empty() ? device::Ns{0.0} : stage_busy.back();
+  }
 };
 
 /// Aggregated results of one serving run.

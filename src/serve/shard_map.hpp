@@ -1,0 +1,75 @@
+// Capability-weighted item placement across accelerator shards.
+//
+// PR 1 placed items with a hard-coded `item % N`, which assumes every shard
+// ranks at the same speed. Mixed-technology fabrics (e.g. FeFET-45 next to
+// ReRAM-45 or FeFET-22 replicas) violate that: a slow shard on the critical
+// path drags the whole batch. A ShardMap generalizes the placement to any
+// disjoint cover of the key space: the key space is folded onto a fixed
+// bucket ring (`key % buckets`) and buckets are apportioned to shards
+// proportionally to capability weights (largest-remainder rounding), so a
+// shard with twice the measured rank-stage throughput owns twice the items.
+// Zero-weight shards own no buckets and legitimately receive empty slices.
+//
+// The uniform map uses exactly `shards` buckets, making `shard_of(key)`
+// bit-identical to the old `key % N` — the refactor cannot perturb PR 1's
+// timing with identical shards.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "device/units.hpp"
+#include "util/error.hpp"
+
+namespace imars::serve {
+
+class ShardMap {
+ public:
+  /// Empty map (no shards); placeholder until a real map is assigned.
+  ShardMap() = default;
+
+  /// Uniform placement over `shards` shards: one bucket per shard, so
+  /// `shard_of(key) == key % shards` exactly.
+  static ShardMap uniform(std::size_t shards);
+
+  /// Capability-weighted placement: `granularity * shards` buckets are
+  /// apportioned by largest remainder. Weights must be non-negative with a
+  /// positive sum; a zero-weight shard owns no buckets.
+  static ShardMap weighted(std::span<const double> weights,
+                           std::size_t granularity = 64);
+
+  /// Weights derived from measured per-item stage cost: capability is the
+  /// reciprocal of cost, so faster shards own proportionally more keys.
+  /// Non-positive costs (e.g. the zero-cost CPU oracle) fall back to the
+  /// uniform weight.
+  static ShardMap from_costs(std::span<const device::Ns> per_item_cost,
+                             std::size_t granularity = 64);
+
+  bool empty() const noexcept { return table_.empty(); }
+  std::size_t shards() const noexcept { return share_.size(); }
+  std::size_t buckets() const noexcept { return table_.size(); }
+
+  /// The shard owning `key`. Every key maps to exactly one shard, so the
+  /// per-shard slices of any key set are disjoint and cover it.
+  std::size_t shard_of(std::size_t key) const {
+    IMARS_REQUIRE(!table_.empty(), "ShardMap::shard_of: empty map");
+    return table_[key % table_.size()];
+  }
+
+  /// Fraction of the bucket ring shard `s` owns (normalized weight).
+  double share(std::size_t s) const;
+
+  /// Splits `keys` into per-shard slices, preserving input order within
+  /// each slice. Slices are disjoint by construction and their union is
+  /// `keys`.
+  std::vector<std::vector<std::size_t>> partition(
+      std::span<const std::size_t> keys) const;
+
+ private:
+  std::vector<std::uint32_t> table_;  ///< bucket -> shard
+  std::vector<double> share_;         ///< per-shard fraction of buckets
+};
+
+}  // namespace imars::serve

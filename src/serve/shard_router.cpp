@@ -1,48 +1,79 @@
 #include "serve/shard_router.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <future>
-
 #include "util/error.hpp"
 
 namespace imars::serve {
 
-using recsys::OpCost;
-using recsys::OpKind;
 using recsys::StageStats;
 
+PipelineSpec ShardRouter::pipeline_spec() {
+  PipelineSpec spec;
+  spec.stages = {{"filter", StageKind::kReplicated},
+                 {"rank", StageKind::kSharded}};
+  spec.merge_topk = true;
+  return spec;
+}
+
 ShardRouter::ShardRouter(const core::BackendFactory& factory,
-                         std::size_t shards,
-                         const device::DeviceProfile& profile,
-                         TrafficSpec traffic)
-    : profile_(profile),
-      traffic_(std::move(traffic)),
-      executors_(shards),
-      usage_(shards) {
+                         std::size_t shards, TrafficSpec traffic)
+    : spec_(pipeline_spec()), traffic_(std::move(traffic)) {
   IMARS_REQUIRE(shards >= 1, "ShardRouter: need at least one shard");
-  shards_.resize(shards);
-  // Replicas are built on their own executor threads (construction — table
-  // loading, crossbar programming — is the expensive part and parallelizes).
-  std::vector<std::future<void>> built;
-  for (std::size_t s = 0; s < shards; ++s) {
-    built.push_back(executors_.at(s).submit(
-        [this, s, &factory] { shards_[s].backend = factory(); }));
-  }
-  ExecutorPool::wait_all(built);
-  for (auto& st : shards_)
-    IMARS_REQUIRE(st.backend != nullptr, "ShardRouter: factory returned null");
+  // Uniform replicas ignore the slot; any profile placeholder works.
+  const std::vector<device::DeviceProfile> slots(shards,
+                                                 device::DeviceProfile{});
+  shards_ = core::build_replicas(core::per_slot(factory), slots);
+}
+
+ShardRouter::ShardRouter(const core::ShardedBackendFactory& factory,
+                         std::span<const device::DeviceProfile> profiles,
+                         TrafficSpec traffic)
+    : spec_(pipeline_spec()), traffic_(std::move(traffic)) {
+  IMARS_REQUIRE(!profiles.empty(), "ShardRouter: need at least one shard");
+  shards_ = core::build_replicas(factory, profiles);
+}
+
+void ShardRouter::bind_users(std::span<const recsys::UserContext> users) {
+  IMARS_REQUIRE(!users.empty(), "ShardRouter: empty user population");
+  users_ = users;
 }
 
 recsys::FilterRankBackend& ShardRouter::backend(std::size_t shard) {
   IMARS_REQUIRE(shard < shards_.size(), "ShardRouter: shard out of range");
-  return *shards_[shard].backend;
+  return *shards_[shard];
 }
 
-void ShardRouter::reset_clock() {
-  for (auto& st : shards_)
-    st.filter_free = st.rank_free = st.et_free = device::Ns{0.0};
-  for (auto& u : usage_) u = ShardUsage{};
+const recsys::UserContext& ShardRouter::user_of(const Request& req) const {
+  IMARS_REQUIRE(req.user < users_.size(),
+                "ShardRouter: user out of range (bind_users first)");
+  return users_[req.user];
+}
+
+std::vector<device::Ns> ShardRouter::probe_rank_cost(
+    const recsys::UserContext& probe, std::span<const std::size_t> items) {
+  std::vector<device::Ns> costs;
+  costs.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    StageStats stats;
+    (void)shard->rank(probe, items, std::max<std::size_t>(items.size(), 1),
+                      &stats);
+    costs.push_back(stats.total().latency);
+  }
+  return costs;
+}
+
+std::vector<std::size_t> ShardRouter::run_replicated(std::size_t stage,
+                                                     std::size_t shard,
+                                                     const Request& req,
+                                                     StageStats* stats) {
+  IMARS_REQUIRE(stage == 0, "ShardRouter: filter is stage 0");
+  return shards_[shard]->filter(user_of(req), stats);
+}
+
+std::vector<recsys::ScoredItem> ShardRouter::run_sharded(
+    std::size_t stage, std::size_t shard, const Request& req,
+    std::span<const std::size_t> slice, std::size_t k, StageStats* stats) {
+  IMARS_REQUIRE(stage == 1, "ShardRouter: rank is stage 1");
+  return shards_[shard]->rank(user_of(req), slice, k, stats);
 }
 
 namespace {
@@ -97,191 +128,11 @@ std::vector<RowAccess> ShardRouter::rank_accesses(
   return out;
 }
 
-StageStats ShardRouter::adjust_stage(const StageStats& measured,
-                                     std::span<const RowAccess> accesses,
-                                     HotEmbeddingCache* cache,
-                                     const CacheTiming& timing) const {
-  if (cache == nullptr) return measured;
-
-  std::size_t pooled_hits = 0, pooled_first_hits = 0, row_hits = 0;
-  for (const auto& a : accesses) {
-    if (cache->access(a.table, a.row)) {
-      if (!a.pooled)
-        ++row_hits;
-      else if (a.first_in_table)
-        ++pooled_first_hits;
-      else
-        ++pooled_hits;
-    }
-  }
-  if (pooled_hits == 0 && pooled_first_hits == 0 && row_hits == 0)
-    return measured;
-
-  // Replace each hit's CMA+bus cost with the hot-buffer cost, clamped so an
-  // adjustment can never drive the measured ET cost negative (the CPU
-  // oracle charges no hardware cost at all).
-  const double ph = static_cast<double>(pooled_hits);
-  const double pfh = static_cast<double>(pooled_first_hits);
-  const double rh = static_cast<double>(row_hits);
-  StageStats adjusted = measured;
-  OpCost& et = adjusted.at(OpKind::kEtLookup);
-  const device::Ns lat_removed = timing.pooled_miss.latency * ph +
-                                 timing.pooled_first_miss.latency * pfh +
-                                 timing.row_miss.latency * rh;
-  const device::Pj pj_removed = timing.pooled_miss.energy * ph +
-                                timing.pooled_first_miss.energy * pfh +
-                                timing.row_miss.energy * rh;
-  const double hits = ph + pfh + rh;
-  et.latency = device::max(et.latency - lat_removed, device::Ns{0.0}) +
-               timing.hit.latency * hits;
-  et.energy = device::Pj{std::max(0.0, (et.energy - pj_removed).value)} +
-              timing.hit.energy * hits;
-  return adjusted;
-}
-
-OpCost ShardRouter::merge_cost(std::size_t slices, std::size_t k) const {
-  // Each contributing shard ships k (id, score) pairs (8 bytes each) over
-  // the RSC bus; the controller then runs a k-way tournament across slices.
-  const std::size_t bytes = 8 * std::max<std::size_t>(k, 1);
-  const std::size_t cycles_per_shard =
-      (bytes * 8 + profile_.rsc_bus_bits - 1) / profile_.rsc_bus_bits;
-  const double transfers =
-      static_cast<double>(cycles_per_shard) * static_cast<double>(slices);
-  // ceil(log2(slices)) tournament rounds; a single slice needs no merge.
-  double rounds = 0.0;
-  for (std::size_t span = 1; span < slices; span *= 2) rounds += 1.0;
-  const double selects = static_cast<double>(k) * rounds;
-  OpCost cost;
-  cost.latency = profile_.rsc_cycle * transfers +
-                 profile_.controller_cycle * selects;
-  cost.energy = profile_.rsc_energy * transfers +
-                profile_.controller_energy * selects;
-  return cost;
-}
-
-std::vector<ShardRouter::QueryResult> ShardRouter::execute_batch(
-    const Batch& batch, std::span<const recsys::UserContext> users,
-    std::size_t k, HotEmbeddingCache* cache, const CacheTiming& timing) {
-  const std::size_t n = batch.size();
-  const std::size_t ns = shards_.size();
-  IMARS_REQUIRE(n >= 1, "ShardRouter::execute_batch: empty batch");
-  for (const auto& r : batch.requests)
-    IMARS_REQUIRE(r.user < users.size(),
-                  "ShardRouter::execute_batch: user out of range");
-
-  // Phase A — replicated filter stage, queries round-robin over shards;
-  // each shard's worker thread runs its queries in order.
-  std::vector<std::size_t> home(n);
-  std::vector<std::vector<std::size_t>> candidates(n);
-  std::vector<StageStats> fstats(n);
-  {
-    std::vector<std::future<void>> pending;
-    for (std::size_t i = 0; i < n; ++i) {
-      home[i] = batch.requests[i].id % ns;
-      const recsys::UserContext* user = &users[batch.requests[i].user];
-      const std::size_t shard = home[i];
-      pending.push_back(
-          executors_.at(shard).submit([this, i, shard, user, &candidates,
-                                       &fstats] {
-            candidates[i] =
-                shards_[shard].backend->filter(*user, &fstats[i]);
-          }));
-    }
-    ExecutorPool::wait_all(pending);
-  }
-
-  // Phase B — sharded rank stage: each shard ranks the candidates it owns.
-  std::vector<std::vector<std::vector<std::size_t>>> slices(
-      n, std::vector<std::vector<std::size_t>>(ns));
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t item : candidates[i])
-      slices[i][shard_of_item(item)].push_back(item);
-
-  std::vector<std::vector<std::vector<recsys::ScoredItem>>> scored(
-      n, std::vector<std::vector<recsys::ScoredItem>>(ns));
-  std::vector<std::vector<StageStats>> rstats(n,
-                                              std::vector<StageStats>(ns));
-  {
-    std::vector<std::future<void>> pending;
-    for (std::size_t i = 0; i < n; ++i) {
-      const recsys::UserContext* user = &users[batch.requests[i].user];
-      for (std::size_t s = 0; s < ns; ++s) {
-        if (slices[i][s].empty()) continue;
-        pending.push_back(executors_.at(s).submit([this, i, s, user, &slices,
-                                                   &scored, &rstats, k] {
-          scored[i][s] = shards_[s].backend->rank(*user, slices[i][s], k,
-                                                  &rstats[i][s]);
-        }));
-      }
-    }
-    ExecutorPool::wait_all(pending);
-  }
-
-  // Phase C — deterministic accounting in batch order: cache rewrite of ET
-  // costs, then the event model (per-shard two-stage pipeline with ET-bank
-  // contention, as in core/throughput.hpp) composes hardware time.
-  std::vector<QueryResult> results(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto& req = batch.requests[i];
-    const auto& user = users[req.user];
-    QueryResult& out = results[i];
-    out.home_shard = home[i];
-    out.candidates = candidates[i].size();
-
-    const auto f_acc = filter_accesses(user);
-    out.filter_stats = adjust_stage(fstats[i], f_acc, cache, timing);
-    const device::Ns f_time = out.filter_stats.total().latency;
-    const device::Ns f_et = out.filter_stats.at(OpKind::kEtLookup).latency;
-
-    ShardState& h = shards_[home[i]];
-    const device::Ns f_start =
-        std::max({batch.dispatch, h.filter_free, h.et_free});
-    const device::Ns f_end = f_start + f_time;
-    h.filter_free = f_end;
-    h.et_free = f_start + f_et;
-    usage_[home[i]].filter_busy += f_time;
-    out.filter_latency = f_time;
-
-    // Rank slices run concurrently across shards; each occupies its shard's
-    // rank unit and ET banks.
-    device::Ns rank_end = f_end;
-    std::size_t contributing = 0;
-    for (std::size_t s = 0; s < ns; ++s) {
-      if (slices[i][s].empty()) continue;
-      ++contributing;
-      const auto r_acc = rank_accesses(user, slices[i][s]);
-      const StageStats adj = adjust_stage(rstats[i][s], r_acc, cache, timing);
-      out.rank_stats.merge(adj);
-      const device::Ns r_time = adj.total().latency;
-      const device::Ns r_et = adj.at(OpKind::kEtLookup).latency;
-
-      ShardState& st = shards_[s];
-      const device::Ns r_start = std::max({f_end, st.rank_free, st.et_free});
-      const device::Ns r_end = r_start + r_time;
-      st.rank_free = r_end;
-      st.et_free = r_start + r_et;
-      usage_[s].rank_busy += r_time;
-      rank_end = device::max(rank_end, r_end);
-    }
-
-    // Merge unit: global top-k from the per-shard top-k lists.
-    const OpCost merge =
-        merge_cost(std::max<std::size_t>(contributing, 1), k);
-    out.rank_stats.at(OpKind::kComm) += merge;
-    out.complete = rank_end + merge.latency;
-    out.rank_latency = out.complete - f_end;
-
-    std::vector<recsys::ScoredItem> all;
-    for (std::size_t s = 0; s < ns; ++s)
-      all.insert(all.end(), scored[i][s].begin(), scored[i][s].end());
-    std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
-      if (a.score != b.score) return a.score > b.score;
-      return a.item < b.item;
-    });
-    if (all.size() > k) all.resize(k);
-    out.topk = std::move(all);
-  }
-  return results;
+std::vector<RowAccess> ShardRouter::accesses(
+    std::size_t stage, const Request& req,
+    std::span<const std::size_t> slice) const {
+  return stage == 0 ? filter_accesses(user_of(req))
+                    : rank_accesses(user_of(req), slice);
 }
 
 }  // namespace imars::serve

@@ -1,22 +1,19 @@
-// Sharded accelerator fabric: N independent backend replicas serving one
-// catalog.
+// The two-stage (YouTubeDNN filter/rank) servable: FilterRankBackend
+// replicas behind the generic staged-pipeline engine.
 //
 // The filter stage is *replicated* — any shard can run any query's
-// filtering pass over the full catalog (queries spread round-robin), while
-// the rank stage is *sharded* — each shard ranks only the candidates it
-// owns (item id mod N) and ships its local top-k to the merge unit, which
-// produces the global top-k. Because the slices are disjoint and cover all
-// candidates, merged results equal single-backend results.
+// filtering pass over the full catalog (queries spread over shards by the
+// ShardMap), while the rank stage is *sharded* — each shard ranks only the
+// candidate items it owns under the ShardMap's disjoint cover and ships its
+// local top-k to the merge unit. Because the slices are disjoint and cover
+// all candidates, merged results equal single-backend results for ANY
+// capability weighting, including empty slices on zero-weight shards.
 //
-// Execution is hybrid: the *functional* work runs concurrently on real
-// per-shard worker threads (ShardExecutor), while *hardware time* is
-// composed deterministically from the backends' measured per-stage costs by
-// a small event model: each shard is a two-stage pipeline (filter unit,
-// rank unit) plus an ET-bank resource both stages contend for — the same
-// contention rule as core/throughput.hpp's pipelined bound. The
-// hot-embedding cache rewrites per-row ET costs (core::PerfModel row costs)
-// before times enter the event model, so cached rows neither occupy the
-// CMA arrays nor the contended ET banks.
+// This class is the workload adapter only; execution (worker threads,
+// event-model clocks, cache rewriting, merge timing) lives in
+// serve/stage_pipeline.*. PR 1's ShardRouter fused the two and hard-coded
+// `item % N` placement; the modulo is gone from the public API — every
+// item→shard decision routes through the engine's ShardMap.
 #pragma once
 
 #include <cstddef>
@@ -25,40 +22,9 @@
 #include <vector>
 
 #include "core/backend_factory.hpp"
-#include "core/perf_model.hpp"
-#include "recsys/types.hpp"
-#include "serve/batcher.hpp"
-#include "serve/executor.hpp"
-#include "serve/hot_cache.hpp"
-#include "serve/serve_stats.hpp"
+#include "serve/stage_pipeline.hpp"
 
 namespace imars::serve {
-
-/// Device-anchored costs the cache substitutes per ET row access.
-struct CacheTiming {
-  recsys::OpCost hit;          ///< hot-row buffer read
-  recsys::OpCost row_miss;     ///< RAM-mode row fetch + RSC transfer
-  recsys::OpCost pooled_miss;  ///< per-row in-array accumulate increment
-  /// The first row of a table's pooled chain costs only the read (no
-  /// write-back + add yet; PerfModel::et_lookup charges read*L +
-  /// (write+add)*(L-1)).
-  recsys::OpCost pooled_first_miss;
-
-  static CacheTiming from_model(const core::PerfModel& model) {
-    const auto& read = model.profile().cma_read;
-    return CacheTiming{model.cached_row(), model.row_fetch(),
-                       model.pooled_row(),
-                       recsys::OpCost{read.latency, read.energy}};
-  }
-};
-
-/// One ET row touched by a query (cache bookkeeping granularity).
-struct RowAccess {
-  std::uint32_t table = 0;  ///< kItetTable or kUietTableBase + feature
-  std::uint32_t row = 0;
-  bool pooled = false;  ///< pooled lookup (vs RAM-mode row fetch)
-  bool first_in_table = false;  ///< first row of its table's pooled chain
-};
 
 /// Which ET rows each stage touches, mirroring ImarsBackend's computation
 /// flow so cache adjustments rewrite exactly the traffic that was measured:
@@ -70,54 +36,60 @@ struct TrafficSpec {
   std::vector<std::size_t> rank_features;    ///< empty = all sparse features
 };
 
-class ShardRouter {
+class ShardRouter final : public ServableBackend {
  public:
   /// Table-key namespace of RowAccess: the ItET plus one UIET per sparse
   /// feature (filter and rank replicas share the hot buffer).
   static constexpr std::uint32_t kItetTable = 0;
   static constexpr std::uint32_t kUietTableBase = 1;
 
-  /// Builds `shards` backend replicas from the factory (each on its own
-  /// worker thread). `profile` supplies the merge-unit communication
-  /// timing (stored by value); `traffic` describes the per-stage ET row
-  /// accesses for cache bookkeeping.
+  /// The filter/rank stage graph this servable implements.
+  static PipelineSpec pipeline_spec();
+
+  /// Uniform fabric: `shards` identical replicas from `factory` (built in
+  /// parallel). `traffic` describes the per-stage ET row accesses for cache
+  /// bookkeeping.
   ShardRouter(const core::BackendFactory& factory, std::size_t shards,
-              const device::DeviceProfile& profile,
               TrafficSpec traffic = {});
 
-  std::size_t shards() const noexcept { return shards_.size(); }
-  std::size_t shard_of_item(std::size_t item) const noexcept {
-    return item % shards_.size();
-  }
+  /// Heterogeneous fabric: one replica per slot, each built on its own
+  /// device profile (mixed technologies).
+  ShardRouter(const core::ShardedBackendFactory& factory,
+              std::span<const device::DeviceProfile> profiles,
+              TrafficSpec traffic = {});
+
+  /// Binds the user-context population `Request::user` indexes. Must be
+  /// called before serving and while no batch is in flight; the span must
+  /// outlive the serving run.
+  void bind_users(std::span<const recsys::UserContext> users);
+
   recsys::FilterRankBackend& backend(std::size_t shard);
 
-  /// Per-query outcome of a batch execution.
-  struct QueryResult {
-    std::vector<recsys::ScoredItem> topk;
-    std::size_t candidates = 0;
-    std::size_t home_shard = 0;
-    device::Ns complete;         ///< simulated merge-done time
-    device::Ns filter_latency;   ///< filter service time (cache-adjusted)
-    device::Ns rank_latency;     ///< end-of-filter to merge-done
-    recsys::StageStats filter_stats;  ///< cache-adjusted
-    recsys::StageStats rank_stats;    ///< summed over slices + merge comm
-  };
+  /// Measures each shard's rank-stage cost on `probe` over `items`
+  /// (hardware latency per slice), for capability-weighted ShardMaps.
+  /// Purely observational: replicas are not mutated functionally. Runs the
+  /// replicas on the calling thread, so it must NOT be called while a
+  /// batch is in flight (probe before serving, like the benches do).
+  std::vector<device::Ns> probe_rank_cost(
+      const recsys::UserContext& probe, std::span<const std::size_t> items);
 
-  /// Runs one closed batch: replicated filters (round-robin home shards),
-  /// sharded ranks, per-shard top-k merge. `users` is the context
-  /// population indexed by Request::user. When `cache` is non-null every
-  /// ET row access flows through it and stage costs are rewritten with
-  /// `timing`. Shard pipeline state persists across calls, so consecutive
-  /// batches overlap exactly as the hardware would.
-  std::vector<QueryResult> execute_batch(
-      const Batch& batch, std::span<const recsys::UserContext> users,
-      std::size_t k, HotEmbeddingCache* cache, const CacheTiming& timing);
+  // --- ServableBackend -----------------------------------------------------
+  std::string_view name() const override { return "filter-rank"; }
+  const PipelineSpec& spec() const override { return spec_; }
+  std::size_t shards() const override { return shards_.size(); }
 
-  /// Cumulative per-shard busy time (for utilization reporting).
-  const std::vector<ShardUsage>& usage() const noexcept { return usage_; }
+  std::vector<std::size_t> run_replicated(
+      std::size_t stage, std::size_t shard, const Request& req,
+      recsys::StageStats* stats) override;
 
-  /// Resets the event clocks and usage counters (not the replicas).
-  void reset_clock();
+  std::vector<recsys::ScoredItem> run_sharded(
+      std::size_t stage, std::size_t shard, const Request& req,
+      std::span<const std::size_t> slice, std::size_t k,
+      recsys::StageStats* stats) override;
+
+  std::vector<RowAccess> accesses(
+      std::size_t stage, const Request& req,
+      std::span<const std::size_t> slice) const override;
 
   /// ET rows a query's filter pass touches (filter-feature sparse rows +
   /// history, pooled once).
@@ -131,29 +103,12 @@ class ShardRouter {
       std::span<const std::size_t> slice) const;
 
  private:
-  struct ShardState {
-    std::unique_ptr<recsys::FilterRankBackend> backend;
-    device::Ns filter_free;  ///< filter pipeline unit available
-    device::Ns rank_free;    ///< rank pipeline unit available
-    device::Ns et_free;      ///< shared ET banks available
-  };
+  const recsys::UserContext& user_of(const Request& req) const;
 
-  /// Applies the cache to `accesses` and rewrites the stage's ET-lookup
-  /// cost; returns the adjusted stats and the adjusted ET-bank occupancy.
-  recsys::StageStats adjust_stage(const recsys::StageStats& measured,
-                                  std::span<const RowAccess> accesses,
-                                  HotEmbeddingCache* cache,
-                                  const CacheTiming& timing) const;
-
-  /// Merge-unit cost: each contributing shard ships its top-k over the RSC
-  /// bus, the controller runs the k-way tournament.
-  recsys::OpCost merge_cost(std::size_t slices, std::size_t k) const;
-
-  device::DeviceProfile profile_;
+  PipelineSpec spec_;
   TrafficSpec traffic_;
-  std::vector<ShardState> shards_;
-  ExecutorPool executors_;
-  std::vector<ShardUsage> usage_;
+  std::vector<std::unique_ptr<recsys::FilterRankBackend>> shards_;
+  std::span<const recsys::UserContext> users_;
 };
 
 }  // namespace imars::serve

@@ -1,0 +1,452 @@
+#include "serve/stage_pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace imars::serve {
+
+using recsys::OpCost;
+using recsys::OpKind;
+using recsys::StageStats;
+
+/// Functional scratch of one in-flight batch. Tasks on the shard executors
+/// fill the per-(query, stage) records; collect() reads them single-threaded
+/// after the done promise fires (the promise provides the happens-before).
+struct StagePipeline::BatchHandle::State {
+  Batch batch;
+  std::size_t k = 0;
+  std::uint64_t seq = 0;  ///< submission order (collect() enforces it)
+
+  struct StageRec {
+    StageStats rep_stats;  ///< replicated-stage measured costs
+    std::vector<std::vector<std::size_t>> slices;  ///< sharded: per shard
+    std::vector<StageStats> shard_stats;           ///< sharded: per shard
+  };
+
+  std::vector<std::size_t> home;                  ///< per query
+  std::vector<std::vector<std::size_t>> items;    ///< current work-item set
+  std::vector<std::vector<StageRec>> rec;         ///< [query][stage]
+  /// Partial scored results of the last sharded stage, [query][shard].
+  std::vector<std::vector<std::vector<recsys::ScoredItem>>> partials;
+  std::unique_ptr<std::atomic<std::size_t>[]> fan_in;  ///< per query
+
+  std::atomic<std::size_t> outstanding{0};
+  std::atomic<bool> failed{false};
+  std::promise<void> done;
+  std::shared_future<void> done_future;
+  std::mutex err_mu;
+  std::exception_ptr error;
+
+  void fail(std::exception_ptr e) {
+    std::lock_guard lock(err_mu);
+    if (!error) error = std::move(e);
+    failed.store(true, std::memory_order_release);
+  }
+};
+
+StagePipeline::StagePipeline(std::size_t shards, PipelineSpec spec,
+                             const device::DeviceProfile& profile,
+                             ShardMap map)
+    : spec_(std::move(spec)),
+      profile_(profile),
+      map_(map.empty() ? ShardMap::uniform(shards) : std::move(map)),
+      executors_(shards),
+      clocks_(shards),
+      usage_(shards) {
+  IMARS_REQUIRE(shards >= 1, "StagePipeline: need at least one shard");
+  IMARS_REQUIRE(spec_.stage_count() >= 1, "StagePipeline: empty stage graph");
+  IMARS_REQUIRE(map_.shards() == shards,
+                "StagePipeline: ShardMap covers a different shard count");
+  // Partial results are kept per shard, not per (stage, shard): a second
+  // sharded stage would mix its partials with the first's in the final
+  // merge. Guard the engine's current envelope explicitly.
+  std::size_t sharded_stages = 0;
+  for (const auto& s : spec_.stages)
+    if (s.kind == StageKind::kSharded) ++sharded_stages;
+  IMARS_REQUIRE(sharded_stages <= 1,
+                "StagePipeline: at most one sharded stage per graph");
+  for (auto& c : clocks_) c.stage_free.resize(spec_.stage_count());
+  for (auto& u : usage_) u.stage_busy.resize(spec_.stage_count());
+}
+
+StagePipeline::~StagePipeline() {
+  // A caller unwinding past uncollected handles (e.g. one overlapped batch
+  // of several threw) leaves their stage-chaining tasks running; those
+  // tasks submit follow-up work to the executors, so the executors must
+  // outlive them. done fires once every query of a batch has finished
+  // chaining, after which no further submissions can occur.
+  std::vector<std::shared_ptr<BatchHandle::State>> live;
+  {
+    std::lock_guard lock(pending_mu_);
+    for (auto& wp : pending_)
+      if (auto sp = wp.lock()) live.push_back(std::move(sp));
+  }
+  for (const auto& st : live) st->done_future.wait();
+}
+
+void StagePipeline::reset_clock() {
+  for (auto& c : clocks_) {
+    c.stage_free.assign(spec_.stage_count(), device::Ns{0.0});
+    c.shared_free = device::Ns{0.0};
+  }
+  for (auto& u : usage_)
+    u.stage_busy.assign(spec_.stage_count(), device::Ns{0.0});
+  // Handles abandoned before collection (e.g. a caller unwound past them
+  // after another batch's error) left their sequence numbers unconsumed;
+  // realign so the next run starts clean — stale handles then fail
+  // collect()'s order check instead of corrupting the fresh clocks.
+  next_collect_seq_ = next_submit_seq_;
+}
+
+StagePipeline::BatchHandle StagePipeline::submit(const Batch& batch,
+                                                 ServableBackend& servable,
+                                                 std::size_t k) {
+  const std::size_t n = batch.size();
+  const std::size_t ns = shards();
+  IMARS_REQUIRE(n >= 1, "StagePipeline::submit: empty batch");
+  IMARS_REQUIRE(servable.shards() == ns,
+                "StagePipeline::submit: servable shard count mismatch");
+  IMARS_REQUIRE(k >= 1, "StagePipeline::submit: k must be >= 1");
+  const PipelineSpec& sspec = servable.spec();
+  IMARS_REQUIRE(sspec.stage_count() == spec_.stage_count() &&
+                    sspec.merge_topk == spec_.merge_topk,
+                "StagePipeline::submit: servable stage graph mismatch");
+  for (std::size_t s = 0; s < spec_.stage_count(); ++s)
+    IMARS_REQUIRE(sspec.stages[s].kind == spec_.stages[s].kind,
+                  "StagePipeline::submit: servable stage kind mismatch");
+
+  auto st = std::make_shared<BatchHandle::State>();
+  st->batch = batch;
+  st->k = k;
+  st->seq = next_submit_seq_++;
+  st->home.resize(n);
+  st->items.resize(n);
+  st->rec.assign(n, std::vector<BatchHandle::State::StageRec>(
+                        spec_.stage_count()));
+  for (auto& query_rec : st->rec)
+    for (std::size_t s = 0; s < spec_.stage_count(); ++s)
+      if (spec_.stages[s].kind == StageKind::kSharded)
+        query_rec[s].shard_stats.resize(ns);
+  st->partials.assign(
+      n, std::vector<std::vector<recsys::ScoredItem>>(ns));
+  st->fan_in = std::make_unique<std::atomic<std::size_t>[]>(n);
+  st->outstanding.store(n);
+  st->done_future = st->done.get_future().share();
+  {
+    std::lock_guard lock(pending_mu_);
+    std::erase_if(pending_, [](const auto& wp) { return wp.expired(); });
+    pending_.push_back(st);
+  }
+
+  for (std::size_t qi = 0; qi < n; ++qi) {
+    const Request& req = st->batch.requests[qi];
+    // All placement routes through the ShardMap: queries spread over the
+    // replicated stage's replicas by id, proportionally to capability.
+    st->home[qi] = map_.shard_of(req.id);
+    if (spec_.stages.front().kind == StageKind::kSharded)
+      st->items[qi] = servable.initial_items(req);
+    advance(st, servable, qi, 0);
+  }
+
+  BatchHandle handle;
+  handle.state_ = std::move(st);
+  return handle;
+}
+
+void StagePipeline::advance(const std::shared_ptr<BatchHandle::State>& st,
+                            ServableBackend& servable, std::size_t qi,
+                            std::size_t stage) {
+  // Nothing in the chain may leak an exception: a throw between the
+  // counter updates (e.g. bad_alloc in partition or task submission)
+  // would leave `outstanding` above zero and hang collect() forever, so
+  // any such failure terminates the query here instead.
+  try {
+    advance_unchecked(st, servable, qi, stage);
+  } catch (...) {
+    st->fail(std::current_exception());
+    if (st->outstanding.fetch_sub(1) == 1) st->done.set_value();
+  }
+}
+
+void StagePipeline::advance_unchecked(
+    const std::shared_ptr<BatchHandle::State>& st, ServableBackend& servable,
+    std::size_t qi, std::size_t stage) {
+  // A failed query skips its remaining stages (collect() rethrows).
+  if (stage >= spec_.stage_count() ||
+      st->failed.load(std::memory_order_acquire)) {
+    if (st->outstanding.fetch_sub(1) == 1) st->done.set_value();
+    return;
+  }
+
+  if (spec_.stages[stage].kind == StageKind::kReplicated) {
+    const std::size_t shard = st->home[qi];
+    executors_.at(shard).submit([this, st, &servable, qi, stage, shard] {
+      try {
+        st->items[qi] = servable.run_replicated(
+            stage, shard, st->batch.requests[qi],
+            &st->rec[qi][stage].rep_stats);
+      } catch (...) {
+        st->fail(std::current_exception());
+      }
+      advance(st, servable, qi, stage + 1);
+    });
+    return;
+  }
+
+  // Sharded stage: partition the query's work items, fan out to the owning
+  // shards, join on the last slice.
+  auto& rec = st->rec[qi][stage];
+  rec.slices = map_.partition(st->items[qi]);
+  std::size_t nonempty = 0;
+  for (const auto& s : rec.slices)
+    if (!s.empty()) ++nonempty;
+  if (nonempty == 0) {
+    advance(st, servable, qi, stage + 1);
+    return;
+  }
+  st->fan_in[qi].store(nonempty);
+  for (std::size_t shard = 0; shard < rec.slices.size(); ++shard) {
+    if (rec.slices[shard].empty()) continue;
+    executors_.at(shard).submit([this, st, &servable, qi, stage, shard] {
+      auto& r = st->rec[qi][stage];
+      try {
+        st->partials[qi][shard] = servable.run_sharded(
+            stage, shard, st->batch.requests[qi], r.slices[shard], st->k,
+            &r.shard_stats[shard]);
+      } catch (...) {
+        st->fail(std::current_exception());
+      }
+      if (st->fan_in[qi].fetch_sub(1) == 1)
+        advance(st, servable, qi, stage + 1);
+    });
+  }
+}
+
+StageStats StagePipeline::adjust_stage(const StageStats& measured,
+                                       std::span<const RowAccess> accesses,
+                                       HotEmbeddingCache* cache,
+                                       const CacheTiming& timing) const {
+  if (cache == nullptr) return measured;
+
+  std::size_t pooled_hits = 0, pooled_first_hits = 0, row_hits = 0;
+  std::size_t parallel_hits = 0;
+  // Per parallel group: (accesses, hits) — a group's bank-max latency term
+  // vanishes only when every one of its banks hits.
+  std::map<std::uint32_t, std::pair<std::size_t, std::size_t>> groups;
+  for (const auto& a : accesses) {
+    const bool hit = cache->access(a.table, a.row);
+    if (a.parallel_bank) {
+      auto& g = groups[a.parallel_group];
+      ++g.first;
+      if (hit) {
+        ++g.second;
+        ++parallel_hits;
+      }
+      continue;
+    }
+    if (hit) {
+      if (!a.pooled)
+        ++row_hits;
+      else if (a.first_in_table)
+        ++pooled_first_hits;
+      else
+        ++pooled_hits;
+    }
+  }
+  std::size_t full_groups = 0;
+  for (const auto& [id, g] : groups)
+    if (g.first > 0 && g.second == g.first) ++full_groups;
+  if (pooled_hits == 0 && pooled_first_hits == 0 && row_hits == 0 &&
+      parallel_hits == 0)
+    return measured;
+
+  // Replace each hit's CMA+bus cost with the hot-buffer cost, clamped so an
+  // adjustment can never drive the measured ET cost negative (the CPU
+  // oracle charges no hardware cost at all).
+  const double ph = static_cast<double>(pooled_hits);
+  const double pfh = static_cast<double>(pooled_first_hits);
+  const double rh = static_cast<double>(row_hits);
+  StageStats adjusted = measured;
+  OpCost& et = adjusted.at(OpKind::kEtLookup);
+  const device::Ns lat_removed = timing.pooled_miss.latency * ph +
+                                 timing.pooled_first_miss.latency * pfh +
+                                 timing.row_miss.latency * rh;
+  const device::Pj pj_removed = timing.pooled_miss.energy * ph +
+                                timing.pooled_first_miss.energy * pfh +
+                                timing.row_miss.energy * rh;
+  const double hits = ph + pfh + rh;
+  // Parallel-bank hits (RowAccess::parallel_bank): the stage's measured
+  // latency holds one bank-max term per group, so latency is credited
+  // only for groups whose EVERY bank hit — that group's array read
+  // vanishes and the buffer reads that replace it stay parallel (one
+  // hit-latency term per group). Energy is credited per hit (banks are
+  // summed there).
+  const device::Ns parallel_lat_removed =
+      timing.row_miss.latency * static_cast<double>(full_groups);
+  const device::Ns parallel_lat_added =
+      timing.hit.latency * static_cast<double>(full_groups);
+  et.latency = device::max(et.latency - lat_removed - parallel_lat_removed,
+                           device::Ns{0.0}) +
+               timing.hit.latency * hits + parallel_lat_added;
+  const double pll = static_cast<double>(parallel_hits);
+  et.energy = device::Pj{std::max(
+                  0.0, (et.energy - pj_removed -
+                        timing.row_miss.energy * pll)
+                           .value)} +
+              timing.hit.energy * (hits + pll);
+  return adjusted;
+}
+
+OpCost StagePipeline::merge_cost(std::size_t slices, std::size_t k) const {
+  // Each contributing shard ships k (id, score) pairs (8 bytes each) over
+  // the RSC bus; the controller then runs a k-way tournament across slices.
+  const std::size_t bytes = 8 * std::max<std::size_t>(k, 1);
+  const std::size_t cycles_per_shard =
+      (bytes * 8 + profile_.rsc_bus_bits - 1) / profile_.rsc_bus_bits;
+  const double transfers =
+      static_cast<double>(cycles_per_shard) * static_cast<double>(slices);
+  // ceil(log2(slices)) tournament rounds; a single slice needs no merge.
+  double rounds = 0.0;
+  for (std::size_t span = 1; span < slices; span *= 2) rounds += 1.0;
+  const double selects = static_cast<double>(k) * rounds;
+  OpCost cost;
+  cost.latency = profile_.rsc_cycle * transfers +
+                 profile_.controller_cycle * selects;
+  cost.energy = profile_.rsc_energy * transfers +
+                profile_.controller_energy * selects;
+  return cost;
+}
+
+std::vector<StagePipeline::QueryResult> StagePipeline::collect(
+    BatchHandle handle, ServableBackend& servable, HotEmbeddingCache* cache,
+    std::span<const CacheTiming> timing) {
+  IMARS_REQUIRE(handle.valid(), "StagePipeline::collect: invalid handle");
+  IMARS_REQUIRE(handle.state_->seq == next_collect_seq_,
+                "StagePipeline::collect: handles must be collected in "
+                "submission order");
+  ++next_collect_seq_;
+  IMARS_REQUIRE(timing.size() == 1 || timing.size() == shards(),
+                "StagePipeline::collect: one CacheTiming, or one per shard");
+  const auto timing_of = [&](std::size_t shard) -> const CacheTiming& {
+    return timing.size() == 1 ? timing.front() : timing[shard];
+  };
+  auto st = std::move(handle.state_);
+  st->done_future.wait();
+  {
+    std::lock_guard lock(st->err_mu);
+    if (st->error) std::rethrow_exception(st->error);
+  }
+
+  const std::size_t n = st->batch.size();
+  const std::size_t ns = shards();
+  const std::size_t stages = spec_.stage_count();
+  const std::size_t last_sharded = [&] {
+    std::size_t last = stages;  // `stages` = none
+    for (std::size_t s = 0; s < stages; ++s)
+      if (spec_.stages[s].kind == StageKind::kSharded) last = s;
+    return last;
+  }();
+
+  // Deterministic accounting in batch order: cache rewrite of ET costs,
+  // then the event model (per-shard multi-stage pipeline with shared
+  // ET-bank contention, as in core/throughput.hpp) composes hardware time.
+  std::vector<QueryResult> results(n);
+  for (std::size_t qi = 0; qi < n; ++qi) {
+    const Request& req = st->batch.requests[qi];
+    QueryResult& out = results[qi];
+    out.request = req;
+    out.batch_id = st->batch.id;
+    out.batch_size = n;
+    out.dispatch = st->batch.dispatch;
+    out.home_shard = st->home[qi];
+    out.work_items = st->items[qi].size();
+    out.stage_latency.resize(stages);
+    out.stage_stats.resize(stages);
+
+    device::Ns prev_end = st->batch.dispatch;
+    for (std::size_t s = 0; s < stages; ++s) {
+      const auto& rec = st->rec[qi][s];
+      if (spec_.stages[s].kind == StageKind::kReplicated) {
+        const std::size_t home = st->home[qi];
+        // accesses() vectors exist only to feed the cache; skip them when
+        // no cache is configured.
+        const StageStats adj = adjust_stage(
+            rec.rep_stats,
+            cache != nullptr ? servable.accesses(s, req, {})
+                             : std::vector<RowAccess>{},
+            cache, timing_of(home));
+        out.stage_stats[s] = adj;
+        const device::Ns t = adj.total().latency;
+        const device::Ns et = adj.at(OpKind::kEtLookup).latency;
+        ShardClocks& c = clocks_[home];
+        const device::Ns start =
+            std::max({prev_end, c.stage_free[s], c.shared_free});
+        const device::Ns end = start + t;
+        c.stage_free[s] = end;
+        c.shared_free = start + et;
+        usage_[home].stage_busy[s] += t;
+        out.stage_latency[s] = t;
+        prev_end = end;
+        continue;
+      }
+
+      // Sharded stage: slices run concurrently across shards; each occupies
+      // its shard's stage unit and ET banks.
+      device::Ns stage_end = prev_end;
+      std::size_t contributing = 0;
+      for (std::size_t shard = 0; shard < ns; ++shard) {
+        if (rec.slices.empty() || rec.slices[shard].empty()) continue;
+        ++contributing;
+        const StageStats adj = adjust_stage(
+            rec.shard_stats[shard],
+            cache != nullptr ? servable.accesses(s, req, rec.slices[shard])
+                             : std::vector<RowAccess>{},
+            cache, timing_of(shard));
+        out.stage_stats[s].merge(adj);
+        const device::Ns t = adj.total().latency;
+        const device::Ns et = adj.at(OpKind::kEtLookup).latency;
+        ShardClocks& c = clocks_[shard];
+        const device::Ns start =
+            std::max({prev_end, c.stage_free[s], c.shared_free});
+        const device::Ns end = start + t;
+        c.stage_free[s] = end;
+        c.shared_free = start + et;
+        usage_[shard].stage_busy[s] += t;
+        stage_end = device::max(stage_end, end);
+      }
+      if (s == last_sharded && spec_.merge_topk) {
+        // Merge unit: global top-k from the per-shard top-k lists.
+        const OpCost merge =
+            merge_cost(std::max<std::size_t>(contributing, 1), st->k);
+        out.stage_stats[s].at(OpKind::kComm) += merge;
+        stage_end = stage_end + merge.latency;
+      }
+      out.stage_latency[s] = stage_end - prev_end;
+      prev_end = stage_end;
+    }
+    out.complete = prev_end;
+
+    std::vector<recsys::ScoredItem> all;
+    for (std::size_t shard = 0; shard < ns; ++shard)
+      all.insert(all.end(), st->partials[qi][shard].begin(),
+                 st->partials[qi][shard].end());
+    std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+      if (a.score != b.score) return a.score > b.score;
+      return a.item < b.item;
+    });
+    if (all.size() > st->k) all.resize(st->k);
+    out.topk = std::move(all);
+  }
+  return results;
+}
+
+std::vector<StagePipeline::QueryResult> StagePipeline::execute(
+    const Batch& batch, ServableBackend& servable, std::size_t k,
+    HotEmbeddingCache* cache, std::span<const CacheTiming> timing) {
+  return collect(submit(batch, servable, k), servable, cache, timing);
+}
+
+}  // namespace imars::serve

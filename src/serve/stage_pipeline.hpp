@@ -1,0 +1,285 @@
+// Backend-agnostic staged-pipeline serving engine.
+//
+// PR 1's ShardRouter hard-coded one workload: a two-unit filter/rank
+// pipeline over FilterRankBackend replicas with `item % N` placement. This
+// engine generalizes all three axes:
+//
+//   * the *stage graph* is a descriptor (PipelineSpec): a linear sequence
+//     of stages, each either replicated (the whole query runs on its home
+//     shard) or sharded (the query's work items are partitioned across
+//     shards and the partial results merged). Each stage owns one event-
+//     model unit per shard; all stages of a shard contend for its shared
+//     ET banks — the same contention rule as core/throughput.hpp.
+//   * the *workload* is an abstract ServableBackend: the two-stage
+//     YouTubeDNN flow (serve/shard_router.hpp) and the single-stage
+//     DLRM/Criteo CTR flow (serve/servable_ctr.hpp) both serve through the
+//     identical batcher/cache/engine/report path.
+//   * *placement* routes through a ShardMap (capability-weighted disjoint
+//     cover) instead of a modulo, so heterogeneous fabrics get item slices
+//     proportional to measured stage throughput.
+//
+// Execution is split into submit() and collect(). submit() enqueues the
+// batch's functional work onto the per-shard worker threads and returns
+// immediately: a query's stages chain — when its stage-s task finishes it
+// schedules the stage-s+1 tasks itself, with no batch-wide barrier — so a
+// later batch's early stages overlap an earlier batch's late stages on the
+// host threads (the hardware event model already pipelines; PR 1 only
+// phased the host loop). collect() then composes hardware time
+// deterministically in submission order: cache rewrite of ET costs first,
+// then the per-shard pipeline clocks. Because every timing decision happens
+// in collect(), overlapped and phased execution produce bit-identical
+// reports.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/perf_model.hpp"
+#include "device/profile.hpp"
+#include "recsys/types.hpp"
+#include "serve/batcher.hpp"
+#include "serve/executor.hpp"
+#include "serve/hot_cache.hpp"
+#include "serve/serve_stats.hpp"
+#include "serve/shard_map.hpp"
+
+namespace imars::serve {
+
+/// Device-anchored costs the cache substitutes per ET row access.
+struct CacheTiming {
+  recsys::OpCost hit;          ///< hot-row buffer read
+  recsys::OpCost row_miss;     ///< RAM-mode row fetch + RSC transfer
+  recsys::OpCost pooled_miss;  ///< per-row in-array accumulate increment
+  /// The first row of a table's pooled chain costs only the read (no
+  /// write-back + add yet; PerfModel::et_lookup charges read*L +
+  /// (write+add)*(L-1)).
+  recsys::OpCost pooled_first_miss;
+
+  static CacheTiming from_model(const core::PerfModel& model) {
+    const auto& read = model.profile().cma_read;
+    return CacheTiming{model.cached_row(), model.row_fetch(),
+                       model.pooled_row(),
+                       recsys::OpCost{read.latency, read.energy}};
+  }
+};
+
+/// One ET row touched by a query (cache bookkeeping granularity).
+struct RowAccess {
+  std::uint32_t table = 0;
+  std::uint32_t row = 0;
+  bool pooled = false;  ///< pooled lookup (vs RAM-mode row fetch)
+  bool first_in_table = false;  ///< first row of its table's pooled chain
+  /// The row was read by one of several banks operating in parallel (the
+  /// stage latency holds the max over banks, not the sum — e.g. DLRM's 26
+  /// one-hot lookups). A hit then credits energy per row, but latency only
+  /// when EVERY access of the row's `parallel_group` hits (the bank max
+  /// vanishes only once no bank reads an array).
+  bool parallel_bank = false;
+  /// Groups parallel accesses that share one bank-max term (e.g. one
+  /// scored impression); meaningful only when `parallel_bank` is set.
+  std::uint32_t parallel_group = 0;
+};
+
+/// How one pipeline stage spreads over the shard fabric.
+enum class StageKind : std::uint8_t {
+  kReplicated,  ///< whole query on its home shard (any replica can serve)
+  kSharded,     ///< work items partitioned across shards via the ShardMap
+};
+
+struct StageSpec {
+  std::string name;
+  StageKind kind = StageKind::kReplicated;
+};
+
+/// Linear stage graph of a workload. A replicated stage (re)defines the
+/// query's work-item set; a sharded stage consumes it.
+struct PipelineSpec {
+  std::vector<StageSpec> stages;
+  /// Last sharded stage's partials ship to the merge unit for a k-way
+  /// tournament (the filter/rank flow); single-shot workloads (CTR) skip it.
+  bool merge_topk = false;
+
+  std::size_t stage_count() const noexcept { return stages.size(); }
+};
+
+/// A workload adapter served by the engine. Implementations own one backend
+/// replica per shard; the engine guarantees each replica is only ever
+/// touched from its shard's worker thread. All methods must be safe to call
+/// concurrently for *distinct* shards.
+class ServableBackend {
+ public:
+  virtual ~ServableBackend() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual const PipelineSpec& spec() const = 0;
+  virtual std::size_t shards() const = 0;
+
+  /// Work-item keys entering the pipeline when the FIRST stage is sharded
+  /// (derived from the request alone; e.g. the impression itself for CTR).
+  /// Ignored when the first stage is replicated.
+  virtual std::vector<std::size_t> initial_items(const Request& req) const {
+    (void)req;
+    return {};
+  }
+
+  /// Runs replicated stage `stage` of `req` on shard `shard`'s replica and
+  /// returns the work-item keys the following sharded stage partitions
+  /// (empty when no sharded stage follows). Appends measured hardware costs
+  /// to `stats`.
+  virtual std::vector<std::size_t> run_replicated(
+      std::size_t stage, std::size_t shard, const Request& req,
+      recsys::StageStats* stats) = 0;
+
+  /// Runs sharded stage `stage` over `slice` on shard `shard`'s replica and
+  /// returns the slice's scored partial results (best first, at most `k` —
+  /// the merge unit builds the global top-k from the per-shard lists).
+  virtual std::vector<recsys::ScoredItem> run_sharded(
+      std::size_t stage, std::size_t shard, const Request& req,
+      std::span<const std::size_t> slice, std::size_t k,
+      recsys::StageStats* stats) = 0;
+
+  /// ET rows stage `stage` of `req` touches (hot-cache bookkeeping).
+  /// `slice` is the shard's slice for sharded stages, empty for replicated
+  /// ones. Called from collect() — single-threaded, deterministic order.
+  virtual std::vector<RowAccess> accesses(
+      std::size_t stage, const Request& req,
+      std::span<const std::size_t> slice) const = 0;
+};
+
+/// The generic engine: per-shard worker threads + per-stage event clocks.
+class StagePipeline {
+ public:
+  /// Per-query outcome of a batch execution. Carries the originating
+  /// request and batch coordinates so callers need not retain their own
+  /// copy of the submitted batch.
+  struct QueryResult {
+    Request request;             ///< the request this result answers
+    std::size_t batch_id = 0;
+    std::size_t batch_size = 0;
+    device::Ns dispatch;         ///< batch close/dispatch time
+    std::vector<recsys::ScoredItem> topk;  ///< merged, best first, <= k
+    std::size_t work_items = 0;  ///< items entering the sharded stage(s)
+    std::size_t home_shard = 0;  ///< shard that ran the replicated stage(s)
+    device::Ns complete;         ///< simulated completion (merge done)
+    std::vector<device::Ns> stage_latency;        ///< per stage
+    std::vector<recsys::StageStats> stage_stats;  ///< cache-adjusted
+  };
+
+  /// An in-flight batch: functional work enqueued, accounting pending.
+  class BatchHandle {
+   public:
+    BatchHandle() = default;
+    BatchHandle(BatchHandle&&) = default;
+    BatchHandle& operator=(BatchHandle&&) = default;
+    bool valid() const noexcept { return state_ != nullptr; }
+
+   private:
+    friend class StagePipeline;
+    struct State;
+    std::shared_ptr<State> state_;
+  };
+
+  /// `profile` supplies the merge-unit / controller timing (stored by
+  /// value; on heterogeneous fabrics pass the controller-side technology).
+  /// An empty `map` defaults to the uniform (modulo-compatible) placement.
+  StagePipeline(std::size_t shards, PipelineSpec spec,
+                const device::DeviceProfile& profile, ShardMap map = {});
+
+  /// Waits out any still-running functional work of uncollected batches
+  /// (e.g. handles abandoned by an unwinding caller) before the worker
+  /// threads are torn down.
+  ~StagePipeline();
+
+  std::size_t shards() const noexcept { return executors_.size(); }
+  const PipelineSpec& spec() const noexcept { return spec_; }
+  const ShardMap& shard_map() const noexcept { return map_; }
+
+  /// Enqueues the batch's functional work; returns immediately. Stages
+  /// chain across the shard executors with no inter-stage barrier.
+  /// `servable` must outlive the handle; `batch` is copied.
+  BatchHandle submit(const Batch& batch, ServableBackend& servable,
+                     std::size_t k);
+
+  /// Waits for the batch's functional work, then runs the deterministic
+  /// event-model accounting (cache rewrite, per-stage pipeline clocks with
+  /// shared ET-bank contention, top-k merge). Handles MUST be collected in
+  /// submission order — the pipeline clocks advance batch by batch.
+  /// `timing` holds either one CacheTiming shared by all shards or one per
+  /// shard (heterogeneous fabrics: hits must credit back the *owning*
+  /// shard's miss cost, not the controller profile's).
+  std::vector<QueryResult> collect(BatchHandle handle,
+                                   ServableBackend& servable,
+                                   HotEmbeddingCache* cache,
+                                   std::span<const CacheTiming> timing);
+
+  /// submit() + collect() in one step (no cross-batch overlap).
+  std::vector<QueryResult> execute(const Batch& batch,
+                                   ServableBackend& servable, std::size_t k,
+                                   HotEmbeddingCache* cache,
+                                   std::span<const CacheTiming> timing);
+
+  /// Convenience for homogeneous fabrics: one CacheTiming for all shards.
+  std::vector<QueryResult> execute(const Batch& batch,
+                                   ServableBackend& servable, std::size_t k,
+                                   HotEmbeddingCache* cache,
+                                   const CacheTiming& timing) {
+    return execute(batch, servable, k, cache,
+                   std::span<const CacheTiming>(&timing, 1));
+  }
+
+  /// Cumulative per-shard, per-stage busy time.
+  const std::vector<ShardUsage>& usage() const noexcept { return usage_; }
+
+  /// Resets the event clocks and usage counters (not the replicas).
+  void reset_clock();
+
+ private:
+  struct ShardClocks {
+    std::vector<device::Ns> stage_free;  ///< per-stage unit available
+    device::Ns shared_free;              ///< shared ET banks available
+  };
+
+  /// Schedules stage `stage` of query `qi`; never leaks an exception (a
+  /// failure terminates the query so the batch's done promise still
+  /// fires).
+  void advance(const std::shared_ptr<BatchHandle::State>& st,
+               ServableBackend& servable, std::size_t qi, std::size_t stage);
+  void advance_unchecked(const std::shared_ptr<BatchHandle::State>& st,
+                         ServableBackend& servable, std::size_t qi,
+                         std::size_t stage);
+
+  /// Applies the cache to `accesses` and rewrites the stage's ET-lookup
+  /// cost; returns the adjusted stats.
+  recsys::StageStats adjust_stage(const recsys::StageStats& measured,
+                                  std::span<const RowAccess> accesses,
+                                  HotEmbeddingCache* cache,
+                                  const CacheTiming& timing) const;
+
+  /// Merge-unit cost: each contributing shard ships its top-k over the RSC
+  /// bus, the controller runs the k-way tournament.
+  recsys::OpCost merge_cost(std::size_t slices, std::size_t k) const;
+
+  PipelineSpec spec_;
+  device::DeviceProfile profile_;
+  ShardMap map_;
+  ExecutorPool executors_;
+  std::vector<ShardClocks> clocks_;
+  std::vector<ShardUsage> usage_;
+  /// In-flight batch scratch, tracked so the destructor can drain tasks
+  /// that would otherwise chain onto executors mid-teardown.
+  std::mutex pending_mu_;
+  std::vector<std::weak_ptr<BatchHandle::State>> pending_;
+  /// Submission-order enforcement for collect() (the clocks advance batch
+  /// by batch, so out-of-order collection would corrupt them silently).
+  std::uint64_t next_submit_seq_ = 0;
+  std::uint64_t next_collect_seq_ = 0;
+};
+
+}  // namespace imars::serve

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "serve/request_queue.hpp"
 #include "serve/runtime.hpp"
 #include "serve/shard_router.hpp"
+#include "serve/stage_pipeline.hpp"
 #include "util/rng.hpp"
 
 namespace imars {
@@ -38,6 +40,7 @@ using serve::Request;
 using serve::ServingConfig;
 using serve::ServingRuntime;
 using serve::ShardRouter;
+using serve::StagePipeline;
 
 Request make_request(std::size_t id, double t, std::size_t user = 0) {
   Request r;
@@ -125,12 +128,13 @@ TEST(RequestQueue, BlockingPopAndClose) {
 }
 
 TEST(ShardExecutor, TasksRunInSubmissionOrder) {
-  serve::ShardExecutor ex;
   std::vector<int> order;
-  std::vector<std::future<void>> futs;
+  std::promise<void> done;
+  serve::ShardExecutor ex;
   for (int i = 0; i < 50; ++i)
-    futs.push_back(ex.submit([&order, i] { order.push_back(i); }));
-  for (auto& f : futs) f.get();
+    ex.submit([&order, i] { order.push_back(i); });
+  ex.submit([&done] { done.set_value(); });
+  done.get_future().wait();  // all 50 ran (FIFO) and are visible
   ASSERT_EQ(order.size(), 50u);
   for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
 }
@@ -224,19 +228,23 @@ TEST(ShardRouter, MergedTopkMatchesSingleBackend) {
   const serve::CacheTiming timing = serve::CacheTiming::from_model(
       core::PerfModel(core::ArchConfig{}, profile));
 
-  ShardRouter single(fx.factory, 1, profile);
-  ShardRouter sharded(fx.factory, 4, profile);
+  ShardRouter single(fx.factory, 1);
+  ShardRouter sharded(fx.factory, 4);
+  single.bind_users(fx.users);
+  sharded.bind_users(fx.users);
+  StagePipeline pipe1(1, ShardRouter::pipeline_spec(), profile);
+  StagePipeline pipe4(4, ShardRouter::pipeline_spec(), profile);
 
   Batch batch;
   batch.dispatch = Ns{0.0};
   for (std::size_t u = 0; u < 12; ++u)
     batch.requests.push_back(make_request(u, 0.0, u));
 
-  const auto ref = single.execute_batch(batch, fx.users, k, nullptr, timing);
-  const auto got = sharded.execute_batch(batch, fx.users, k, nullptr, timing);
+  const auto ref = pipe1.execute(batch, single, k, nullptr, timing);
+  const auto got = pipe4.execute(batch, sharded, k, nullptr, timing);
   ASSERT_EQ(ref.size(), got.size());
   for (std::size_t i = 0; i < ref.size(); ++i) {
-    EXPECT_EQ(ref[i].candidates, got[i].candidates);
+    EXPECT_EQ(ref[i].work_items, got[i].work_items);
     ASSERT_EQ(ref[i].topk.size(), got[i].topk.size()) << "query " << i;
     for (std::size_t j = 0; j < ref[i].topk.size(); ++j) {
       EXPECT_EQ(ref[i].topk[j].item, got[i].topk[j].item)
@@ -251,14 +259,15 @@ TEST(ShardRouter, RoundRobinSpreadsFilterLoad) {
   const auto profile = device::DeviceProfile::fefet45();
   const serve::CacheTiming timing = serve::CacheTiming::from_model(
       core::PerfModel(core::ArchConfig{}, profile));
-  ShardRouter router(fx.factory, 4, profile);
+  ShardRouter router(fx.factory, 4);
+  router.bind_users(fx.users);
+  StagePipeline pipe(4, ShardRouter::pipeline_spec(), profile);
 
   Batch batch;
   batch.dispatch = Ns{0.0};
   for (std::size_t u = 0; u < 8; ++u)
     batch.requests.push_back(make_request(u, 0.0, u));
-  const auto res =
-      router.execute_batch(batch, fx.users, 5, nullptr, timing);
+  const auto res = pipe.execute(batch, router, 5, nullptr, timing);
 
   std::vector<std::size_t> per_shard(4, 0);
   for (const auto& r : res) ++per_shard[r.home_shard];

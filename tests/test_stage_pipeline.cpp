@@ -1,0 +1,469 @@
+// Tests for the backend-agnostic staged-pipeline engine (src/serve/):
+// ShardMap disjoint covers and capability weighting, heterogeneous-
+// partition merge correctness against the single-backend oracle, CTR
+// serving parity against serial ImarsCtrBackend::score, async stage-
+// overlap determinism, and Poisson open-loop arrivals.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "baseline/cpu_backend.hpp"
+#include "core/backend_factory.hpp"
+#include "data/criteo.hpp"
+#include "data/movielens.hpp"
+#include "recsys/dlrm.hpp"
+#include "recsys/youtube_dnn.hpp"
+#include "serve/runtime.hpp"
+#include "serve/servable_ctr.hpp"
+#include "serve/shard_map.hpp"
+#include "serve/stage_pipeline.hpp"
+#include "util/rng.hpp"
+
+namespace imars {
+namespace {
+
+using device::Ns;
+using serve::ArrivalProcess;
+using serve::Batch;
+using serve::CtrServable;
+using serve::LoadGenConfig;
+using serve::LoadGenerator;
+using serve::Request;
+using serve::ServingConfig;
+using serve::ServingRuntime;
+using serve::ShardMap;
+using serve::ShardRouter;
+using serve::StagePipeline;
+
+Request make_request(std::size_t id, double t, std::size_t user = 0) {
+  Request r;
+  r.id = id;
+  r.user = user;
+  r.client = id;
+  r.enqueue = Ns{t};
+  return r;
+}
+
+// --- ShardMap --------------------------------------------------------------
+
+TEST(ShardMap, UniformMatchesModulo) {
+  const auto map = ShardMap::uniform(4);
+  EXPECT_EQ(map.shards(), 4u);
+  EXPECT_EQ(map.buckets(), 4u);
+  for (std::size_t item = 0; item < 1000; ++item)
+    EXPECT_EQ(map.shard_of(item), item % 4);
+  for (std::size_t s = 0; s < 4; ++s) EXPECT_DOUBLE_EQ(map.share(s), 0.25);
+}
+
+TEST(ShardMap, WeightedSharesProportionalToCapability) {
+  const std::vector<double> w = {3.0, 1.0, 0.0, 2.0};
+  const auto map = ShardMap::weighted(w, 64);
+  EXPECT_EQ(map.shards(), 4u);
+  EXPECT_NEAR(map.share(0), 0.5, 1e-9);
+  EXPECT_NEAR(map.share(1), 1.0 / 6.0, 0.01);
+  EXPECT_DOUBLE_EQ(map.share(2), 0.0);  // zero weight owns nothing
+  EXPECT_NEAR(map.share(3), 1.0 / 3.0, 0.01);
+  double total = 0.0;
+  for (std::size_t s = 0; s < 4; ++s) total += map.share(s);
+  EXPECT_DOUBLE_EQ(total, 1.0);
+  // The zero-weight shard never receives an item.
+  for (std::size_t item = 0; item < 4096; ++item)
+    EXPECT_NE(map.shard_of(item), 2u);
+}
+
+TEST(ShardMap, PartitionIsDisjointCover) {
+  const std::vector<double> w = {1.0, 4.0, 2.0};
+  const auto map = ShardMap::weighted(w, 32);
+  std::vector<std::size_t> items;
+  for (std::size_t i = 0; i < 500; ++i) items.push_back(i * 7 + 3);
+
+  const auto slices = map.partition(items);
+  ASSERT_EQ(slices.size(), 3u);
+  std::multiset<std::size_t> covered;
+  for (std::size_t s = 0; s < slices.size(); ++s)
+    for (std::size_t item : slices[s]) {
+      EXPECT_EQ(map.shard_of(item), s);
+      covered.insert(item);
+    }
+  EXPECT_EQ(covered.size(), items.size());  // disjoint (no duplicates)
+  for (std::size_t item : items) EXPECT_EQ(covered.count(item), 1u);
+}
+
+TEST(ShardMap, FromCostsFavorsFasterShards) {
+  const std::vector<Ns> costs = {Ns{100.0}, Ns{50.0}, Ns{200.0}};
+  const auto map = ShardMap::from_costs(costs, 64);
+  // Capability = 1/cost: shares 2/7, 4/7, 1/7.
+  EXPECT_NEAR(map.share(0), 2.0 / 7.0, 0.01);
+  EXPECT_NEAR(map.share(1), 4.0 / 7.0, 0.01);
+  EXPECT_NEAR(map.share(2), 1.0 / 7.0, 0.01);
+  // Degenerate (zero-cost oracle) input falls back to uniform.
+  const std::vector<Ns> zeros(3, Ns{0.0});
+  const auto uniform = ShardMap::from_costs(zeros);
+  for (std::size_t s = 0; s < 3; ++s)
+    EXPECT_DOUBLE_EQ(uniform.share(s), 1.0 / 3.0);
+}
+
+// --- Heterogeneous partitions over the CPU oracle --------------------------
+
+struct FilterRankFixture {
+  FilterRankFixture() {
+    data::MovieLensConfig dcfg;
+    dcfg.num_users = 60;
+    dcfg.num_items = 90;
+    dcfg.history_min = 3;
+    dcfg.history_max = 8;
+    dcfg.seed = 51;
+    ds = std::make_unique<data::MovieLensSynth>(dcfg);
+
+    recsys::YoutubeDnnConfig mcfg;
+    mcfg.seed = 53;
+    model = std::make_unique<recsys::YoutubeDnn>(ds->schema(), mcfg);
+    util::Xoshiro256 rng(57);
+    model->train_filter_epoch(*ds, rng);
+    model->train_rank_epoch(*ds, rng);
+
+    for (std::size_t u = 0; u < ds->num_users(); ++u)
+      users.push_back(model->make_context(*ds, u));
+
+    cpu_cfg.candidates = 40;
+    factory = core::cpu_backend_factory(*model, cpu_cfg);
+  }
+
+  std::unique_ptr<data::MovieLensSynth> ds;
+  std::unique_ptr<recsys::YoutubeDnn> model;
+  std::vector<recsys::UserContext> users;
+  baseline::CpuBackendConfig cpu_cfg;
+  core::BackendFactory factory;
+};
+
+TEST(StagePipeline, SkewedPartitionMatchesSingleBackend) {
+  FilterRankFixture fx;
+  const std::size_t k = 10;
+  const auto profile = device::DeviceProfile::fefet45();
+  const serve::CacheTiming timing = serve::CacheTiming::from_model(
+      core::PerfModel(core::ArchConfig{}, profile));
+
+  ShardRouter single(fx.factory, 1);
+  single.bind_users(fx.users);
+  StagePipeline pipe1(1, ShardRouter::pipeline_spec(), profile);
+
+  // Heavily skewed capabilities, including a zero-weight shard that must
+  // receive empty slices and still merge correctly.
+  const std::vector<double> weights = {3.0, 0.0, 1.0, 6.0};
+  ShardRouter sharded(fx.factory, 4);
+  sharded.bind_users(fx.users);
+  StagePipeline pipe4(4, ShardRouter::pipeline_spec(), profile,
+                      ShardMap::weighted(weights, 16));
+
+  Batch batch;
+  batch.dispatch = Ns{0.0};
+  for (std::size_t u = 0; u < 12; ++u)
+    batch.requests.push_back(make_request(u, 0.0, u));
+
+  const auto ref = pipe1.execute(batch, single, k, nullptr, timing);
+  const auto got = pipe4.execute(batch, sharded, k, nullptr, timing);
+  ASSERT_EQ(ref.size(), got.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(ref[i].work_items, got[i].work_items);
+    ASSERT_EQ(ref[i].topk.size(), got[i].topk.size()) << "query " << i;
+    for (std::size_t j = 0; j < ref[i].topk.size(); ++j) {
+      EXPECT_EQ(ref[i].topk[j].item, got[i].topk[j].item)
+          << "query " << i << " position " << j;
+      EXPECT_FLOAT_EQ(ref[i].topk[j].score, got[i].topk[j].score);
+    }
+  }
+  // The zero-weight shard must have done no rank work at all.
+  EXPECT_DOUBLE_EQ(pipe4.usage()[1].last_stage_busy().value, 0.0);
+}
+
+// --- Heterogeneous iMARS fabric (per-slot profiles) ------------------------
+
+TEST(ShardRouter, MixedTechnologyFabricMatchesSingleBackend) {
+  // Small trained model so the iMARS replicas are cheap to build.
+  data::MovieLensConfig dcfg;
+  dcfg.num_users = 40;
+  dcfg.num_items = 64;
+  dcfg.history_min = 3;
+  dcfg.history_max = 6;
+  dcfg.seed = 81;
+  data::MovieLensSynth ds(dcfg);
+  recsys::YoutubeDnnConfig mcfg;
+  mcfg.seed = 83;
+  recsys::YoutubeDnn model(ds.schema(), mcfg);
+  util::Xoshiro256 rng(87);
+  model.train_filter_epoch(ds, rng);
+  model.train_rank_epoch(ds, rng);
+
+  std::vector<recsys::UserContext> users;
+  for (std::size_t u = 0; u < ds.num_users(); ++u)
+    users.push_back(model.make_context(ds, u));
+  std::vector<recsys::UserContext> calib(users.begin(), users.begin() + 8);
+
+  const core::ArchConfig arch;
+  core::ImarsBackendConfig icfg;
+  icfg.timing = core::TimingMode::kWorstCaseSameArray;
+  icfg.nns_radius = 64;
+  const auto sharded_factory =
+      core::imars_sharded_backend_factory(model, arch, icfg, calib);
+
+  // One fast FeFET-22 shard next to one FeFET-45 shard.
+  const auto fefet45 = device::DeviceProfile::fefet45();
+  const std::vector<device::DeviceProfile> profiles = {
+      device::DeviceProfile::fefet22(), fefet45};
+  ShardRouter hetero(sharded_factory, profiles);
+  hetero.bind_users(users);
+
+  // The probe sees the technology difference: the FeFET-22 replica ranks
+  // the same slice strictly faster, so it earns the larger item share.
+  std::vector<std::size_t> probe_items;
+  for (std::size_t i = 0; i < 16; ++i) probe_items.push_back(i);
+  const auto costs = hetero.probe_rank_cost(users.front(), probe_items);
+  ASSERT_EQ(costs.size(), 2u);
+  EXPECT_LT(costs[0].value, costs[1].value);
+  const auto map = serve::ShardMap::from_costs(costs, 16);
+  EXPECT_GT(map.share(0), map.share(1));
+
+  // Technology is functionally inert: under the SAME placement, a pure
+  // FeFET-45 fabric and the mixed fabric produce identical merged top-k
+  // (the per-slice hardware threshold top-k makes slicing itself part of
+  // the result semantics, so the baseline shares the map, isolating the
+  // per-slot profile as the only difference).
+  const std::vector<device::DeviceProfile> homogeneous = {fefet45, fefet45};
+  ShardRouter uniform_tech(sharded_factory, homogeneous);
+  uniform_tech.bind_users(users);
+  const serve::CacheTiming timing = serve::CacheTiming::from_model(
+      core::PerfModel(arch, fefet45));
+  StagePipeline pipe_ref(2, ShardRouter::pipeline_spec(), fefet45, map);
+  StagePipeline pipe_mix(2, ShardRouter::pipeline_spec(), fefet45, map);
+
+  Batch batch;
+  batch.dispatch = Ns{0.0};
+  for (std::size_t u = 0; u < 6; ++u)
+    batch.requests.push_back(make_request(u, 0.0, u));
+  const auto ref = pipe_ref.execute(batch, uniform_tech, 8, nullptr, timing);
+  const auto got = pipe_mix.execute(batch, hetero, 8, nullptr, timing);
+  ASSERT_EQ(ref.size(), got.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(ref[i].work_items, got[i].work_items);
+    ASSERT_EQ(ref[i].topk.size(), got[i].topk.size()) << "query " << i;
+    for (std::size_t j = 0; j < ref[i].topk.size(); ++j) {
+      EXPECT_EQ(ref[i].topk[j].item, got[i].topk[j].item);
+      EXPECT_FLOAT_EQ(ref[i].topk[j].score, got[i].topk[j].score);
+    }
+  }
+}
+
+// --- CTR serving parity ----------------------------------------------------
+
+struct CtrFixture {
+  CtrFixture() {
+    data::CriteoConfig dcfg;
+    dcfg.num_samples = 64;
+    dcfg.seed = 61;
+    ds = std::make_unique<data::CriteoSynth>(dcfg);
+
+    recsys::DlrmConfig mcfg;
+    mcfg.seed = 63;
+    model = std::make_unique<recsys::Dlrm>(ds->schema(), mcfg);
+
+    for (std::size_t i = 0; i < 8; ++i) calib.push_back(ds->sample(i));
+    factory = core::imars_ctr_backend_factory(
+        *model, core::ArchConfig{}, core::TimingMode::kWorstCaseSameArray,
+        calib);
+  }
+
+  std::unique_ptr<data::CriteoSynth> ds;
+  std::unique_ptr<recsys::Dlrm> model;
+  std::vector<data::CriteoSample> calib;
+  core::CtrBackendFactory factory;
+};
+
+TEST(CtrServable, ShardedScoresMatchSerialBackend) {
+  CtrFixture fx;
+  const auto profile = device::DeviceProfile::fefet45();
+  const serve::CacheTiming timing = serve::CacheTiming::from_model(
+      core::PerfModel(core::ArchConfig{}, profile));
+
+  // Three shards under a skewed weighting; replicas are functionally
+  // identical, so any disjoint cover must reproduce the serial scores.
+  const std::vector<device::DeviceProfile> profiles(3, profile);
+  CtrServable servable(fx.factory, profiles);
+  std::vector<data::CriteoSample> samples;
+  for (std::size_t i = 0; i < fx.ds->size(); ++i)
+    samples.push_back(fx.ds->sample(i));
+  servable.bind_samples(samples);
+  const std::vector<double> weights = {1.0, 3.0, 2.0};
+  StagePipeline pipe(3, CtrServable::pipeline_spec(), profile,
+                     serve::ShardMap::weighted(weights, 16));
+
+  Batch batch;
+  batch.dispatch = Ns{0.0};
+  const std::size_t n = 24;
+  for (std::size_t i = 0; i < n; ++i)
+    batch.requests.push_back(make_request(i, 0.0, i % samples.size()));
+
+  const auto results = pipe.execute(batch, servable, 1, nullptr, timing);
+  ASSERT_EQ(results.size(), n);
+
+  // Serial reference: one more replica from the same factory.
+  const auto serial =
+      fx.factory(core::ShardSlot{0, profile});
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(results[i].topk.size(), 1u) << "query " << i;
+    const auto& s = samples[batch.requests[i].user];
+    const float want = serial->score(s.dense, s.sparse, nullptr);
+    EXPECT_FLOAT_EQ(results[i].topk[0].score, want) << "query " << i;
+    EXPECT_EQ(results[i].topk[0].item, batch.requests[i].user);
+    EXPECT_GT(results[i].complete.value, 0.0);
+  }
+}
+
+TEST(CtrServable, ServesThroughSharedRuntime) {
+  CtrFixture fx;
+  const auto profile = device::DeviceProfile::fefet45();
+  std::vector<data::CriteoSample> samples;
+  for (std::size_t i = 0; i < fx.ds->size(); ++i)
+    samples.push_back(fx.ds->sample(i));
+
+  const std::vector<device::DeviceProfile> profiles(2, profile);
+  auto servable = std::make_unique<CtrServable>(fx.factory, profiles);
+  servable->bind_samples(samples);
+
+  ServingConfig cfg;
+  cfg.k = 1;
+  cfg.batcher.max_batch = 4;
+  cfg.batcher.max_wait = Ns{500000.0};
+  cfg.cache.capacity_rows = 2048;
+  cfg.shard_weights = {2.0, 1.0};
+  ServingRuntime rt(std::move(servable), cfg, core::ArchConfig{}, profile);
+
+  LoadGenConfig lg;
+  lg.clients = 8;
+  lg.total_queries = 32;
+  lg.num_users = samples.size();
+  lg.user_zipf_s = 1.0;
+  lg.seed = 67;
+  LoadGenerator gen(lg);
+
+  const auto report = rt.run(gen);
+  ASSERT_EQ(report.size(), 32u);
+  EXPECT_GT(report.qps(), 0.0);
+  EXPECT_GT(report.cache.accesses(), 0u);
+  EXPECT_GT(report.cache.hit_rate(), 0.0);  // Zipf-hot feature rows repeat
+  for (const auto& q : report.queries) {
+    EXPECT_EQ(q.candidates, 1u);  // one impression per query
+    EXPECT_LE(q.enqueue.value, q.dispatch.value);
+    EXPECT_LT(q.dispatch.value, q.complete.value);
+    EXPECT_DOUBLE_EQ(q.filter_latency.value, 0.0);  // single-stage graph
+    EXPECT_GT(q.rank_latency.value, 0.0);
+  }
+  // Single-stage usage: the capable shard carries more of the stream.
+  ASSERT_EQ(report.shards.size(), 2u);
+  EXPECT_GT(report.rank_utilization(0), 0.0);
+  EXPECT_GT(report.shards[0].last_stage_busy().value,
+            report.shards[1].last_stage_busy().value);
+}
+
+// --- Async overlap determinism ---------------------------------------------
+
+TEST(ServingRuntime, OverlapPreservesHardwareTimeReport) {
+  FilterRankFixture fx;
+
+  auto run_once = [&](bool overlap) {
+    ServingConfig cfg;
+    cfg.shards = 3;
+    cfg.k = 5;
+    cfg.batcher.max_batch = 4;
+    cfg.batcher.max_wait = Ns{300000.0};
+    cfg.cache.capacity_rows = 1024;
+    cfg.overlap = overlap;
+    cfg.max_inflight = 3;
+    ServingRuntime rt(fx.factory, cfg, core::ArchConfig{},
+                      device::DeviceProfile::fefet45());
+    LoadGenConfig lg;
+    lg.clients = 8;
+    lg.total_queries = 40;
+    lg.num_users = fx.users.size();
+    lg.arrivals = ArrivalProcess::kOpenPoisson;
+    lg.rate_qps = 2.0e5;  // well into the knee for the oracle's zero cost
+    lg.seed = 71;
+    LoadGenerator gen(lg);
+    return rt.run(gen, fx.users);
+  };
+
+  const auto phased = run_once(false);
+  const auto overlapped = run_once(true);
+  ASSERT_EQ(phased.size(), overlapped.size());
+  EXPECT_EQ(phased.batches, overlapped.batches);
+  EXPECT_DOUBLE_EQ(phased.makespan.value, overlapped.makespan.value);
+  EXPECT_DOUBLE_EQ(phased.p99_latency_ns(), overlapped.p99_latency_ns());
+  EXPECT_EQ(phased.cache.hits, overlapped.cache.hits);
+  for (std::size_t i = 0; i < phased.size(); ++i) {
+    EXPECT_EQ(phased.queries[i].id, overlapped.queries[i].id);
+    EXPECT_DOUBLE_EQ(phased.queries[i].enqueue.value,
+                     overlapped.queries[i].enqueue.value);
+    EXPECT_DOUBLE_EQ(phased.queries[i].dispatch.value,
+                     overlapped.queries[i].dispatch.value);
+    EXPECT_DOUBLE_EQ(phased.queries[i].complete.value,
+                     overlapped.queries[i].complete.value);
+  }
+  for (std::size_t s = 0; s < 3; ++s)
+    EXPECT_DOUBLE_EQ(phased.rank_utilization(s),
+                     overlapped.rank_utilization(s));
+}
+
+// --- Poisson open-loop arrivals --------------------------------------------
+
+TEST(LoadGenerator, PoissonArrivalsAreSeededAndRateConsistent) {
+  LoadGenConfig lg;
+  lg.clients = 4;
+  lg.total_queries = 4000;
+  lg.num_users = 50;
+  lg.arrivals = ArrivalProcess::kOpenPoisson;
+  lg.rate_qps = 1.0e6;  // mean gap 1 us
+  lg.seed = 73;
+
+  LoadGenerator gen(lg);
+  std::vector<Request> stream;
+  while (auto r = gen.next_arrival()) stream.push_back(*r);
+  ASSERT_EQ(stream.size(), lg.total_queries);
+
+  double prev = -1.0;
+  for (const auto& r : stream) {
+    EXPECT_GE(r.enqueue.value, prev);  // non-decreasing arrival times
+    EXPECT_LT(r.user, lg.num_users);
+    prev = r.enqueue.value;
+  }
+  // Mean inter-arrival within 5% of 1/rate (4000 draws).
+  const double mean_gap_ns =
+      stream.back().enqueue.value / static_cast<double>(stream.size());
+  EXPECT_NEAR(mean_gap_ns, 1000.0, 50.0);
+
+  // Same seed reproduces the stream bit-for-bit.
+  LoadGenerator gen2(lg);
+  for (const auto& r : stream) {
+    const auto r2 = gen2.next_arrival();
+    ASSERT_TRUE(r2.has_value());
+    EXPECT_DOUBLE_EQ(r.enqueue.value, r2->enqueue.value);
+    EXPECT_EQ(r.user, r2->user);
+  }
+}
+
+TEST(LoadGenerator, ModesRejectWrongEntryPoint) {
+  LoadGenConfig closed;
+  closed.num_users = 4;
+  LoadGenerator cgen(closed);
+  EXPECT_THROW(cgen.next_arrival(), std::runtime_error);
+
+  LoadGenConfig open = closed;
+  open.arrivals = ArrivalProcess::kOpenPoisson;
+  open.rate_qps = 1e5;
+  LoadGenerator ogen(open);
+  EXPECT_THROW(ogen.next(0, Ns{0.0}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace imars
