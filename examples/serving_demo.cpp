@@ -1,6 +1,8 @@
 // Serving demo: a closed-loop traffic stream through the concurrent
 // serving runtime — sharded iMARS replicas, dynamic batching, and the
-// frequency-aware hot-embedding cache — in ~90 lines.
+// frequency-aware hot-embedding cache — then the same fabric re-run
+// multi-tenant: an interactive QoS class (tight deadline, preemptive
+// batch close) sharing the shards with a 4x-weighted bulk class.
 //
 //   $ ./serving_demo
 #include <iostream>
@@ -81,5 +83,55 @@ int main() {
             << q.batch << ", " << q.candidates << " candidates): served in "
             << util::Table::num((q.complete - q.enqueue).value * 1e-3, 1)
             << " us end-to-end\n";
+
+  // 7. Multi-tenant QoS: the same fabric, now shared by an interactive
+  //    tenant (400 us deadline, preemptive close, small batches) and a
+  //    bulk tenant carrying 4x the traffic. The interactive weight is set
+  //    ABOVE its traffic share — earliest-deadline-first admission only
+  //    protects a deadline class while it stays inside its entitlement.
+  serve::QosClassConfig interactive;
+  interactive.name = "interactive";
+  interactive.max_batch = 2;
+  interactive.deadline = device::Ns{400000.0};
+  interactive.service_estimate = device::Ns{300000.0};
+  interactive.weight = 2.0;
+  serve::QosClassConfig bulkcls;
+  bulkcls.name = "bulk";
+  bulkcls.max_batch = 8;
+  bulkcls.weight = 4.0;
+  cfg.qos.classes = {interactive, bulkcls};
+  cfg.qos.admit_window = device::Ns{100000.0};
+  serve::ServingRuntime qos_rt(factory, cfg, arch, profile);
+
+  serve::LoadGenConfig qlg = lg;
+  qlg.total_queries = 96;
+  qlg.class_mix = {0.2, 0.8};  // 1:4 interactive:bulk traffic
+  qlg.arrivals = serve::ArrivalProcess::kOpenPoisson;
+  qlg.rate_qps = 1.2 * report.qps();  // past the knee: tenants contend
+  serve::LoadGenerator qgen(qlg);
+  std::cout << "\nre-serving " << qlg.total_queries
+            << " queries as two QoS tenants at 1.2x capacity...\n";
+  const auto qos_report = qos_rt.run(qgen, users);
+
+  util::Table qos_table("Per-tenant telemetry");
+  qos_table.header({"tenant", "queries", "p50 us", "p99 us", "SLO misses",
+                    "device share"});
+  for (std::size_t c = 0; c < qos_report.classes.size(); ++c) {
+    const auto& cls = qos_report.classes[c];
+    qos_table.row(
+        {cls.name, util::Table::num(double(cls.queries), 0),
+         util::Table::num(qos_report.class_p50_latency_ns(c) * 1e-3, 1),
+         util::Table::num(qos_report.class_p99_latency_ns(c) * 1e-3, 1),
+         util::Table::num(double(cls.slo_violations), 0),
+         util::Table::num(qos_report.device_share(c), 2)});
+  }
+  qos_table.print(std::cout);
+  // The admission queue is work-conserving: a class consuming less than
+  // its entitlement (the interactive tenant under-demands its weight here,
+  // by design) donates the slack, so the "error" reflects headroom, not
+  // unfairness — it tightens to ~0 when every class saturates its share
+  // (bench_serving_qos measures exactly that regime).
+  std::cout << "fairness error (device share vs weight): "
+            << util::Table::num(qos_report.fairness_error(), 3) << "\n";
   return 0;
 }

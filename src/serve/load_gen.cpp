@@ -10,12 +10,38 @@ LoadGenerator::LoadGenerator(const LoadGenConfig& cfg)
     : cfg_(cfg),
       users_(cfg.num_users, cfg.user_zipf_s),
       rng_(cfg.seed),
-      gap_rng_(util::hash64(cfg.seed, 0x6170736f6e6e6fULL)) {
+      gap_rng_(util::hash64(cfg.seed, 0x6170736f6e6e6fULL)),
+      class_rng_(util::hash64(cfg.seed, 0x716f73636c617373ULL)) {
   IMARS_REQUIRE(cfg_.clients >= 1, "LoadGenerator: need at least one client");
   IMARS_REQUIRE(cfg_.num_users >= 1, "LoadGenerator: empty user population");
   if (cfg_.arrivals == ArrivalProcess::kOpenPoisson)
     IMARS_REQUIRE(cfg_.rate_qps > 0.0,
                   "LoadGenerator: open-loop mode needs a positive rate");
+  if (cfg_.arrivals == ArrivalProcess::kTrace) {
+    IMARS_REQUIRE(!cfg_.trace.empty(), "LoadGenerator: empty trace");
+    for (std::size_t i = 1; i < cfg_.trace.size(); ++i)
+      IMARS_REQUIRE(cfg_.trace[i - 1].enqueue <= cfg_.trace[i].enqueue,
+                    "LoadGenerator: trace arrivals must be time-ordered");
+  }
+  for (double share : cfg_.class_mix) {
+    IMARS_REQUIRE(share >= 0.0,
+                  "LoadGenerator: class_mix shares must be non-negative");
+    mix_total_ += share;
+  }
+  if (!cfg_.class_mix.empty())
+    IMARS_REQUIRE(mix_total_ > 0.0,
+                  "LoadGenerator: class_mix must have a positive share");
+}
+
+std::size_t LoadGenerator::draw_class() {
+  if (cfg_.class_mix.empty()) return 0;
+  // Inverse-CDF draw from the normalized mix, on the dedicated stream.
+  double u = class_rng_.uniform() * mix_total_;
+  for (std::size_t cls = 0; cls + 1 < cfg_.class_mix.size(); ++cls) {
+    if (u < cfg_.class_mix[cls]) return cls;
+    u -= cfg_.class_mix[cls];
+  }
+  return cfg_.class_mix.size() - 1;
 }
 
 std::optional<Request> LoadGenerator::next(std::size_t client,
@@ -28,13 +54,18 @@ std::optional<Request> LoadGenerator::next(std::size_t client,
   r.id = issued_++;
   r.client = client;
   r.user = users_.sample(rng_);
+  r.qos_class = draw_class();
   r.enqueue = ready + cfg_.think;
   return r;
 }
 
 std::optional<Request> LoadGenerator::next_arrival() {
-  IMARS_REQUIRE(cfg_.arrivals == ArrivalProcess::kOpenPoisson,
+  IMARS_REQUIRE(cfg_.arrivals != ArrivalProcess::kClosedLoop,
                 "LoadGenerator: next_arrival() is the open-loop entry point");
+  if (cfg_.arrivals == ArrivalProcess::kTrace) {
+    if (issued_ >= cfg_.trace.size()) return std::nullopt;
+    return cfg_.trace[issued_++];
+  }
   if (issued_ >= cfg_.total_queries) return std::nullopt;
   // Exponential inter-arrival gap with mean 1/rate, in device nanoseconds
   // (log1p(-u) with u in [0,1) avoids log(0)). Gaps come from their own
@@ -47,6 +78,7 @@ std::optional<Request> LoadGenerator::next_arrival() {
   r.id = issued_++;
   r.client = r.id % cfg_.clients;  // labeling only; arrivals are global
   r.user = users_.sample(rng_);
+  r.qos_class = draw_class();
   r.enqueue = open_clock_;
   return r;
 }

@@ -1,4 +1,4 @@
-// Load generation in two arrival regimes:
+// Load generation in three arrival regimes:
 //
 //   * closed loop — C concurrent clients, each issuing its next query the
 //     moment its previous one completes (plus optional think time). The
@@ -8,15 +8,24 @@
 //     device-time domain, independent of completions. This is the regime
 //     that exposes saturation and tail-latency knees: past the capacity
 //     rate, queues grow without bound and p99 explodes.
+//   * trace     — a scripted arrival stream replayed verbatim (completion-
+//     independent, like the open loop). The property tests use it to build
+//     adversarial multi-tenant schedules (e.g. a bulk flood around a sparse
+//     interactive stream) with exact control of every arrival.
 //
 // Users are drawn from a Zipf(s) popularity distribution over the
 // population (data/zipf.*), reproducing the skewed traffic that makes the
-// hot-embedding cache effective. All randomness is seeded (util/rng.hpp),
-// so a given configuration reproduces its arrival stream bit-for-bit.
+// hot-embedding cache effective. Multi-tenant streams label each request
+// with a QoS class drawn from `class_mix`; the draw uses its own RNG
+// stream, so adding classes never perturbs the user sequence (and an empty
+// mix performs no draw at all — bit-identical to the single-tenant
+// stream). All randomness is seeded (util/rng.hpp), so a given
+// configuration reproduces its arrival stream bit-for-bit.
 #pragma once
 
 #include <cstddef>
 #include <optional>
+#include <vector>
 
 #include "data/zipf.hpp"
 #include "device/units.hpp"
@@ -28,6 +37,7 @@ namespace imars::serve {
 enum class ArrivalProcess : std::uint8_t {
   kClosedLoop,   ///< completions trigger the next query per client
   kOpenPoisson,  ///< exponential inter-arrival gaps at `rate_qps`
+  kTrace,        ///< replay `trace` verbatim (open-loop-like)
 };
 
 struct LoadGenConfig {
@@ -39,6 +49,14 @@ struct LoadGenConfig {
   std::uint64_t seed = 7;
   ArrivalProcess arrivals = ArrivalProcess::kClosedLoop;
   double rate_qps = 0.0;           ///< open-loop mean arrival rate (device s)
+  /// Per-class arrival shares (normalized internally): request
+  /// `qos_class` labels are drawn i.i.d. from this distribution. Empty =
+  /// every request is class 0 and no class RNG draw happens.
+  std::vector<double> class_mix;
+  /// Scripted arrivals for ArrivalProcess::kTrace (enqueue must be
+  /// non-decreasing); replayed verbatim, `total_queries`/`class_mix` are
+  /// ignored.
+  std::vector<Request> trace;
 };
 
 class LoadGenerator {
@@ -53,17 +71,23 @@ class LoadGenerator {
   /// first one). Returns nullopt once the stream budget is exhausted.
   std::optional<Request> next(std::size_t client, device::Ns ready);
 
-  /// Open loop: the next Poisson arrival (non-decreasing in time, clients
-  /// labeled round-robin). Returns nullopt once the budget is exhausted.
+  /// Open loop / trace: the next arrival (non-decreasing in time; Poisson
+  /// clients labeled round-robin). Returns nullopt once the budget is
+  /// exhausted.
   std::optional<Request> next_arrival();
 
  private:
+  std::size_t draw_class();
+
   LoadGenConfig cfg_;
   data::ZipfSampler users_;
   util::Xoshiro256 rng_;      ///< user draws (shared by both regimes, so a
                               ///< seed fixes the impression sequence
                               ///< regardless of arrival process)
   util::Xoshiro256 gap_rng_;  ///< open-loop inter-arrival draws
+  util::Xoshiro256 class_rng_;  ///< QoS-class draws (own stream: adding
+                                ///< classes never shifts user draws)
+  double mix_total_ = 0.0;      ///< sum of class_mix shares
   std::size_t issued_ = 0;
   device::Ns open_clock_{0.0};  ///< last open-loop arrival time
 };

@@ -1,6 +1,8 @@
 #include "serve/runtime.hpp"
 
+#include <algorithm>
 #include <deque>
+#include <limits>
 #include <optional>
 #include <queue>
 #include <utility>
@@ -25,6 +27,36 @@ ShardMap ServingRuntime::make_map(const ServingConfig& cfg,
   return ShardMap::weighted(cfg.shard_weights, cfg.map_granularity);
 }
 
+namespace {
+
+std::vector<std::unique_ptr<ServableBackend>> into_vector(
+    std::unique_ptr<ServableBackend> servable) {
+  std::vector<std::unique_ptr<ServableBackend>> out;
+  out.push_back(std::move(servable));
+  return out;
+}
+
+std::size_t checked_shards(
+    const std::vector<std::unique_ptr<ServableBackend>>& servables) {
+  IMARS_REQUIRE(!servables.empty(), "ServingRuntime: no servables");
+  for (const auto& s : servables) {
+    IMARS_REQUIRE(s != nullptr, "ServingRuntime: null servable");
+    IMARS_REQUIRE(s->shards() == servables.front()->shards(),
+                  "ServingRuntime: co-resident servables must expose the "
+                  "same shard count");
+  }
+  return servables.front()->shards();
+}
+
+}  // namespace
+
+std::vector<PipelineSpec> ServingRuntime::specs_of(
+    const std::vector<std::unique_ptr<ServableBackend>>& servables) {
+  std::vector<PipelineSpec> specs;
+  for (const auto& s : servables) specs.push_back(s->spec());
+  return specs;
+}
+
 ServingRuntime::ServingRuntime(const core::BackendFactory& factory,
                                const ServingConfig& cfg,
                                const core::ArchConfig& arch,
@@ -33,42 +65,48 @@ ServingRuntime::ServingRuntime(const core::BackendFactory& factory,
                                                    cfg.traffic),
                      cfg, arch, profile) {}
 
-namespace {
-
-ServableBackend& require_servable(
-    const std::unique_ptr<ServableBackend>& servable) {
-  IMARS_REQUIRE(servable != nullptr, "ServingRuntime: null servable");
-  return *servable;
-}
-
-}  // namespace
-
 ServingRuntime::ServingRuntime(std::unique_ptr<ServableBackend> servable,
                                const ServingConfig& cfg,
                                const core::ArchConfig& arch,
                                const device::DeviceProfile& profile,
                                std::span<const device::DeviceProfile>
                                    shard_profiles)
+    : ServingRuntime(into_vector(std::move(servable)), cfg, arch, profile,
+                     shard_profiles) {}
+
+ServingRuntime::ServingRuntime(
+    std::vector<std::unique_ptr<ServableBackend>> servables,
+    const ServingConfig& cfg, const core::ArchConfig& arch,
+    const device::DeviceProfile& profile,
+    std::span<const device::DeviceProfile> shard_profiles)
     : cfg_(cfg),
-      servable_(std::move(servable)),
-      pipeline_(require_servable(servable_).shards(), servable_->spec(),
-                profile, make_map(cfg, servable_->shards())) {
+      qos_(cfg.effective_qos()),
+      servables_(std::move(servables)),
+      pipeline_(checked_shards(servables_), specs_of(servables_), profile,
+                make_map(cfg, checked_shards(servables_))) {
   IMARS_REQUIRE(cfg_.k >= 1, "ServingRuntime: k must be >= 1");
+  for (const auto& cls : qos_.classes)
+    IMARS_REQUIRE(cls.servable < servables_.size(),
+                  "ServingRuntime: class routed to a missing servable slot");
   // Heterogeneous fabrics: a cache hit must credit back the *owning*
   // shard's miss cost, so the timing is derived per shard profile.
   if (shard_profiles.empty()) {
     timings_ = {CacheTiming::from_model(core::PerfModel(arch, profile))};
   } else {
-    IMARS_REQUIRE(shard_profiles.size() == servable_->shards(),
+    IMARS_REQUIRE(shard_profiles.size() == servables_.front()->shards(),
                   "ServingRuntime: one shard profile per shard");
     for (const auto& p : shard_profiles)
       timings_.push_back(CacheTiming::from_model(core::PerfModel(arch, p)));
   }
   // The config's shard count reflects the fabric actually built.
-  cfg_.shards = servable_->shards();
+  cfg_.shards = servables_.front()->shards();
   // A filter/rank servable passed through the generic constructor (e.g. a
   // heterogeneous fabric) still supports run(gen, users).
-  router_ = dynamic_cast<ShardRouter*>(servable_.get());
+  for (const auto& s : servables_)
+    if (auto* r = dynamic_cast<ShardRouter*>(s.get())) {
+      router_ = r;
+      break;
+    }
 }
 
 ShardRouter& ServingRuntime::router() {
@@ -92,7 +130,13 @@ struct ArrivalLater {
 ServeReport ServingRuntime::run(LoadGenerator& gen,
                                 std::span<const recsys::UserContext> users) {
   IMARS_REQUIRE(!users.empty(), "ServingRuntime::run: empty user population");
-  router().bind_users(users);
+  bool bound = false;
+  for (const auto& s : servables_)
+    if (auto* r = dynamic_cast<ShardRouter*>(s.get())) {
+      r->bind_users(users);
+      bound = true;
+    }
+  IMARS_REQUIRE(bound, "ServingRuntime::run: no filter/rank servable");
   return run(gen);
 }
 
@@ -101,21 +145,25 @@ ServeReport ServingRuntime::run(LoadGenerator& gen) {
   HotEmbeddingCache cache(cfg_.cache);
   HotEmbeddingCache* cache_ptr =
       cfg_.cache.capacity_rows > 0 ? &cache : nullptr;
-  DynamicBatcher batcher(cfg_.batcher);
+  QosBatcher batcher(qos_);
 
-  const bool open =
-      gen.config().arrivals == ArrivalProcess::kOpenPoisson;
-  // Deferred collection (cross-batch stage overlap) requires batch
-  // composition to be completion-independent — true only in the open loop.
-  // The closed loop still overlaps query stages *within* a batch (the
-  // engine chains stages with no barrier), but collects batch by batch.
-  const bool defer = cfg_.overlap && open;
+  const bool open = gen.config().arrivals != ArrivalProcess::kClosedLoop;
+  const bool gated = qos_.gated();
+  // Deferred collection (cross-batch stage overlap) requires batch release
+  // to be completion-independent — true only for open-loop/trace arrivals
+  // with an ungated admission queue (the gate reads the device frontier,
+  // which completions advance). The phased loop still overlaps query
+  // stages *within* a batch (the engine chains stages with no barrier),
+  // but collects batch by batch.
+  const bool defer = cfg_.overlap && open && !gated;
   const std::size_t max_inflight =
       std::max<std::size_t>(cfg_.max_inflight, 1);
+  const device::Ns window = qos_.admit_window;
 
   // Closed loop: completions enqueue out-of-order arrivals, so a heap is
-  // needed. Open loop: next_arrival() already yields sorted arrivals and
-  // completions enqueue nothing, so a one-request lookahead suffices.
+  // needed. Open loop / trace: next_arrival() already yields sorted
+  // arrivals and completions enqueue nothing, so a one-request lookahead
+  // suffices.
   std::priority_queue<Request, std::vector<Request>, ArrivalLater> arrivals;
   std::optional<Request> lookahead;
   if (open) {
@@ -140,25 +188,50 @@ ServeReport ServingRuntime::run(LoadGenerator& gen) {
   };
 
   ServeReport report;
+  for (const auto& cls : qos_.classes) {
+    ClassReport cr;
+    cr.name = cls.name;
+    cr.weight = cls.weight;
+    cr.deadline = cls.deadline;
+    report.classes.push_back(std::move(cr));
+  }
+  const double weight_sum = [&] {
+    double sum = 0.0;
+    for (const auto& cls : qos_.classes) sum += cls.weight;
+    return sum;
+  }();
 
-  std::deque<StagePipeline::BatchHandle> inflight;
+  struct InflightBatch {
+    StagePipeline::BatchHandle handle;
+    ServableBackend* servable = nullptr;
+    std::size_t qos_class = 0;
+  };
+  std::deque<InflightBatch> inflight;
+  // Closed-but-unadmitted batches. Ungated configs release a batch the
+  // instant it closes (the deque never survives an event), which is
+  // exactly the PR 2 dispatch behavior.
+  std::deque<Batch> ready;
 
   // Deterministic accounting of the oldest in-flight batch (collection
   // happens in dispatch order, so overlapped and phased execution yield
   // bit-identical reports).
   auto drain_one = [&] {
-    StagePipeline::BatchHandle handle = std::move(inflight.front());
+    InflightBatch entry = std::move(inflight.front());
     inflight.pop_front();
-    const auto results =
-        pipeline_.collect(std::move(handle), *servable_, cache_ptr,
-                          timings_);
+    const auto results = pipeline_.collect(std::move(entry.handle),
+                                           *entry.servable, cache_ptr,
+                                           timings_);
     ++report.batches;
+    ClassReport& cr = report.classes[entry.qos_class];
+    ++cr.batches;
+    const device::Ns slo = qos_.classes[entry.qos_class].deadline;
     for (const auto& res : results) {
       const Request& req = res.request;
       ServedQuery q;
       q.id = req.id;
       q.user = req.user;
       q.client = req.client;
+      q.qos_class = req.qos_class;
       q.batch = res.batch_id;
       q.batch_size = res.batch_size;
       q.home_shard = res.home_shard;
@@ -166,14 +239,22 @@ ServeReport ServingRuntime::run(LoadGenerator& gen) {
       q.enqueue = req.enqueue;
       q.dispatch = res.dispatch;
       q.complete = res.complete;
+      q.topk = res.topk;
       // Every stage before the last aggregates as "filter", the last as
       // "rank" (scoring), so the split reconciles with per-query energy
       // for any stage count.
       for (std::size_t s = 0; s + 1 < res.stage_latency.size(); ++s)
         q.filter_latency += res.stage_latency[s];
       q.rank_latency = res.stage_latency.back();
-      for (const auto& s : res.stage_stats) q.energy += s.total().energy;
-      report.queries.push_back(q);
+      for (const auto& s : res.stage_stats) {
+        q.energy += s.total().energy;
+        q.device_time += s.total().latency;
+      }
+      ++cr.queries;
+      cr.device_time += q.device_time;
+      if (slo.value > 0.0 && (q.complete - q.enqueue) > slo)
+        ++cr.slo_violations;
+      report.queries.push_back(std::move(q));
       for (std::size_t s = 0; s + 1 < res.stage_stats.size(); ++s)
         report.filter_stats.merge(res.stage_stats[s]);
       report.rank_stats.merge(res.stage_stats.back());
@@ -186,10 +267,14 @@ ServeReport ServingRuntime::run(LoadGenerator& gen) {
     }
   };
 
-  auto dispatch = [&](device::Ns when, bool drain) {
-    auto batch = drain ? batcher.flush(when) : batcher.poll(when);
-    IMARS_REQUIRE(batch.has_value(), "ServingRuntime: spurious dispatch");
-    inflight.push_back(pipeline_.submit(*batch, *servable_, cfg_.k));
+  auto submit_batch = [&](const Batch& batch) {
+    const std::size_t cls = batch.qos_class;
+    const QosClassConfig& ccfg = qos_.classes[cls];
+    ServableBackend* servable = servables_[ccfg.servable].get();
+    const bool urgent = ccfg.deadline.value > 0.0;
+    inflight.push_back({pipeline_.submit(batch, *servable, cfg_.k,
+                                         ccfg.servable, urgent),
+                        servable, cls});
     if (!defer) {
       drain_one();
     } else {
@@ -197,30 +282,138 @@ ServeReport ServingRuntime::run(LoadGenerator& gen) {
     }
   };
 
+  // Admission order over the GATED ready queue: deadline classes running
+  // inside their weight entitlement release earliest-deadline-first (so a
+  // bulk backlog cannot sit in front of an interactive batch), everyone
+  // else by measured weighted virtual time (consumed device time /
+  // weight) — weight-0 scavengers only when nothing else is ready. Index 0
+  // wins ties (FIFO: ready is close-ordered). Only consulted while gated:
+  // gating forces immediate collection, so the per-class device-time
+  // totals it reads are always complete. (Ungated mode releases in close
+  // order — under deferred collection the totals lag by the in-flight
+  // batches, and a policy read there would let the overlap flag change
+  // release order, breaking the bit-identical-reports contract.)
+  auto pick_ready = [&]() -> std::size_t {
+    double total_device = 0.0;
+    for (const auto& cr : report.classes) total_device += cr.device_time.value;
+    std::optional<std::size_t> best_edf;
+    double best_edf_key = 0.0;
+    std::optional<std::size_t> best_vt;
+    double best_vt_key = 0.0;
+    for (std::size_t i = 0; i < ready.size(); ++i) {
+      const std::size_t cls = ready[i].qos_class;
+      const QosClassConfig& ccfg = qos_.classes[cls];
+      if (ccfg.deadline.value > 0.0 && ccfg.weight > 0.0 &&
+          weight_sum > 0.0) {
+        const double share =
+            total_device > 0.0
+                ? report.classes[cls].device_time.value / total_device
+                : 0.0;
+        if (share <= ccfg.weight / weight_sum) {
+          const double key =
+              ready[i].requests.front().enqueue.value + ccfg.deadline.value;
+          if (!best_edf || key < best_edf_key) {
+            best_edf = i;
+            best_edf_key = key;
+          }
+          continue;
+        }
+      }
+      const double key =
+          ccfg.weight > 0.0
+              ? report.classes[cls].device_time.value / ccfg.weight
+              : std::numeric_limits<double>::infinity();
+      if (!best_vt || key < best_vt_key) {
+        best_vt = i;
+        best_vt_key = key;
+      }
+    }
+    if (best_edf) return *best_edf;
+    return best_vt.value_or(0);
+  };
+
+  // Releases ready batches while the admission gate is open at `now` (the
+  // device backlog frontier within admit_window). Ungated: releases
+  // everything immediately. The comparison uses the same
+  // `frontier - window` expression as the gate-opening event time below —
+  // mixing `now + window` here would round differently and the gate could
+  // stay shut at its own opening instant.
+  auto pump = [&](device::Ns now) {
+    while (!ready.empty()) {
+      if (gated && (pipeline_.frontier() - window).value > now.value)
+        break;
+      const std::size_t idx = gated ? pick_ready() : 0;
+      const Batch batch = std::move(ready[idx]);
+      ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(idx));
+      submit_batch(batch);
+    }
+  };
+
+  auto close_fired = [&](device::Ns now) {
+    bool closed = false;
+    while (auto batch = batcher.poll(now)) {
+      ready.push_back(std::move(*batch));
+      closed = true;
+    }
+    return closed;
+  };
+
   device::Ns last_enqueue{0.0};
-  while (!arrivals_empty() || !batcher.empty() || !inflight.empty()) {
+  while (!arrivals_empty() || !batcher.empty() || !ready.empty() ||
+         !inflight.empty()) {
     if (!arrivals_empty()) {
       const device::Ns next_arrival = peek_arrival().enqueue;
-      const auto deadline = batcher.deadline();
-      if (!deadline.has_value() || next_arrival <= *deadline) {
-        // The arrival is the earliest actionable event.
-        const Request r = pop_arrival();
-        batcher.add(r);
-        last_enqueue = r.enqueue;
-        if (batcher.pending() >= batcher.config().max_batch)
-          dispatch(r.enqueue, false);  // size trigger fires as it fills
+      const auto trigger = batcher.deadline();
+      const std::optional<device::Ns> gate =
+          gated && !ready.empty()
+              ? std::optional<device::Ns>(pipeline_.frontier() - window)
+              : std::nullopt;
+      // Earliest actionable event wins; the arrival wins ties (matching
+      // the PR 2 loop), and a due batcher trigger precedes a gate opening
+      // at the same instant (close before release). The close time is
+      // clamped to the newest arrival: a scavenger class can surface a
+      // trigger that went stale while it was suppressed behind other
+      // traffic, and its batch must not be stamped before its own
+      // members' enqueues. (For admissible classes the trigger always
+      // fires before any later arrival is added, so the clamp is a no-op
+      // — single-class runs stay bit-identical to PR 2.)
+      if (trigger && *trigger < next_arrival &&
+          (!gate || *trigger <= *gate)) {
+        const device::Ns when = device::max(*trigger, last_enqueue);
+        IMARS_REQUIRE(close_fired(when),
+                      "ServingRuntime: spurious batcher trigger");
+        pump(when);
         continue;
       }
-      // Deadline trigger: the oldest pending request has waited max_wait.
-      dispatch(*deadline, false);
+      if (gate && *gate < next_arrival) {
+        pump(device::max(*gate, last_enqueue));
+        continue;
+      }
+      // The arrival is the earliest actionable event. last_enqueue stays
+      // monotone: gated closed loops can spawn an arrival slightly in the
+      // past (a held batch completing early), and the flush/clamp
+      // timestamps below must never move backwards for it.
+      const Request r = pop_arrival();
+      batcher.add(r);
+      last_enqueue = device::max(last_enqueue, r.enqueue);
+      close_fired(r.enqueue);  // size trigger fires as the queue fills
+      pump(r.enqueue);
       continue;
     }
     if (!batcher.empty()) {
       // No arrival can occur before a completion (closed loop, nothing
       // pending; open loop, stream exhausted): waiting out the deadline
-      // would be pure simulation artifact, so drain the partial batch at
+      // would be pure simulation artifact, so drain the partial batches at
       // the newest request's arrival time.
-      dispatch(last_enqueue, true);
+      auto batch = batcher.flush(last_enqueue);
+      IMARS_REQUIRE(batch.has_value(), "ServingRuntime: spurious flush");
+      ready.push_back(std::move(*batch));
+      pump(last_enqueue);
+      continue;
+    }
+    if (!ready.empty()) {
+      // Only the gated backlog remains: open the gate at its own time.
+      pump(device::max(pipeline_.frontier() - window, last_enqueue));
       continue;
     }
     // Only in-flight batches remain (deferred collection).
@@ -228,6 +421,8 @@ ServeReport ServingRuntime::run(LoadGenerator& gen) {
   }
 
   report.shards.assign(pipeline_.usage().begin(), pipeline_.usage().end());
+  for (std::size_t slot = 0; slot < pipeline_.spec_count(); ++slot)
+    report.stage_offsets.push_back(pipeline_.stage_offset(slot));
   report.cache = cache.stats();
   return report;
 }

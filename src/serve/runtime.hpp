@@ -1,15 +1,29 @@
 // The concurrent serving runtime: glue between the load generator (closed-
-// loop or open-loop Poisson), the dynamic batcher, the hot-embedding cache
-// and the staged-pipeline engine over an abstract ServableBackend.
+// loop, open-loop Poisson or trace replay), the class-aware QoS batcher,
+// the hot-embedding cache and the staged-pipeline engine over one or more
+// abstract ServableBackends (co-resident tenants).
 //
 // The event loop advances simulated hardware time deterministically
-// (arrivals, batch triggers, completions), while the functional
-// recommendation work of each dispatched batch executes concurrently on
-// the per-shard worker threads. With `overlap` enabled under open-loop
-// arrivals, up to `max_inflight` batches stay in flight: batch b+1's early
-// stages run on the worker threads while batch b's late stages finish
-// (batch composition is completion-independent in the open loop, so the
-// deferred accounting is bit-identical to phased execution). Reported
+// (arrivals, batch triggers, admission-gate openings, completions), while
+// the functional recommendation work of each dispatched batch executes
+// concurrently on the per-shard worker threads. With `overlap` enabled
+// under completion-independent arrivals (open loop / trace), up to
+// `max_inflight` batches stay in flight: batch b+1's early stages run on
+// the worker threads while batch b's late stages finish (batch composition
+// is completion-independent there, so the deferred accounting is
+// bit-identical to phased execution).
+//
+// Multi-tenant QoS (PR 3): requests carry a priority class; each class has
+// its own batching triggers, an optional end-to-end deadline with
+// preemptive close, and a device-time weight. When the QoS config sets a
+// positive `admit_window`, closed batches wait in a ready queue and are
+// released to the fabric only as the device backlog frontier comes within
+// the window — deadline classes are released earliest-deadline-first while
+// inside their weight entitlement, everyone else by weighted virtual time,
+// so a bulk tenant's flood cannot starve an interactive tenant. Admission
+// gating needs completion feedback (the frontier), so it serializes
+// collection like the closed loop does; the ungated single-class
+// configuration reproduces the PR 2 engine bit-identically. Reported
 // QPS / latency percentiles are in the device-model time domain, so they
 // compose with every other number the simulator produces.
 #pragma once
@@ -34,6 +48,9 @@ struct ServingConfig {
   std::size_t shards = 4;
   std::size_t k = 10;  ///< global top-k per query
   DynamicBatcherConfig batcher;
+  /// Multi-tenant class table. Empty classes = single-tenant: one class
+  /// derived from `batcher`, ungated — the PR 2 configuration.
+  QosBatcherConfig qos;
   HotCacheConfig cache;
   TrafficSpec traffic;  ///< per-stage ET traffic (filter/rank servable)
   /// Explicit item partition (e.g. ShardMap::from_costs over probed stage
@@ -45,11 +62,19 @@ struct ServingConfig {
   std::size_t map_granularity = 64;  ///< buckets per shard (weighted maps)
   /// Async stage overlap: keep up to `max_inflight` batches in flight so a
   /// later batch's early stages overlap an earlier batch's late stages on
-  /// the worker threads. Honored under open-loop arrivals (closed-loop
-  /// batch composition depends on completions, so the loop stays phased);
-  /// hardware-time reports are identical either way.
+  /// the worker threads. Honored under completion-independent arrivals
+  /// (open loop / trace) with an ungated QoS config (closed-loop batch
+  /// composition and the admission gate both depend on completions, so
+  /// those loops stay phased); hardware-time reports are identical either
+  /// way.
   bool overlap = false;
   std::size_t max_inflight = 4;
+
+  /// The effective class table (explicit `qos`, or the single-tenant table
+  /// derived from `batcher`).
+  QosBatcherConfig effective_qos() const {
+    return qos.classes.empty() ? QosBatcherConfig::single(batcher) : qos;
+  }
 };
 
 class ServingRuntime {
@@ -71,10 +96,21 @@ class ServingRuntime {
                  const device::DeviceProfile& profile,
                  std::span<const device::DeviceProfile> shard_profiles = {});
 
+  /// Multi-tenant fabric: several co-resident servables sharing one
+  /// pipeline (and each shard's ET banks). All servables must expose the
+  /// same shard count; `QosClassConfig::servable` routes each class to its
+  /// slot.
+  ServingRuntime(std::vector<std::unique_ptr<ServableBackend>> servables,
+                 const ServingConfig& cfg, const core::ArchConfig& arch,
+                 const device::DeviceProfile& profile,
+                 std::span<const device::DeviceProfile> shard_profiles = {});
+
   const ServingConfig& config() const noexcept { return cfg_; }
   StagePipeline& pipeline() noexcept { return pipeline_; }
-  ServableBackend& servable() noexcept { return *servable_; }
-  /// The filter/rank servable (valid whenever the fabric serves one,
+  ServableBackend& servable() noexcept { return *servables_.front(); }
+  ServableBackend& servable(std::size_t slot) { return *servables_.at(slot); }
+  std::size_t servable_count() const noexcept { return servables_.size(); }
+  /// The first filter/rank servable (valid whenever the fabric serves one,
   /// whichever constructor built it).
   ShardRouter& router();
   /// Per-shard cache timings (a single entry when all shards share the
@@ -84,21 +120,25 @@ class ServingRuntime {
   }
 
   /// Serves the generator's whole stream against the user population
-  /// (filter/rank fabrics); resets clocks and cache statistics first.
+  /// (binds `users` to every filter/rank servable); resets clocks and cache
+  /// statistics first.
   ServeReport run(LoadGenerator& gen,
                   std::span<const recsys::UserContext> users);
 
-  /// Serves the generator's whole stream; the servable's population must
+  /// Serves the generator's whole stream; every servable's population must
   /// already be bound (e.g. CtrServable::bind_samples).
   ServeReport run(LoadGenerator& gen);
 
  private:
   static ShardMap make_map(const ServingConfig& cfg, std::size_t shards);
+  static std::vector<PipelineSpec> specs_of(
+      const std::vector<std::unique_ptr<ServableBackend>>& servables);
 
   ServingConfig cfg_;
+  QosBatcherConfig qos_;              ///< effective class table
   std::vector<CacheTiming> timings_;  ///< one, or one per shard
-  std::unique_ptr<ServableBackend> servable_;
-  ShardRouter* router_ = nullptr;  ///< non-null for filter/rank fabrics
+  std::vector<std::unique_ptr<ServableBackend>> servables_;
+  ShardRouter* router_ = nullptr;  ///< first filter/rank servable, if any
   StagePipeline pipeline_;
 };
 

@@ -1,9 +1,26 @@
 #include "serve/serve_stats.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
 #include "util/error.hpp"
 #include "util/stats.hpp"
 
 namespace imars::serve {
+
+namespace {
+
+/// util::percentile over a possibly-empty sample: 0.0 when empty. For
+/// n >= 1 the interpolated rank p/100 * (n-1) stays inside [0, n-1], so the
+/// percentile never indexes past the sorted vector and n = 1 yields the
+/// sample itself for every p (pinned by the serving test suite).
+double percentile_or_zero(const std::vector<double>& xs, double p) {
+  if (xs.empty()) return 0.0;
+  return util::percentile(xs, p);
+}
+
+}  // namespace
 
 std::vector<double> ServeReport::latencies_ns() const {
   std::vector<double> out;
@@ -13,20 +30,20 @@ std::vector<double> ServeReport::latencies_ns() const {
 }
 
 double ServeReport::mean_latency_ns() const {
-  IMARS_REQUIRE(!queries.empty(), "ServeReport: empty run");
+  if (queries.empty()) return 0.0;
   double sum = 0.0;
   for (const auto& q : queries) sum += (q.complete - q.enqueue).value;
   return sum / static_cast<double>(queries.size());
 }
 
 double ServeReport::p50_latency_ns() const {
-  return util::percentile(latencies_ns(), 50.0);
+  return percentile_or_zero(latencies_ns(), 50.0);
 }
 double ServeReport::p95_latency_ns() const {
-  return util::percentile(latencies_ns(), 95.0);
+  return percentile_or_zero(latencies_ns(), 95.0);
 }
 double ServeReport::p99_latency_ns() const {
-  return util::percentile(latencies_ns(), 99.0);
+  return percentile_or_zero(latencies_ns(), 99.0);
 }
 
 double ServeReport::qps() const {
@@ -40,22 +57,105 @@ double ServeReport::mean_batch_size() const {
 }
 
 double ServeReport::mean_energy_pj() const {
-  IMARS_REQUIRE(!queries.empty(), "ServeReport: empty run");
+  if (queries.empty()) return 0.0;
   double sum = 0.0;
   for (const auto& q : queries) sum += q.energy.value;
   return sum / static_cast<double>(queries.size());
 }
 
-double ServeReport::rank_utilization(std::size_t s) const {
-  IMARS_REQUIRE(s < shards.size(), "ServeReport: shard out of range");
-  if (makespan.value <= 0.0) return 0.0;
-  return shards[s].last_stage_busy().value / makespan.value;
+namespace {
+
+/// [begin, end) stage range of servable `slot` in the concatenated
+/// per-shard stage layout.
+std::pair<std::size_t, std::size_t> slot_range(
+    const std::vector<std::size_t>& offsets, std::size_t total,
+    std::size_t slot) {
+  if (offsets.empty()) {
+    IMARS_REQUIRE(slot == 0, "ServeReport: servable slot out of range");
+    return {0, total};
+  }
+  IMARS_REQUIRE(slot < offsets.size(),
+                "ServeReport: servable slot out of range");
+  const std::size_t end =
+      slot + 1 < offsets.size() ? offsets[slot + 1] : total;
+  return {offsets[slot], end};
 }
 
-double ServeReport::filter_utilization(std::size_t s) const {
+}  // namespace
+
+double ServeReport::rank_utilization(std::size_t s, std::size_t slot) const {
   IMARS_REQUIRE(s < shards.size(), "ServeReport: shard out of range");
+  if (makespan.value <= 0.0 || shards[s].stage_busy.empty()) return 0.0;
+  const auto [begin, end] =
+      slot_range(stage_offsets, shards[s].stage_busy.size(), slot);
+  return shards[s].stage_busy[end - 1].value / makespan.value;
+}
+
+double ServeReport::filter_utilization(std::size_t s,
+                                       std::size_t slot) const {
+  IMARS_REQUIRE(s < shards.size(), "ServeReport: shard out of range");
+  if (makespan.value <= 0.0 || shards[s].stage_busy.empty()) return 0.0;
+  const auto [begin, end] =
+      slot_range(stage_offsets, shards[s].stage_busy.size(), slot);
+  if (end - begin < 2) return 0.0;  // single-stage pipeline: no filter
+  return shards[s].stage_busy[begin].value / makespan.value;
+}
+
+std::vector<double> ServeReport::class_latencies_ns(std::size_t cls) const {
+  std::vector<double> out;
+  for (const auto& q : queries)
+    if (q.qos_class == cls) out.push_back((q.complete - q.enqueue).value);
+  return out;
+}
+
+double ServeReport::class_mean_latency_ns(std::size_t cls) const {
+  const auto xs = class_latencies_ns(cls);
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double ServeReport::class_p50_latency_ns(std::size_t cls) const {
+  return percentile_or_zero(class_latencies_ns(cls), 50.0);
+}
+double ServeReport::class_p95_latency_ns(std::size_t cls) const {
+  return percentile_or_zero(class_latencies_ns(cls), 95.0);
+}
+double ServeReport::class_p99_latency_ns(std::size_t cls) const {
+  return percentile_or_zero(class_latencies_ns(cls), 99.0);
+}
+
+double ServeReport::class_qps(std::size_t cls) const {
   if (makespan.value <= 0.0) return 0.0;
-  return shards[s].first_stage_busy().value / makespan.value;
+  std::size_t n = 0;
+  for (const auto& q : queries)
+    if (q.qos_class == cls) ++n;
+  return static_cast<double>(n) / makespan.seconds();
+}
+
+double ServeReport::device_share(std::size_t cls, device::Ns cutoff) const {
+  double total = 0.0, mine = 0.0;
+  for (const auto& q : queries) {
+    if (q.complete.value > cutoff.value) continue;
+    total += q.device_time.value;
+    if (q.qos_class == cls) mine += q.device_time.value;
+  }
+  return total > 0.0 ? mine / total : 0.0;
+}
+
+double ServeReport::fairness_error(device::Ns cutoff) const {
+  if (classes.size() < 2) return 0.0;
+  double weight_sum = 0.0;
+  for (const auto& c : classes) weight_sum += c.weight;
+  if (weight_sum <= 0.0) return 0.0;
+  double worst = 0.0;
+  for (std::size_t cls = 0; cls < classes.size(); ++cls) {
+    if (classes[cls].weight <= 0.0) continue;  // scavengers have no target
+    const double target = classes[cls].weight / weight_sum;
+    worst = std::max(worst, std::abs(device_share(cls, cutoff) - target));
+  }
+  return worst;
 }
 
 }  // namespace imars::serve

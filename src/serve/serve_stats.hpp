@@ -3,9 +3,16 @@
 // percentiles, cache hit rate and per-shard utilization — but over the
 // *concurrent* runtime, so latencies include queueing/batching delay and
 // throughput is makespan-based rather than derived from mean stage times.
+//
+// Multi-tenant runs additionally report per-class (tenant) telemetry: per-
+// class QPS and latency percentiles, SLO violations, and the fairness view
+// (each class's share of consumed device time against its configured
+// weight).
 #pragma once
 
 #include <cstddef>
+#include <limits>
+#include <string>
 #include <vector>
 
 #include "device/units.hpp"
@@ -19,6 +26,7 @@ struct ServedQuery {
   std::size_t id = 0;
   std::size_t user = 0;
   std::size_t client = 0;
+  std::size_t qos_class = 0;    ///< priority-class label of the request
   std::size_t batch = 0;
   std::size_t batch_size = 0;
   std::size_t home_shard = 0;   ///< shard that ran the replicated filter
@@ -28,11 +36,19 @@ struct ServedQuery {
   device::Ns complete;          ///< top-k merged
   device::Ns filter_latency;    ///< cache-adjusted filter service time
   device::Ns rank_latency;      ///< cache-adjusted critical-path rank time
+  /// Cache-adjusted device busy time this query consumed (the sum over
+  /// stages of per-shard unit occupancy plus merge) — the fairness
+  /// accounting currency.
+  device::Ns device_time;
   device::Pj energy;            ///< cache-adjusted query energy
+  /// Merged top-k (best first). Kept so cross-tenant isolation can be
+  /// asserted result-for-result, not just in aggregate.
+  std::vector<recsys::ScoredItem> topk;
 };
 
 /// Busy time of one shard's pipeline units over the run, one entry per
-/// pipeline stage (two for the filter/rank pipeline, one for CTR scoring).
+/// pipeline stage (two for the filter/rank pipeline, one for CTR scoring;
+/// co-resident servables concatenate their stages in servable order).
 struct ShardUsage {
   std::vector<device::Ns> stage_busy;
 
@@ -48,10 +64,27 @@ struct ShardUsage {
   }
 };
 
+/// Per-class (tenant) aggregate of one serving run.
+struct ClassReport {
+  std::string name;
+  double weight = 1.0;      ///< configured device-time entitlement
+  device::Ns deadline;      ///< end-to-end SLO (0 = none)
+  std::size_t queries = 0;
+  std::size_t batches = 0;
+  std::size_t slo_violations = 0;  ///< completions past enqueue + deadline
+  device::Ns device_time;          ///< consumed device busy time
+};
+
 /// Aggregated results of one serving run.
 struct ServeReport {
   std::vector<ServedQuery> queries;
   std::vector<ShardUsage> shards;
+  std::vector<ClassReport> classes;  ///< one per configured QoS class
+  /// First stage index of each co-resident servable slot inside the
+  /// concatenated ShardUsage::stage_busy layout (empty = single slot
+  /// starting at 0). The utilization helpers resolve their stage through
+  /// this, so multi-tenant fabrics report the requested slot's stages.
+  std::vector<std::size_t> stage_offsets;
   CacheStats cache;
   recsys::StageStats filter_stats;  ///< summed, cache-adjusted
   recsys::StageStats rank_stats;
@@ -64,6 +97,12 @@ struct ServeReport {
   /// queueing and batching delay included.
   std::vector<double> latencies_ns() const;
 
+  // Latency percentiles use linear interpolation over the sorted sample
+  // (util::percentile): rank = p/100 * (n-1), so no index can run past the
+  // vector and n = 1 returns the single sample for every p — the CI quick
+  // benches run tiny streams, so the small-n behavior is load-bearing and
+  // pinned by tests. All aggregates return 0.0 on an empty query set
+  // (e.g. a configured class that received no traffic).
   double mean_latency_ns() const;
   double p50_latency_ns() const;
   double p95_latency_ns() const;
@@ -76,9 +115,40 @@ struct ServeReport {
   double mean_energy_pj() const;
 
   /// Fraction of the makespan shard `s` kept its rank units busy (the
-  /// sharded stage; the figure of merit for load balance).
-  double rank_utilization(std::size_t s) const;
-  double filter_utilization(std::size_t s) const;
+  /// last stage of servable `slot` — the sharded stage; the figure of
+  /// merit for load balance). Single-tenant fabrics have one slot.
+  double rank_utilization(std::size_t s, std::size_t slot = 0) const;
+  /// First-stage (replicated filter) busy fraction of servable `slot`;
+  /// zero for its single-stage pipelines.
+  double filter_utilization(std::size_t s, std::size_t slot = 0) const;
+
+  // --- per-class (tenant) views -------------------------------------------
+  // Filtered by the per-request `qos_class` label, so they work on
+  // class-blind runs of a labeled stream too (the QoS benches compare a
+  // class's tail latency with and without class-aware batching).
+
+  std::vector<double> class_latencies_ns(std::size_t cls) const;
+  double class_mean_latency_ns(std::size_t cls) const;
+  double class_p50_latency_ns(std::size_t cls) const;
+  double class_p95_latency_ns(std::size_t cls) const;
+  double class_p99_latency_ns(std::size_t cls) const;
+  double class_qps(std::size_t cls) const;
+
+  /// Share of total consumed device time that went to queries labeled
+  /// `cls`, counting only queries completing by `cutoff` (defaults to the
+  /// whole run). Under sustained overload the contended window — up to the
+  /// last arrival — is the fairness figure of merit: over a *complete* run
+  /// every request is eventually served, so whole-run shares converge to
+  /// the workload mix regardless of scheduling.
+  double device_share(std::size_t cls,
+                      device::Ns cutoff = device::Ns{
+                          std::numeric_limits<double>::infinity()}) const;
+
+  /// Max over configured positive-weight classes of
+  /// |device_share - normalized weight| within `cutoff`; 0 when fewer than
+  /// two classes are configured.
+  double fairness_error(device::Ns cutoff = device::Ns{
+                            std::numeric_limits<double>::infinity()}) const;
 };
 
 }  // namespace imars::serve

@@ -18,6 +18,8 @@ using recsys::StageStats;
 struct StagePipeline::BatchHandle::State {
   Batch batch;
   std::size_t k = 0;
+  std::size_t spec_idx = 0;  ///< co-resident servable slot
+  bool urgent = false;       ///< latency-critical: use the executor fast band
   std::uint64_t seq = 0;  ///< submission order (collect() enforces it)
 
   struct StageRec {
@@ -50,26 +52,39 @@ struct StagePipeline::BatchHandle::State {
 StagePipeline::StagePipeline(std::size_t shards, PipelineSpec spec,
                              const device::DeviceProfile& profile,
                              ShardMap map)
-    : spec_(std::move(spec)),
+    : StagePipeline(shards,
+                    std::vector<PipelineSpec>{std::move(spec)}, profile,
+                    std::move(map)) {}
+
+StagePipeline::StagePipeline(std::size_t shards,
+                             std::vector<PipelineSpec> specs,
+                             const device::DeviceProfile& profile,
+                             ShardMap map)
+    : specs_(std::move(specs)),
       profile_(profile),
       map_(map.empty() ? ShardMap::uniform(shards) : std::move(map)),
       executors_(shards),
       clocks_(shards),
       usage_(shards) {
   IMARS_REQUIRE(shards >= 1, "StagePipeline: need at least one shard");
-  IMARS_REQUIRE(spec_.stage_count() >= 1, "StagePipeline: empty stage graph");
+  IMARS_REQUIRE(!specs_.empty(), "StagePipeline: need at least one spec");
   IMARS_REQUIRE(map_.shards() == shards,
                 "StagePipeline: ShardMap covers a different shard count");
-  // Partial results are kept per shard, not per (stage, shard): a second
-  // sharded stage would mix its partials with the first's in the final
-  // merge. Guard the engine's current envelope explicitly.
-  std::size_t sharded_stages = 0;
-  for (const auto& s : spec_.stages)
-    if (s.kind == StageKind::kSharded) ++sharded_stages;
-  IMARS_REQUIRE(sharded_stages <= 1,
-                "StagePipeline: at most one sharded stage per graph");
-  for (auto& c : clocks_) c.stage_free.resize(spec_.stage_count());
-  for (auto& u : usage_) u.stage_busy.resize(spec_.stage_count());
+  for (const auto& spec : specs_) {
+    IMARS_REQUIRE(spec.stage_count() >= 1, "StagePipeline: empty stage graph");
+    // Partial results are kept per shard, not per (stage, shard): a second
+    // sharded stage would mix its partials with the first's in the final
+    // merge. Guard the engine's current envelope explicitly.
+    std::size_t sharded_stages = 0;
+    for (const auto& s : spec.stages)
+      if (s.kind == StageKind::kSharded) ++sharded_stages;
+    IMARS_REQUIRE(sharded_stages <= 1,
+                  "StagePipeline: at most one sharded stage per graph");
+    offsets_.push_back(total_stages_);
+    total_stages_ += spec.stage_count();
+  }
+  for (auto& c : clocks_) c.stage_free.resize(total_stages_);
+  for (auto& u : usage_) u.stage_busy.resize(total_stages_);
 }
 
 StagePipeline::~StagePipeline() {
@@ -89,11 +104,11 @@ StagePipeline::~StagePipeline() {
 
 void StagePipeline::reset_clock() {
   for (auto& c : clocks_) {
-    c.stage_free.assign(spec_.stage_count(), device::Ns{0.0});
+    c.stage_free.assign(total_stages_, device::Ns{0.0});
     c.shared_free = device::Ns{0.0};
   }
   for (auto& u : usage_)
-    u.stage_busy.assign(spec_.stage_count(), device::Ns{0.0});
+    u.stage_busy.assign(total_stages_, device::Ns{0.0});
   // Handles abandoned before collection (e.g. a caller unwound past them
   // after another batch's error) left their sequence numbers unconsumed;
   // realign so the next run starts clean — stale handles then fail
@@ -101,34 +116,50 @@ void StagePipeline::reset_clock() {
   next_collect_seq_ = next_submit_seq_;
 }
 
+device::Ns StagePipeline::frontier() const {
+  device::Ns latest{0.0};
+  for (const auto& c : clocks_) {
+    for (const auto& t : c.stage_free) latest = device::max(latest, t);
+    latest = device::max(latest, c.shared_free);
+  }
+  return latest;
+}
+
 StagePipeline::BatchHandle StagePipeline::submit(const Batch& batch,
                                                  ServableBackend& servable,
-                                                 std::size_t k) {
+                                                 std::size_t k,
+                                                 std::size_t spec_idx,
+                                                 bool urgent) {
   const std::size_t n = batch.size();
   const std::size_t ns = shards();
   IMARS_REQUIRE(n >= 1, "StagePipeline::submit: empty batch");
   IMARS_REQUIRE(servable.shards() == ns,
                 "StagePipeline::submit: servable shard count mismatch");
   IMARS_REQUIRE(k >= 1, "StagePipeline::submit: k must be >= 1");
+  IMARS_REQUIRE(spec_idx < specs_.size(),
+                "StagePipeline::submit: spec slot out of range");
+  const PipelineSpec& spec = specs_[spec_idx];
   const PipelineSpec& sspec = servable.spec();
-  IMARS_REQUIRE(sspec.stage_count() == spec_.stage_count() &&
-                    sspec.merge_topk == spec_.merge_topk,
+  IMARS_REQUIRE(sspec.stage_count() == spec.stage_count() &&
+                    sspec.merge_topk == spec.merge_topk,
                 "StagePipeline::submit: servable stage graph mismatch");
-  for (std::size_t s = 0; s < spec_.stage_count(); ++s)
-    IMARS_REQUIRE(sspec.stages[s].kind == spec_.stages[s].kind,
+  for (std::size_t s = 0; s < spec.stage_count(); ++s)
+    IMARS_REQUIRE(sspec.stages[s].kind == spec.stages[s].kind,
                   "StagePipeline::submit: servable stage kind mismatch");
 
   auto st = std::make_shared<BatchHandle::State>();
   st->batch = batch;
   st->k = k;
+  st->spec_idx = spec_idx;
+  st->urgent = urgent;
   st->seq = next_submit_seq_++;
   st->home.resize(n);
   st->items.resize(n);
   st->rec.assign(n, std::vector<BatchHandle::State::StageRec>(
-                        spec_.stage_count()));
+                        spec.stage_count()));
   for (auto& query_rec : st->rec)
-    for (std::size_t s = 0; s < spec_.stage_count(); ++s)
-      if (spec_.stages[s].kind == StageKind::kSharded)
+    for (std::size_t s = 0; s < spec.stage_count(); ++s)
+      if (spec.stages[s].kind == StageKind::kSharded)
         query_rec[s].shard_stats.resize(ns);
   st->partials.assign(
       n, std::vector<std::vector<recsys::ScoredItem>>(ns));
@@ -146,7 +177,7 @@ StagePipeline::BatchHandle StagePipeline::submit(const Batch& batch,
     // All placement routes through the ShardMap: queries spread over the
     // replicated stage's replicas by id, proportionally to capability.
     st->home[qi] = map_.shard_of(req.id);
-    if (spec_.stages.front().kind == StageKind::kSharded)
+    if (spec.stages.front().kind == StageKind::kSharded)
       st->items[qi] = servable.initial_items(req);
     advance(st, servable, qi, 0);
   }
@@ -174,25 +205,28 @@ void StagePipeline::advance(const std::shared_ptr<BatchHandle::State>& st,
 void StagePipeline::advance_unchecked(
     const std::shared_ptr<BatchHandle::State>& st, ServableBackend& servable,
     std::size_t qi, std::size_t stage) {
+  const PipelineSpec& spec = specs_[st->spec_idx];
   // A failed query skips its remaining stages (collect() rethrows).
-  if (stage >= spec_.stage_count() ||
+  if (stage >= spec.stage_count() ||
       st->failed.load(std::memory_order_acquire)) {
     if (st->outstanding.fetch_sub(1) == 1) st->done.set_value();
     return;
   }
 
-  if (spec_.stages[stage].kind == StageKind::kReplicated) {
+  if (spec.stages[stage].kind == StageKind::kReplicated) {
     const std::size_t shard = st->home[qi];
-    executors_.at(shard).submit([this, st, &servable, qi, stage, shard] {
-      try {
-        st->items[qi] = servable.run_replicated(
-            stage, shard, st->batch.requests[qi],
-            &st->rec[qi][stage].rep_stats);
-      } catch (...) {
-        st->fail(std::current_exception());
-      }
-      advance(st, servable, qi, stage + 1);
-    });
+    executors_.at(shard).submit(
+        [this, st, &servable, qi, stage, shard] {
+          try {
+            st->items[qi] = servable.run_replicated(
+                stage, shard, st->batch.requests[qi],
+                &st->rec[qi][stage].rep_stats);
+          } catch (...) {
+            st->fail(std::current_exception());
+          }
+          advance(st, servable, qi, stage + 1);
+        },
+        st->urgent);
     return;
   }
 
@@ -210,25 +244,28 @@ void StagePipeline::advance_unchecked(
   st->fan_in[qi].store(nonempty);
   for (std::size_t shard = 0; shard < rec.slices.size(); ++shard) {
     if (rec.slices[shard].empty()) continue;
-    executors_.at(shard).submit([this, st, &servable, qi, stage, shard] {
-      auto& r = st->rec[qi][stage];
-      try {
-        st->partials[qi][shard] = servable.run_sharded(
-            stage, shard, st->batch.requests[qi], r.slices[shard], st->k,
-            &r.shard_stats[shard]);
-      } catch (...) {
-        st->fail(std::current_exception());
-      }
-      if (st->fan_in[qi].fetch_sub(1) == 1)
-        advance(st, servable, qi, stage + 1);
-    });
+    executors_.at(shard).submit(
+        [this, st, &servable, qi, stage, shard] {
+          auto& r = st->rec[qi][stage];
+          try {
+            st->partials[qi][shard] = servable.run_sharded(
+                stage, shard, st->batch.requests[qi], r.slices[shard], st->k,
+                &r.shard_stats[shard]);
+          } catch (...) {
+            st->fail(std::current_exception());
+          }
+          if (st->fan_in[qi].fetch_sub(1) == 1)
+            advance(st, servable, qi, stage + 1);
+        },
+        st->urgent);
   }
 }
 
 StageStats StagePipeline::adjust_stage(const StageStats& measured,
                                        std::span<const RowAccess> accesses,
                                        HotEmbeddingCache* cache,
-                                       const CacheTiming& timing) const {
+                                       const CacheTiming& timing,
+                                       std::uint32_t table_base) const {
   if (cache == nullptr) return measured;
 
   std::size_t pooled_hits = 0, pooled_first_hits = 0, row_hits = 0;
@@ -237,7 +274,7 @@ StageStats StagePipeline::adjust_stage(const StageStats& measured,
   // vanishes only when every one of its banks hits.
   std::map<std::uint32_t, std::pair<std::size_t, std::size_t>> groups;
   for (const auto& a : accesses) {
-    const bool hit = cache->access(a.table, a.row);
+    const bool hit = cache->access(table_base + a.table, a.row);
     if (a.parallel_bank) {
       auto& g = groups[a.parallel_group];
       ++g.first;
@@ -342,11 +379,16 @@ std::vector<StagePipeline::QueryResult> StagePipeline::collect(
 
   const std::size_t n = st->batch.size();
   const std::size_t ns = shards();
-  const std::size_t stages = spec_.stage_count();
+  const PipelineSpec& spec = specs_[st->spec_idx];
+  const std::size_t base = offsets_[st->spec_idx];
+  // Co-resident servables must never alias each other's hot-cache rows.
+  const std::uint32_t table_base =
+      static_cast<std::uint32_t>(st->spec_idx) << 16;
+  const std::size_t stages = spec.stage_count();
   const std::size_t last_sharded = [&] {
     std::size_t last = stages;  // `stages` = none
     for (std::size_t s = 0; s < stages; ++s)
-      if (spec_.stages[s].kind == StageKind::kSharded) last = s;
+      if (spec.stages[s].kind == StageKind::kSharded) last = s;
     return last;
   }();
 
@@ -369,7 +411,7 @@ std::vector<StagePipeline::QueryResult> StagePipeline::collect(
     device::Ns prev_end = st->batch.dispatch;
     for (std::size_t s = 0; s < stages; ++s) {
       const auto& rec = st->rec[qi][s];
-      if (spec_.stages[s].kind == StageKind::kReplicated) {
+      if (spec.stages[s].kind == StageKind::kReplicated) {
         const std::size_t home = st->home[qi];
         // accesses() vectors exist only to feed the cache; skip them when
         // no cache is configured.
@@ -377,17 +419,17 @@ std::vector<StagePipeline::QueryResult> StagePipeline::collect(
             rec.rep_stats,
             cache != nullptr ? servable.accesses(s, req, {})
                              : std::vector<RowAccess>{},
-            cache, timing_of(home));
+            cache, timing_of(home), table_base);
         out.stage_stats[s] = adj;
         const device::Ns t = adj.total().latency;
         const device::Ns et = adj.at(OpKind::kEtLookup).latency;
         ShardClocks& c = clocks_[home];
         const device::Ns start =
-            std::max({prev_end, c.stage_free[s], c.shared_free});
+            std::max({prev_end, c.stage_free[base + s], c.shared_free});
         const device::Ns end = start + t;
-        c.stage_free[s] = end;
+        c.stage_free[base + s] = end;
         c.shared_free = start + et;
-        usage_[home].stage_busy[s] += t;
+        usage_[home].stage_busy[base + s] += t;
         out.stage_latency[s] = t;
         prev_end = end;
         continue;
@@ -404,20 +446,20 @@ std::vector<StagePipeline::QueryResult> StagePipeline::collect(
             rec.shard_stats[shard],
             cache != nullptr ? servable.accesses(s, req, rec.slices[shard])
                              : std::vector<RowAccess>{},
-            cache, timing_of(shard));
+            cache, timing_of(shard), table_base);
         out.stage_stats[s].merge(adj);
         const device::Ns t = adj.total().latency;
         const device::Ns et = adj.at(OpKind::kEtLookup).latency;
         ShardClocks& c = clocks_[shard];
         const device::Ns start =
-            std::max({prev_end, c.stage_free[s], c.shared_free});
+            std::max({prev_end, c.stage_free[base + s], c.shared_free});
         const device::Ns end = start + t;
-        c.stage_free[s] = end;
+        c.stage_free[base + s] = end;
         c.shared_free = start + et;
-        usage_[shard].stage_busy[s] += t;
+        usage_[shard].stage_busy[base + s] += t;
         stage_end = device::max(stage_end, end);
       }
-      if (s == last_sharded && spec_.merge_topk) {
+      if (s == last_sharded && spec.merge_topk) {
         // Merge unit: global top-k from the per-shard top-k lists.
         const OpCost merge =
             merge_cost(std::max<std::size_t>(contributing, 1), st->k);

@@ -29,6 +29,16 @@
 // then the per-shard pipeline clocks. Because every timing decision happens
 // in collect(), overlapped and phased execution produce bit-identical
 // reports.
+//
+// Multi-tenant fabrics (PR 3): one pipeline can host SEVERAL co-resident
+// servables — e.g. an interactive filter/rank tenant next to a bulk CTR
+// tenant — by constructing it with one PipelineSpec per servable and
+// passing the servable's slot to submit(). Each servable's stages own
+// their own per-shard event-model units (the stage clocks concatenate in
+// slot order), but ALL slots of a shard contend for its single shared
+// ET-bank clock: co-resident tenants really fight over the in-memory
+// arrays, which is what the QoS batcher arbitrates. Hot-cache bookkeeping
+// namespaces RowAccess table keys per slot so tenants never alias rows.
 #pragma once
 
 #include <atomic>
@@ -192,20 +202,41 @@ class StagePipeline {
   StagePipeline(std::size_t shards, PipelineSpec spec,
                 const device::DeviceProfile& profile, ShardMap map = {});
 
+  /// Multi-tenant fabric: one spec per co-resident servable slot. Each
+  /// slot's stages get their own event-model units; all slots share each
+  /// shard's ET banks.
+  StagePipeline(std::size_t shards, std::vector<PipelineSpec> specs,
+                const device::DeviceProfile& profile, ShardMap map = {});
+
   /// Waits out any still-running functional work of uncollected batches
   /// (e.g. handles abandoned by an unwinding caller) before the worker
   /// threads are torn down.
   ~StagePipeline();
 
   std::size_t shards() const noexcept { return executors_.size(); }
-  const PipelineSpec& spec() const noexcept { return spec_; }
+  const PipelineSpec& spec() const noexcept { return specs_.front(); }
+  const PipelineSpec& spec(std::size_t slot) const { return specs_.at(slot); }
+  std::size_t spec_count() const noexcept { return specs_.size(); }
+  /// First index of `slot`'s stages in the concatenated clock/usage layout.
+  std::size_t stage_offset(std::size_t slot) const {
+    return offsets_.at(slot);
+  }
   const ShardMap& shard_map() const noexcept { return map_; }
+
+  /// Device backlog frontier: the latest time any stage unit or ET bank is
+  /// already committed to. The admission-gated runtime holds ready batches
+  /// until the frontier comes within its admit window of simulated now.
+  device::Ns frontier() const;
 
   /// Enqueues the batch's functional work; returns immediately. Stages
   /// chain across the shard executors with no inter-stage barrier.
-  /// `servable` must outlive the handle; `batch` is copied.
+  /// `servable` must outlive the handle and its spec must match slot
+  /// `spec_idx`; `batch` is copied. Urgent batches (latency-critical
+  /// tenants) overtake queued normal work on the shard threads — host-side
+  /// ordering only, reported hardware time is unaffected.
   BatchHandle submit(const Batch& batch, ServableBackend& servable,
-                     std::size_t k);
+                     std::size_t k, std::size_t spec_idx = 0,
+                     bool urgent = false);
 
   /// Waits for the batch's functional work, then runs the deterministic
   /// event-model accounting (cache rewrite, per-stage pipeline clocks with
@@ -234,7 +265,8 @@ class StagePipeline {
                    std::span<const CacheTiming>(&timing, 1));
   }
 
-  /// Cumulative per-shard, per-stage busy time.
+  /// Cumulative per-shard, per-stage busy time (multi-tenant fabrics
+  /// concatenate each slot's stages in slot order; see stage_offset()).
   const std::vector<ShardUsage>& usage() const noexcept { return usage_; }
 
   /// Resets the event clocks and usage counters (not the replicas).
@@ -256,17 +288,21 @@ class StagePipeline {
                          std::size_t stage);
 
   /// Applies the cache to `accesses` and rewrites the stage's ET-lookup
-  /// cost; returns the adjusted stats.
+  /// cost; returns the adjusted stats. `table_base` namespaces the cache
+  /// keys (co-resident servables must not alias each other's tables).
   recsys::StageStats adjust_stage(const recsys::StageStats& measured,
                                   std::span<const RowAccess> accesses,
                                   HotEmbeddingCache* cache,
-                                  const CacheTiming& timing) const;
+                                  const CacheTiming& timing,
+                                  std::uint32_t table_base) const;
 
   /// Merge-unit cost: each contributing shard ships its top-k over the RSC
   /// bus, the controller runs the k-way tournament.
   recsys::OpCost merge_cost(std::size_t slices, std::size_t k) const;
 
-  PipelineSpec spec_;
+  std::vector<PipelineSpec> specs_;   ///< one per co-resident servable slot
+  std::vector<std::size_t> offsets_;  ///< per slot, into the stage layout
+  std::size_t total_stages_ = 0;
   device::DeviceProfile profile_;
   ShardMap map_;
   ExecutorPool executors_;

@@ -5,16 +5,24 @@
 
 #include <algorithm>
 #include <bitset>
+#include <map>
 #include <numeric>
+#include <vector>
 
 #include "adder/adder_tree.hpp"
+#include "baseline/cpu_backend.hpp"
 #include "baseline/exact_nns.hpp"
 #include "baseline/gpu_model.hpp"
 #include "cma/cma.hpp"
 #include "core/accelerator.hpp"
+#include "core/backend_factory.hpp"
 #include "core/mapping.hpp"
 #include "core/perf_model.hpp"
+#include "data/movielens.hpp"
 #include "nn/mlp.hpp"
+#include "recsys/youtube_dnn.hpp"
+#include "serve/load_gen.hpp"
+#include "serve/runtime.hpp"
 #include "util/bitvec.hpp"
 #include "util/quant.hpp"
 #include "util/rng.hpp"
@@ -296,6 +304,140 @@ TEST_P(PerfModelProperty, LatencyStrictlyIncreasesWithLookups) {
 
 INSTANTIATE_TEST_SUITE_P(Tables, PerfModelProperty,
                          ::testing::Values(1, 6, 7, 26));
+
+// ---------- Cross-tenant QoS isolation (serving) ------------------------------
+// Under a seeded adversarial bulk flood, (a) the interactive class's tail
+// latency stays under its configured deadline bound, and (b) every query's
+// merged results — for BOTH classes — are identical to running that class
+// alone on a dedicated runtime. Score parity, not timing parity: co-tenancy
+// may shift timestamps, never results.
+
+class QosIsolationProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(QosIsolationProperty, BulkFloodNeverPerturbsInteractiveResults) {
+  data::MovieLensConfig dcfg;
+  dcfg.num_users = 50;
+  dcfg.num_items = 80;
+  dcfg.history_min = 3;
+  dcfg.history_max = 7;
+  dcfg.seed = 211;
+  data::MovieLensSynth ds(dcfg);
+  recsys::YoutubeDnnConfig mcfg;
+  mcfg.seed = 213;
+  recsys::YoutubeDnn model(ds.schema(), mcfg);
+  util::Xoshiro256 train_rng(217);
+  model.train_filter_epoch(ds, train_rng);
+  model.train_rank_epoch(ds, train_rng);
+  std::vector<recsys::UserContext> users;
+  for (std::size_t u = 0; u < ds.num_users(); ++u)
+    users.push_back(model.make_context(ds, u));
+  baseline::CpuBackendConfig cpu_cfg;
+  cpu_cfg.candidates = 30;
+  const auto factory = core::cpu_backend_factory(model, cpu_cfg);
+
+  // Adversarial schedule: a sparse interactive stream (one request every
+  // 50 us) inside a bulk flood (a request every ~0.4 us, jittered by the
+  // seed). Ids are globally unique; users are seeded draws.
+  util::Xoshiro256 rng(GetParam());
+  const device::Ns kDeadline{300000.0};  // 300 us SLO
+  std::vector<serve::Request> interactive, bulk;
+  std::size_t id = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    serve::Request r;
+    r.id = id++;
+    r.user = rng.below(users.size());
+    r.qos_class = 0;
+    r.enqueue = device::Ns{50000.0 * static_cast<double>(i + 1)};
+    interactive.push_back(r);
+  }
+  double t = 0.0;
+  for (std::size_t i = 0; i < 150; ++i) {
+    serve::Request r;
+    r.id = id++;
+    r.user = rng.below(users.size());
+    r.qos_class = 1;
+    t += rng.uniform(100.0, 700.0);
+    r.enqueue = device::Ns{t};
+    bulk.push_back(r);
+  }
+  std::vector<serve::Request> mixed;
+  std::merge(interactive.begin(), interactive.end(), bulk.begin(), bulk.end(),
+             std::back_inserter(mixed),
+             [](const serve::Request& a, const serve::Request& b) {
+               return a.enqueue.value < b.enqueue.value;
+             });
+
+  serve::QosClassConfig icls;
+  icls.name = "interactive";
+  icls.max_batch = 2;
+  icls.max_wait = device::Ns{500000.0};
+  icls.deadline = kDeadline;
+  icls.service_estimate = device::Ns{20000.0};
+  icls.weight = 1.0;
+  serve::QosClassConfig bcls;
+  bcls.name = "bulk";
+  bcls.max_batch = 8;
+  bcls.max_wait = device::Ns{500000.0};
+  bcls.weight = 4.0;
+
+  auto run_trace = [&](std::vector<serve::Request> trace,
+                       std::vector<serve::QosClassConfig> classes,
+                       device::Ns admit_window) {
+    serve::ServingConfig cfg;
+    cfg.shards = 2;
+    cfg.k = 5;
+    cfg.qos.classes = std::move(classes);
+    cfg.qos.admit_window = admit_window;
+    cfg.cache.capacity_rows = 0;  // isolation must not rely on cache state
+    serve::ServingRuntime rt(factory, cfg, core::ArchConfig{},
+                             device::DeviceProfile::fefet45());
+    serve::LoadGenConfig lg;
+    lg.num_users = users.size();
+    lg.arrivals = serve::ArrivalProcess::kTrace;
+    lg.trace = std::move(trace);
+    serve::LoadGenerator gen(lg);
+    return rt.run(gen, users);
+  };
+
+  const auto mixed_report =
+      run_trace(mixed, {icls, bcls}, device::Ns{50000.0});
+  // Dedicated runtimes: each class alone, class-blind single-queue config.
+  const auto inter_alone = run_trace(interactive, {icls}, device::Ns{0.0});
+  const auto bulk_alone = run_trace(bulk, {bcls}, device::Ns{0.0});
+
+  ASSERT_EQ(mixed_report.size(), mixed.size());
+  // (a) Interactive tail latency holds its deadline bound despite the
+  // flood, and the report agrees with the raw latencies.
+  EXPECT_LE(mixed_report.class_p99_latency_ns(0), kDeadline.value);
+  EXPECT_EQ(mixed_report.classes[0].slo_violations, 0u);
+  EXPECT_EQ(mixed_report.classes[0].queries, interactive.size());
+
+  // (b) Result parity per request id against the dedicated runtimes.
+  auto topk_by_id = [](const serve::ServeReport& report) {
+    std::map<std::size_t, const serve::ServedQuery*> out;
+    for (const auto& q : report.queries) out.emplace(q.id, &q);
+    return out;
+  };
+  const auto mixed_by_id = topk_by_id(mixed_report);
+  for (const auto* alone : {&inter_alone, &bulk_alone}) {
+    for (const auto& q : alone->queries) {
+      const auto it = mixed_by_id.find(q.id);
+      ASSERT_NE(it, mixed_by_id.end()) << "request " << q.id;
+      const auto& m = *it->second;
+      ASSERT_EQ(m.topk.size(), q.topk.size()) << "request " << q.id;
+      EXPECT_EQ(m.candidates, q.candidates);
+      for (std::size_t j = 0; j < q.topk.size(); ++j) {
+        EXPECT_EQ(m.topk[j].item, q.topk[j].item)
+            << "request " << q.id << " position " << j;
+        EXPECT_FLOAT_EQ(m.topk[j].score, q.topk[j].score);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QosIsolationProperty,
+                         ::testing::Values(1, 17, 4242));
 
 // ---------- NNS oracles agree with each other ---------------------------------
 

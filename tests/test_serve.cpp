@@ -23,6 +23,7 @@
 #include "serve/runtime.hpp"
 #include "serve/shard_router.hpp"
 #include "serve/stage_pipeline.hpp"
+#include "serve_test_util.hpp"
 #include "util/rng.hpp"
 
 namespace imars {
@@ -379,6 +380,93 @@ TEST(ServingRuntime, CacheReducesLatencyAndEnergy) {
   // and hits never *increase* the modeled ET occupancy beyond hit cost.
   EXPECT_GE(hot.filter_stats.total().latency.value, 0.0);
   EXPECT_GE(hot.rank_stats.total().latency.value, 0.0);
+}
+
+TEST(ServingRuntime, SameSeedReproducesReportBitIdentically) {
+  ServeFixture fx;
+  auto run_once = [&] {
+    ServingConfig cfg;
+    cfg.shards = 2;
+    cfg.k = 5;
+    cfg.batcher.max_batch = 4;
+    cfg.batcher.max_wait = Ns{500000.0};
+    cfg.cache.capacity_rows = 512;
+    ServingRuntime rt(fx.factory, cfg, core::ArchConfig{},
+                      device::DeviceProfile::fefet45());
+    LoadGenConfig lg;
+    lg.clients = 8;
+    lg.total_queries = 32;
+    lg.num_users = fx.users.size();
+    lg.seed = 19;
+    LoadGenerator gen(lg);
+    return rt.run(gen, fx.users);
+  };
+  serve_test::expect_reports_identical(run_once(), run_once());
+}
+
+// --- ServeReport percentiles on tiny samples --------------------------------
+// The CI quick benches serve a handful of queries; p99 on those streams
+// must neither read past the sorted latency vector nor collapse to 0.
+
+serve::ServedQuery tiny_query(std::size_t id, double latency_ns) {
+  serve::ServedQuery q;
+  q.id = id;
+  q.enqueue = Ns{0.0};
+  q.dispatch = Ns{0.0};
+  q.complete = Ns{latency_ns};
+  return q;
+}
+
+TEST(ServeReport, PercentilesOnTinySamples) {
+  serve::ServeReport empty;
+  EXPECT_DOUBLE_EQ(empty.p50_latency_ns(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.p99_latency_ns(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.mean_latency_ns(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.qps(), 0.0);
+
+  serve::ServeReport one;
+  one.queries.push_back(tiny_query(0, 1234.5));
+  one.makespan = Ns{1234.5};
+  EXPECT_DOUBLE_EQ(one.p50_latency_ns(), 1234.5);
+  EXPECT_DOUBLE_EQ(one.p95_latency_ns(), 1234.5);
+  EXPECT_DOUBLE_EQ(one.p99_latency_ns(), 1234.5);  // n=1: never 0
+
+  serve::ServeReport few;
+  for (std::size_t i = 0; i < 5; ++i)
+    few.queries.push_back(tiny_query(i, 100.0 * static_cast<double>(i + 1)));
+  EXPECT_DOUBLE_EQ(few.p50_latency_ns(), 300.0);
+  // p99 interpolates inside the top gap: above every lower sample, at most
+  // the max.
+  EXPECT_GT(few.p99_latency_ns(), 400.0);
+  EXPECT_LE(few.p99_latency_ns(), 500.0);
+  EXPECT_GE(few.p99_latency_ns(), few.p95_latency_ns());
+}
+
+TEST(ServeReport, ClassViewsFilterByLabel) {
+  serve::ServeReport report;
+  for (std::size_t i = 0; i < 6; ++i) {
+    auto q = tiny_query(i, 100.0 * static_cast<double>(i + 1));
+    q.qos_class = i % 2;
+    q.device_time = Ns{q.qos_class == 0 ? 10.0 : 30.0};
+    report.queries.push_back(q);
+  }
+  report.makespan = Ns{600.0};
+  EXPECT_EQ(report.class_latencies_ns(0).size(), 3u);
+  EXPECT_DOUBLE_EQ(report.class_p50_latency_ns(0), 300.0);  // 100/300/500
+  EXPECT_DOUBLE_EQ(report.class_p50_latency_ns(1), 400.0);  // 200/400/600
+  EXPECT_DOUBLE_EQ(report.class_p99_latency_ns(7), 0.0);    // absent label
+  // Shares: 30 vs 90 of 120 total device time.
+  EXPECT_NEAR(report.device_share(0), 0.25, 1e-12);
+  EXPECT_NEAR(report.device_share(1), 0.75, 1e-12);
+  // Cutoff restricts to completions inside the window.
+  EXPECT_NEAR(report.device_share(1, Ns{200.0}), 0.75, 1e-12);
+
+  report.classes.resize(2);
+  report.classes[0].weight = 1.0;
+  report.classes[1].weight = 3.0;
+  EXPECT_NEAR(report.fairness_error(), 0.0, 1e-12);
+  report.classes[1].weight = 1.0;  // now entitled 50/50, measured 25/75
+  EXPECT_NEAR(report.fairness_error(), 0.25, 1e-12);
 }
 
 TEST(LoadGenerator, ClosedLoopBudgetAndOrdering) {

@@ -20,6 +20,7 @@
 #include "serve/servable_ctr.hpp"
 #include "serve/shard_map.hpp"
 #include "serve/stage_pipeline.hpp"
+#include "serve_test_util.hpp"
 #include "util/rng.hpp"
 
 namespace imars {
@@ -396,23 +397,122 @@ TEST(ServingRuntime, OverlapPreservesHardwareTimeReport) {
 
   const auto phased = run_once(false);
   const auto overlapped = run_once(true);
-  ASSERT_EQ(phased.size(), overlapped.size());
-  EXPECT_EQ(phased.batches, overlapped.batches);
-  EXPECT_DOUBLE_EQ(phased.makespan.value, overlapped.makespan.value);
+  serve_test::expect_reports_identical(phased, overlapped);
   EXPECT_DOUBLE_EQ(phased.p99_latency_ns(), overlapped.p99_latency_ns());
-  EXPECT_EQ(phased.cache.hits, overlapped.cache.hits);
-  for (std::size_t i = 0; i < phased.size(); ++i) {
-    EXPECT_EQ(phased.queries[i].id, overlapped.queries[i].id);
-    EXPECT_DOUBLE_EQ(phased.queries[i].enqueue.value,
-                     overlapped.queries[i].enqueue.value);
-    EXPECT_DOUBLE_EQ(phased.queries[i].dispatch.value,
-                     overlapped.queries[i].dispatch.value);
-    EXPECT_DOUBLE_EQ(phased.queries[i].complete.value,
-                     overlapped.queries[i].complete.value);
-  }
   for (std::size_t s = 0; s < 3; ++s)
     EXPECT_DOUBLE_EQ(phased.rank_utilization(s),
                      overlapped.rank_utilization(s));
+}
+
+// --- Co-resident tenants (distinct servables, one pipeline) ----------------
+
+TEST(ServingRuntime, CoResidentTenantsServeDistinctServables) {
+  FilterRankFixture fr;
+  CtrFixture ctr;
+  const auto profile = device::DeviceProfile::fefet45();
+  const std::size_t shards = 2;
+  const std::vector<device::DeviceProfile> profiles(shards, profile);
+
+  std::vector<data::CriteoSample> samples;
+  for (std::size_t i = 0; i < ctr.ds->size(); ++i)
+    samples.push_back(ctr.ds->sample(i));
+
+  // Slot 0: the interactive filter/rank tenant; slot 1: the bulk CTR
+  // tenant. Both share the pipeline's shard fabric (and its ET banks).
+  std::vector<std::unique_ptr<serve::ServableBackend>> servables;
+  servables.push_back(std::make_unique<ShardRouter>(fr.factory, shards));
+  auto ctr_servable = std::make_unique<CtrServable>(ctr.factory, profiles);
+  ctr_servable->bind_samples(samples);
+  servables.push_back(std::move(ctr_servable));
+
+  ServingConfig cfg;
+  cfg.k = 5;
+  serve::QosClassConfig interactive;
+  interactive.name = "interactive";
+  interactive.max_batch = 2;
+  interactive.max_wait = Ns{100000.0};
+  interactive.deadline = Ns{400000.0};
+  interactive.service_estimate = Ns{20000.0};
+  interactive.weight = 1.0;
+  interactive.servable = 0;
+  serve::QosClassConfig bulk;
+  bulk.name = "bulk-ctr";
+  bulk.max_batch = 4;
+  bulk.max_wait = Ns{200000.0};
+  bulk.weight = 3.0;
+  bulk.servable = 1;
+  cfg.qos.classes = {interactive, bulk};
+  cfg.qos.admit_window = Ns{100000.0};  // exercise gated admission too
+  cfg.cache.capacity_rows = 1024;
+  ServingRuntime rt(std::move(servables), cfg, core::ArchConfig{}, profile);
+
+  // The engine concatenated both tenants' stage graphs.
+  EXPECT_EQ(rt.pipeline().spec_count(), 2u);
+  EXPECT_EQ(rt.pipeline().stage_offset(0), 0u);
+  EXPECT_EQ(rt.pipeline().stage_offset(1), 2u);
+  EXPECT_EQ(rt.servable_count(), 2u);
+
+  serve::LoadGenConfig lg;
+  lg.clients = 8;
+  lg.total_queries = 36;
+  lg.num_users = std::min(fr.users.size(), samples.size());
+  lg.user_zipf_s = 0.9;
+  lg.class_mix = {0.4, 0.6};
+  lg.arrivals = ArrivalProcess::kOpenPoisson;
+  lg.rate_qps = 2.0e5;
+  lg.seed = 93;
+  LoadGenerator gen(lg);
+  const auto report = rt.run(gen, fr.users);
+  ASSERT_EQ(report.size(), 36u);
+  ASSERT_EQ(report.classes.size(), 2u);
+  EXPECT_GT(report.classes[0].queries, 0u);
+  EXPECT_GT(report.classes[1].queries, 0u);
+  // Per-shard usage concatenates both tenants' stages (2 FR + 1 CTR), and
+  // the utilization helpers resolve per slot: slot 0's rank stage is the
+  // filter/rank tenant's, slot 1 is the single-stage CTR tenant (which
+  // therefore has no filter stage).
+  ASSERT_EQ(report.stage_offsets.size(), 2u);
+  for (const auto& shard : report.shards)
+    EXPECT_EQ(shard.stage_busy.size(), 3u);
+  for (std::size_t s = 0; s < 2; ++s) {
+    EXPECT_DOUBLE_EQ(report.rank_utilization(s, 0) * report.makespan.value,
+                     report.shards[s].stage_busy[1].value);
+    EXPECT_DOUBLE_EQ(report.rank_utilization(s, 1) * report.makespan.value,
+                     report.shards[s].stage_busy[2].value);
+    EXPECT_DOUBLE_EQ(report.filter_utilization(s, 1), 0.0);
+  }
+
+  // Filter/rank tenant: merged top-k must equal a dedicated single-shard
+  // reference fabric (co-residency never leaks into results).
+  ShardRouter single(fr.factory, 1);
+  single.bind_users(fr.users);
+  StagePipeline pipe1(1, ShardRouter::pipeline_spec(), profile);
+  const serve::CacheTiming timing = serve::CacheTiming::from_model(
+      core::PerfModel(core::ArchConfig{}, profile));
+  // Serial CTR reference replica from the same factory.
+  const auto serial = ctr.factory(core::ShardSlot{0, profile});
+
+  for (const auto& q : report.queries) {
+    if (q.qos_class == 0) {
+      Batch ref_batch;
+      ref_batch.dispatch = Ns{0.0};
+      ref_batch.requests.push_back(make_request(q.id, 0.0, q.user));
+      const auto ref =
+          pipe1.execute(ref_batch, single, cfg.k, nullptr, timing);
+      ASSERT_EQ(ref.size(), 1u);
+      ASSERT_EQ(q.topk.size(), ref[0].topk.size()) << "query " << q.id;
+      for (std::size_t j = 0; j < q.topk.size(); ++j) {
+        EXPECT_EQ(q.topk[j].item, ref[0].topk[j].item) << "query " << q.id;
+        EXPECT_FLOAT_EQ(q.topk[j].score, ref[0].topk[j].score);
+      }
+    } else {
+      const auto& s = samples[q.user];
+      ASSERT_EQ(q.topk.size(), 1u) << "query " << q.id;
+      EXPECT_EQ(q.topk[0].item, q.user);
+      EXPECT_FLOAT_EQ(q.topk[0].score,
+                      serial->score(s.dense, s.sparse, nullptr));
+    }
+  }
 }
 
 // --- Poisson open-loop arrivals --------------------------------------------
@@ -450,6 +550,71 @@ TEST(LoadGenerator, PoissonArrivalsAreSeededAndRateConsistent) {
     EXPECT_DOUBLE_EQ(r.enqueue.value, r2->enqueue.value);
     EXPECT_EQ(r.user, r2->user);
   }
+}
+
+TEST(LoadGenerator, ClassMixLabelsWithoutShiftingUserDraws) {
+  LoadGenConfig plain;
+  plain.clients = 4;
+  plain.total_queries = 600;
+  plain.num_users = 40;
+  plain.arrivals = ArrivalProcess::kOpenPoisson;
+  plain.rate_qps = 1.0e6;
+  plain.seed = 31;
+  LoadGenConfig mixed = plain;
+  mixed.class_mix = {0.1, 0.6, 0.3};
+
+  LoadGenerator a(plain), b(mixed);
+  std::vector<std::size_t> counts(3, 0);
+  while (auto ra = a.next_arrival()) {
+    const auto rb = b.next_arrival();
+    ASSERT_TRUE(rb.has_value());
+    // The class draw uses its own stream: users and arrival times are
+    // bit-identical with and without a mix.
+    EXPECT_EQ(ra->user, rb->user);
+    EXPECT_DOUBLE_EQ(ra->enqueue.value, rb->enqueue.value);
+    EXPECT_EQ(ra->qos_class, 0u);
+    ASSERT_LT(rb->qos_class, 3u);
+    ++counts[rb->qos_class];
+  }
+  // Labels roughly follow the configured shares (600 draws).
+  EXPECT_NEAR(static_cast<double>(counts[1]) / 600.0, 0.6, 0.1);
+  EXPECT_GT(counts[0], 0u);
+  EXPECT_GT(counts[2], 0u);
+
+  // Same seed reproduces the labels bit-for-bit.
+  LoadGenerator c(mixed), d(mixed);
+  while (auto rc = c.next_arrival())
+    EXPECT_EQ(rc->qos_class, d.next_arrival()->qos_class);
+}
+
+TEST(LoadGenerator, TraceReplayIsVerbatim) {
+  std::vector<Request> trace;
+  for (std::size_t i = 0; i < 5; ++i) {
+    Request r;
+    r.id = 100 + i;
+    r.user = i % 3;
+    r.qos_class = i % 2;
+    r.enqueue = Ns{10.0 * static_cast<double>(i)};
+    trace.push_back(r);
+  }
+  LoadGenConfig lg;
+  lg.num_users = 3;
+  lg.arrivals = ArrivalProcess::kTrace;
+  lg.trace = trace;
+  LoadGenerator gen(lg);
+  for (const auto& want : trace) {
+    const auto got = gen.next_arrival();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->id, want.id);
+    EXPECT_EQ(got->user, want.user);
+    EXPECT_EQ(got->qos_class, want.qos_class);
+    EXPECT_DOUBLE_EQ(got->enqueue.value, want.enqueue.value);
+  }
+  EXPECT_FALSE(gen.next_arrival().has_value());
+
+  // Out-of-order traces are rejected at construction.
+  std::swap(lg.trace[0], lg.trace[4]);
+  EXPECT_THROW(LoadGenerator bad(lg), std::runtime_error);
 }
 
 TEST(LoadGenerator, ModesRejectWrongEntryPoint) {

@@ -259,6 +259,37 @@ TEST(Stats, PercentileRejectsBadInput) {
   EXPECT_THROW(util::percentile(xs, 101), Error);
 }
 
+// Tiny-sample audit: the interpolated rank p/100 * (n-1) stays inside
+// [0, n-1] for every p in [0, 100], so high percentiles on the small
+// streams the CI quick benches produce can never index past the sorted
+// vector nor return 0 for a non-zero sample.
+TEST(Stats, PercentileTinySamplesNeverEscapeTheData) {
+  const std::vector<double> one = {7.5};
+  for (double p : {0.0, 50.0, 95.0, 99.0, 100.0})
+    EXPECT_DOUBLE_EQ(util::percentile(one, p), 7.5) << "p=" << p;
+
+  const std::vector<double> two = {10.0, 20.0};
+  EXPECT_DOUBLE_EQ(util::percentile(two, 99), 19.9);
+  EXPECT_DOUBLE_EQ(util::percentile(two, 100), 20.0);
+
+  // For any small n, every percentile lies within [min, max] and p99 sits
+  // in the top inter-sample gap (never truncated to a lower sample).
+  for (std::size_t n = 1; n <= 99; ++n) {
+    std::vector<double> xs;
+    for (std::size_t i = 0; i < n; ++i)
+      xs.push_back(static_cast<double>(i + 1));
+    for (double p : {0.0, 50.0, 95.0, 99.0, 100.0}) {
+      const double v = util::percentile(xs, p);
+      EXPECT_GE(v, 1.0) << "n=" << n << " p=" << p;
+      EXPECT_LE(v, static_cast<double>(n)) << "n=" << n << " p=" << p;
+    }
+    if (n >= 2) {
+      EXPECT_GT(util::percentile(xs, 99), static_cast<double>(n - 1));
+      EXPECT_GE(util::percentile(xs, 99), util::percentile(xs, 95));
+    }
+  }
+}
+
 TEST(Stats, PearsonPerfectCorrelation) {
   const std::vector<double> xs = {1, 2, 3, 4};
   const std::vector<double> ys = {2, 4, 6, 8};
