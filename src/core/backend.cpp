@@ -243,12 +243,10 @@ ImarsCtrBackend::ImarsCtrBackend(const recsys::Dlrm& model,
   acc_->reset_energy();
 }
 
-float ImarsCtrBackend::score(const tensor::Vector& dense,
-                             std::span<const std::size_t> sparse,
-                             StageStats* stats) {
+std::vector<tensor::Vector> ImarsCtrBackend::gather_tower(
+    std::span<const std::size_t> sparse, StageStats* stats) {
   IMARS_REQUIRE(sparse.size() == table_ids_.size(),
                 "ImarsCtrBackend: sparse feature count mismatch");
-
   // 26 one-hot lookups, one bank per feature, all banks in parallel.
   std::vector<LookupRequest> reqs;
   reqs.reserve(sparse.size());
@@ -257,29 +255,51 @@ float ImarsCtrBackend::score(const tensor::Vector& dense,
   OpCost et_cost;
   const auto pooled = acc_->lookup_pooled(reqs, timing_, &et_cost);
   if (stats != nullptr) stats->at(OpKind::kEtLookup) += et_cost;
-
-  // Bottom MLP on crossbars.
-  OpCost dnn_cost;
-  const Pj before_bottom = acc_->ledger().total();
-  Ns bottom_lat{0.0};
-  const tensor::Vector b = bottom_dnn_->infer(dense, &bottom_lat);
-  dnn_cost += OpCost{bottom_lat, acc_->ledger().total() - before_bottom};
-
-  // Feature interaction in the digital periphery: 27 vectors cross the RSC
-  // bus; the pairwise dots are computed beside the crossbar bank.
   std::vector<tensor::Vector> embs;
   embs.reserve(pooled.size());
   for (const auto& p : pooled) embs.push_back(p.dequantized());
-  const tensor::Vector z = model_->interact(embs, b);
+  return embs;
+}
+
+tensor::Vector ImarsCtrBackend::dense_tower(const tensor::Vector& dense,
+                                            StageStats* stats) {
+  // Bottom MLP on crossbars.
+  const Pj before = acc_->ledger().total();
+  Ns lat{0.0};
+  tensor::Vector b = bottom_dnn_->infer(dense, &lat);
+  if (stats != nullptr)
+    stats->at(OpKind::kDnn) += OpCost{lat, acc_->ledger().total() - before};
+  return b;
+}
+
+float ImarsCtrBackend::interact_top(std::span<const tensor::Vector> embeddings,
+                                    const tensor::Vector& bottom,
+                                    StageStats* stats) {
+  // Feature interaction in the digital periphery: 27 vectors cross the RSC
+  // bus; the pairwise dots are computed beside the crossbar bank.
+  const tensor::Vector z = model_->interact(embeddings, bottom);
 
   // Top MLP on crossbars.
-  const Pj before_top = acc_->ledger().total();
-  Ns top_lat{0.0};
-  const tensor::Vector out = top_dnn_->infer(z, &top_lat);
-  dnn_cost += OpCost{top_lat, acc_->ledger().total() - before_top};
-  if (stats != nullptr) stats->at(OpKind::kDnn) += dnn_cost;
-
+  const Pj before = acc_->ledger().total();
+  Ns lat{0.0};
+  const tensor::Vector out = top_dnn_->infer(z, &lat);
+  if (stats != nullptr)
+    stats->at(OpKind::kDnn) += OpCost{lat, acc_->ledger().total() - before};
   return out[0];
+}
+
+float ImarsCtrBackend::score(const tensor::Vector& dense,
+                             std::span<const std::size_t> sparse,
+                             StageStats* stats) {
+  // Accumulate into a zeroed local and merge once, so callers summing
+  // stats across many calls see the same rounding as the pre-staged fused
+  // implementation (one ET term and one bottom+top DNN term per call).
+  StageStats local;
+  const auto embs = gather_tower(sparse, &local);
+  const tensor::Vector b = dense_tower(dense, &local);
+  const float out = interact_top(embs, b, &local);
+  if (stats != nullptr) stats->merge(local);
+  return out;
 }
 
 }  // namespace imars::core

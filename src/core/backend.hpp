@@ -92,9 +92,24 @@ class ImarsCtrBackend : public recsys::CtrBackend {
 
   std::string_view name() const override { return "imars-fefet"; }
 
+  /// Fused scoring: gather_tower + dense_tower + interact_top (identical
+  /// costs and result to composing the staged API below).
   float score(const tensor::Vector& dense,
               std::span<const std::size_t> sparse,
               recsys::StageStats* stats) override;
+
+  // Staged tower API (stage-DAG serving): the 26 one-hot gathers run on
+  // the CMA banks while the bottom MLP runs on crossbars — disjoint
+  // hardware, so a serving graph may overlap them.
+  bool supports_towers() const override { return true; }
+  std::vector<tensor::Vector> gather_tower(
+      std::span<const std::size_t> sparse,
+      recsys::StageStats* stats) override;
+  tensor::Vector dense_tower(const tensor::Vector& dense,
+                             recsys::StageStats* stats) override;
+  float interact_top(std::span<const tensor::Vector> embeddings,
+                     const tensor::Vector& bottom,
+                     recsys::StageStats* stats) override;
 
   ImarsAccelerator& accelerator() noexcept { return *acc_; }
   const ImarsAccelerator& accelerator() const noexcept { return *acc_; }

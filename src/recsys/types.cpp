@@ -1,5 +1,7 @@
 #include "recsys/types.hpp"
 
+#include "util/error.hpp"
+
 namespace imars::recsys {
 
 std::string_view op_name(OpKind k) {
@@ -22,6 +24,26 @@ OpCost StageStats::total() const {
 
 void StageStats::merge(const StageStats& other) {
   for (std::size_t i = 0; i < ops.size(); ++i) ops[i] += other.ops[i];
+}
+
+std::vector<tensor::Vector> CtrBackend::gather_tower(
+    std::span<const std::size_t>, StageStats*) {
+  IMARS_REQUIRE(false, std::string(name()) +
+                           ": staged tower scoring is not supported");
+  return {};
+}
+
+tensor::Vector CtrBackend::dense_tower(const tensor::Vector&, StageStats*) {
+  IMARS_REQUIRE(false, std::string(name()) +
+                           ": staged tower scoring is not supported");
+  return {};
+}
+
+float CtrBackend::interact_top(std::span<const tensor::Vector>,
+                               const tensor::Vector&, StageStats*) {
+  IMARS_REQUIRE(false, std::string(name()) +
+                           ": staged tower scoring is not supported");
+  return 0.0f;
 }
 
 std::vector<ScoredItem> recommend(FilterRankBackend& backend,

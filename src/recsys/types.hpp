@@ -96,6 +96,14 @@ std::vector<ScoredItem> recommend(FilterRankBackend& backend,
                                   StageStats* rank_stats);
 
 /// Backend interface for the ranking-only (DLRM / Criteo) pipeline.
+///
+/// Besides the fused `score`, backends may expose the model's *tower*
+/// structure — the sparse embedding gather and the dense bottom-MLP run on
+/// disjoint hardware (CMA banks vs crossbars) and only join at the feature
+/// interaction — so a stage-DAG serving graph can overlap them. A staged
+/// backend must satisfy `score(d, s) == interact_top(gather_tower(s),
+/// dense_tower(d))` with the three stages' stats summing to the fused
+/// stats.
 class CtrBackend {
  public:
   virtual ~CtrBackend() = default;
@@ -105,6 +113,23 @@ class CtrBackend {
   virtual float score(const tensor::Vector& dense,
                       std::span<const std::size_t> sparse,
                       StageStats* stats) = 0;
+
+  /// True when the staged tower API below is implemented.
+  virtual bool supports_towers() const { return false; }
+
+  /// Sparse tower: the gathered embedding rows, one per table (ET-lookup
+  /// costs). Default: unsupported (throws imars::Error).
+  virtual std::vector<tensor::Vector> gather_tower(
+      std::span<const std::size_t> sparse, StageStats* stats);
+
+  /// Dense tower: the bottom-MLP output (DNN costs). Default: unsupported.
+  virtual tensor::Vector dense_tower(const tensor::Vector& dense,
+                                     StageStats* stats);
+
+  /// Join: feature interaction + top MLP over the two towers' outputs
+  /// (DNN costs). Default: unsupported.
+  virtual float interact_top(std::span<const tensor::Vector> embeddings,
+                             const tensor::Vector& bottom, StageStats* stats);
 };
 
 }  // namespace imars::recsys

@@ -104,7 +104,10 @@ struct QosClassConfig {
   /// benches probe it with a calibration run) so batching decisions never
   /// depend on completion feedback — the arrival stream alone fixes every
   /// close decision, which keeps overlapped and phased execution
-  /// bit-identical.
+  /// bit-identical. Left unset (0) on a latency-critical class, the
+  /// runtime defaults it from the servable's probed stage-graph critical
+  /// path (StagePipeline::service_estimate) — still static, so the
+  /// determinism contract is preserved.
   device::Ns service_estimate{0.0};
   /// Device-time entitlement relative to the other classes. Weight 0 marks
   /// a scavenger class: it is only ever admitted when no other class has

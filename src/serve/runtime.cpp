@@ -140,15 +140,32 @@ ServeReport ServingRuntime::run(LoadGenerator& gen,
   return run(gen);
 }
 
+QosBatcherConfig ServingRuntime::resolved_qos() {
+  QosBatcherConfig qos = qos_;
+  for (auto& cls : qos.classes) {
+    if (cls.deadline.value <= 0.0 || cls.service_estimate.value > 0.0)
+      continue;
+    const auto costs = servables_[cls.servable]->stage_cost_estimate(cfg_.k);
+    if (costs.empty()) continue;
+    cls.service_estimate = pipeline_.service_estimate(cls.servable, costs,
+                                                      cfg_.k, cls.max_batch);
+  }
+  return qos;
+}
+
 ServeReport ServingRuntime::run(LoadGenerator& gen) {
   pipeline_.reset_clock();
+  // Latency-critical classes without a hand-tuned service_estimate get a
+  // graph-aware default (critical path through the servable's stage DAG,
+  // probed before serving) for the preemptive-close slack computation.
+  const QosBatcherConfig qos = resolved_qos();
   HotEmbeddingCache cache(cfg_.cache);
   HotEmbeddingCache* cache_ptr =
       cfg_.cache.capacity_rows > 0 ? &cache : nullptr;
-  QosBatcher batcher(qos_);
+  QosBatcher batcher(qos);
 
   const bool open = gen.config().arrivals != ArrivalProcess::kClosedLoop;
-  const bool gated = qos_.gated();
+  const bool gated = qos.gated();
   // Deferred collection (cross-batch stage overlap) requires batch release
   // to be completion-independent — true only for open-loop/trace arrivals
   // with an ungated admission queue (the gate reads the device frontier,
@@ -158,7 +175,7 @@ ServeReport ServingRuntime::run(LoadGenerator& gen) {
   const bool defer = cfg_.overlap && open && !gated;
   const std::size_t max_inflight =
       std::max<std::size_t>(cfg_.max_inflight, 1);
-  const device::Ns window = qos_.admit_window;
+  const device::Ns window = qos.admit_window;
 
   // Closed loop: completions enqueue out-of-order arrivals, so a heap is
   // needed. Open loop / trace: next_arrival() already yields sorted
@@ -188,7 +205,7 @@ ServeReport ServingRuntime::run(LoadGenerator& gen) {
   };
 
   ServeReport report;
-  for (const auto& cls : qos_.classes) {
+  for (const auto& cls : qos.classes) {
     ClassReport cr;
     cr.name = cls.name;
     cr.weight = cls.weight;
@@ -197,7 +214,7 @@ ServeReport ServingRuntime::run(LoadGenerator& gen) {
   }
   const double weight_sum = [&] {
     double sum = 0.0;
-    for (const auto& cls : qos_.classes) sum += cls.weight;
+    for (const auto& cls : qos.classes) sum += cls.weight;
     return sum;
   }();
 
@@ -224,7 +241,7 @@ ServeReport ServingRuntime::run(LoadGenerator& gen) {
     ++report.batches;
     ClassReport& cr = report.classes[entry.qos_class];
     ++cr.batches;
-    const device::Ns slo = qos_.classes[entry.qos_class].deadline;
+    const device::Ns slo = qos.classes[entry.qos_class].deadline;
     for (const auto& res : results) {
       const Request& req = res.request;
       ServedQuery q;
@@ -269,7 +286,7 @@ ServeReport ServingRuntime::run(LoadGenerator& gen) {
 
   auto submit_batch = [&](const Batch& batch) {
     const std::size_t cls = batch.qos_class;
-    const QosClassConfig& ccfg = qos_.classes[cls];
+    const QosClassConfig& ccfg = qos.classes[cls];
     ServableBackend* servable = servables_[ccfg.servable].get();
     const bool urgent = ccfg.deadline.value > 0.0;
     inflight.push_back({pipeline_.submit(batch, *servable, cfg_.k,
@@ -302,7 +319,7 @@ ServeReport ServingRuntime::run(LoadGenerator& gen) {
     double best_vt_key = 0.0;
     for (std::size_t i = 0; i < ready.size(); ++i) {
       const std::size_t cls = ready[i].qos_class;
-      const QosClassConfig& ccfg = qos_.classes[cls];
+      const QosClassConfig& ccfg = qos.classes[cls];
       if (ccfg.deadline.value > 0.0 && ccfg.weight > 0.0 &&
           weight_sum > 0.0) {
         const double share =
@@ -421,8 +438,14 @@ ServeReport ServingRuntime::run(LoadGenerator& gen) {
   }
 
   report.shards.assign(pipeline_.usage().begin(), pipeline_.usage().end());
-  for (std::size_t slot = 0; slot < pipeline_.spec_count(); ++slot)
+  for (std::size_t slot = 0; slot < pipeline_.spec_count(); ++slot) {
     report.stage_offsets.push_back(pipeline_.stage_offset(slot));
+    // Graph-node keys into the per-shard stage_busy layout.
+    std::vector<std::string> names;
+    for (const auto& stage : pipeline_.spec(slot).stages)
+      names.push_back(stage.name);
+    report.stage_names.push_back(std::move(names));
+  }
   report.cache = cache.stats();
   return report;
 }

@@ -134,6 +134,15 @@ class ServingRuntime {
   static std::vector<PipelineSpec> specs_of(
       const std::vector<std::unique_ptr<ServableBackend>>& servables);
 
+  /// The class table a run uses: the effective table with every unset
+  /// `service_estimate` of a latency-critical class defaulted from its
+  /// servable's probed graph critical path
+  /// (StagePipeline::service_estimate). Probes run on the calling thread
+  /// before any batch is in flight, so the derived estimates stay static —
+  /// batching decisions remain completion-independent and the
+  /// overlap-invariant determinism contract holds.
+  QosBatcherConfig resolved_qos();
+
   ServingConfig cfg_;
   QosBatcherConfig qos_;              ///< effective class table
   std::vector<CacheTiming> timings_;  ///< one, or one per shard

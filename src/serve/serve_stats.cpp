@@ -101,6 +101,27 @@ double ServeReport::filter_utilization(std::size_t s,
   return shards[s].stage_busy[begin].value / makespan.value;
 }
 
+double ServeReport::stage_utilization(std::size_t s, std::string_view stage,
+                                      std::size_t slot) const {
+  IMARS_REQUIRE(s < shards.size(), "ServeReport: shard out of range");
+  IMARS_REQUIRE(slot < stage_names.size(),
+                "ServeReport: no stage names recorded for this slot");
+  const auto& names = stage_names[slot];
+  std::size_t idx = names.size();
+  for (std::size_t i = 0; i < names.size(); ++i)
+    if (names[i] == stage) {
+      idx = i;
+      break;
+    }
+  IMARS_REQUIRE(idx < names.size(),
+                "ServeReport: unknown stage '" + std::string(stage) + "'");
+  if (makespan.value <= 0.0) return 0.0;
+  const auto [begin, end] =
+      slot_range(stage_offsets, shards[s].stage_busy.size(), slot);
+  IMARS_REQUIRE(begin + idx < end, "ServeReport: stage outside slot range");
+  return shards[s].stage_busy[begin + idx].value / makespan.value;
+}
+
 std::vector<double> ServeReport::class_latencies_ns(std::size_t cls) const {
   std::vector<double> out;
   for (const auto& q : queries)

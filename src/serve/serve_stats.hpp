@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <limits>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "device/units.hpp"
@@ -85,6 +86,10 @@ struct ServeReport {
   /// starting at 0). The utilization helpers resolve their stage through
   /// this, so multi-tenant fabrics report the requested slot's stages.
   std::vector<std::size_t> stage_offsets;
+  /// Stage names per servable slot (graph-node keys into the per-shard
+  /// stage_busy layout), aligned with stage_offsets; empty when the run
+  /// did not record them.
+  std::vector<std::vector<std::string>> stage_names;
   CacheStats cache;
   recsys::StageStats filter_stats;  ///< summed, cache-adjusted
   recsys::StageStats rank_stats;
@@ -121,6 +126,12 @@ struct ServeReport {
   /// First-stage (replicated filter) busy fraction of servable `slot`;
   /// zero for its single-stage pipelines.
   double filter_utilization(std::size_t s, std::size_t slot = 0) const;
+  /// Busy fraction of one graph node: the fraction of the makespan shard
+  /// `s` kept the named stage's unit busy (requires stage_names; stage
+  /// graphs key utilization by node, e.g. "gather" vs "dense" vs
+  /// "interact" on the tower-parallel CTR graph).
+  double stage_utilization(std::size_t s, std::string_view stage,
+                           std::size_t slot = 0) const;
 
   // --- per-class (tenant) views -------------------------------------------
   // Filtered by the per-request `qos_class` label, so they work on

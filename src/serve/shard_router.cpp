@@ -8,8 +8,8 @@ using recsys::StageStats;
 
 PipelineSpec ShardRouter::pipeline_spec() {
   PipelineSpec spec;
-  spec.stages = {{"filter", StageKind::kReplicated},
-                 {"rank", StageKind::kSharded}};
+  spec.stages = {{"filter", StageKind::kReplicated, {}},
+                 {"rank", StageKind::kSharded, {}}};
   spec.merge_topk = true;
   return spec;
 }
@@ -37,6 +37,18 @@ void ShardRouter::bind_users(std::span<const recsys::UserContext> users) {
   users_ = users;
 }
 
+void ShardRouter::override_spec(PipelineSpec spec) {
+  IMARS_REQUIRE(spec.stage_count() == spec_.stage_count() &&
+                    spec.merge_topk == spec_.merge_topk &&
+                    spec.resolve() == spec_.resolve(),
+                "ShardRouter::override_spec: spec must resolve to the "
+                "canonical filter->rank graph");
+  for (std::size_t s = 0; s < spec.stage_count(); ++s)
+    IMARS_REQUIRE(spec.stages[s].kind == spec_.stages[s].kind,
+                  "ShardRouter::override_spec: stage kind mismatch");
+  spec_ = std::move(spec);
+}
+
 recsys::FilterRankBackend& ShardRouter::backend(std::size_t shard) {
   IMARS_REQUIRE(shard < shards_.size(), "ShardRouter: shard out of range");
   return *shards_[shard];
@@ -59,6 +71,19 @@ std::vector<device::Ns> ShardRouter::probe_rank_cost(
     costs.push_back(stats.total().latency);
   }
   return costs;
+}
+
+std::vector<device::Ns> ShardRouter::stage_cost_estimate(std::size_t k) {
+  if (users_.empty()) return {};
+  const auto& probe = users_.front();
+  auto& shard = *shards_.front();
+  StageStats filter_stats;
+  const auto candidates = shard.filter(probe, &filter_stats);
+  StageStats rank_stats;
+  if (!candidates.empty())
+    (void)shard.rank(probe, candidates, std::max<std::size_t>(k, 1),
+                     &rank_stats);
+  return {filter_stats.total().latency, rank_stats.total().latency};
 }
 
 std::vector<std::size_t> ShardRouter::run_replicated(std::size_t stage,

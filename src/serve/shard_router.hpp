@@ -63,6 +63,12 @@ class ShardRouter final : public ServableBackend {
   /// outlive the serving run.
   void bind_users(std::span<const recsys::UserContext> users);
 
+  /// Replaces the spec with an equivalent declaration of the same
+  /// filter->rank graph (must resolve identically — e.g. the chain with
+  /// its edge declared explicitly instead of implied). Exists so tests can
+  /// assert implicit-linear and explicit-DAG specs are interchangeable.
+  void override_spec(PipelineSpec spec);
+
   recsys::FilterRankBackend& backend(std::size_t shard);
 
   /// Measures each shard's rank-stage cost on `probe` over `items`
@@ -90,6 +96,11 @@ class ShardRouter final : public ServableBackend {
   std::vector<RowAccess> accesses(
       std::size_t stage, const Request& req,
       std::span<const std::size_t> slice) const override;
+
+  /// {filter, rank} hardware-latency estimates probed on shard 0 against
+  /// the first bound user (empty before bind_users). The rank estimate
+  /// covers the full candidate set of the probe's filter pass at top-`k`.
+  std::vector<device::Ns> stage_cost_estimate(std::size_t k) override;
 
   /// ET rows a query's filter pass touches (filter-feature sparse rows +
   /// history, pooled once).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <unordered_map>
 
 #include "util/error.hpp"
 
@@ -11,6 +12,116 @@ namespace imars::serve {
 using recsys::OpCost;
 using recsys::OpKind;
 using recsys::StageStats;
+
+// --- PipelineSpec: graph resolution ----------------------------------------
+
+PipelineSpec::Graph PipelineSpec::resolve() const {
+  IMARS_REQUIRE(!stages.empty(), "PipelineSpec: empty stage graph");
+  const std::size_t n = stages.size();
+  Graph g;
+  g.preds.resize(n);
+  g.succs.resize(n);
+  g.item_sources.resize(n);
+
+  const bool linear = linear_chain();
+  if (linear) {
+    for (std::size_t s = 1; s < n; ++s) {
+      g.preds[s].push_back(s - 1);
+      g.succs[s - 1].push_back(s);
+    }
+  } else {
+    // Edges are declared by name, so names must be unique and non-empty.
+    std::unordered_map<std::string_view, std::size_t> by_name;
+    for (std::size_t s = 0; s < n; ++s) {
+      IMARS_REQUIRE(!stages[s].name.empty(),
+                    "PipelineSpec: stages of a dependency graph must be "
+                    "named");
+      IMARS_REQUIRE(by_name.emplace(stages[s].name, s).second,
+                    "PipelineSpec: duplicate stage name '" + stages[s].name +
+                        "'");
+    }
+    for (std::size_t s = 0; s < n; ++s) {
+      for (const auto& dep : stages[s].deps) {
+        const auto it = by_name.find(dep);
+        IMARS_REQUIRE(it != by_name.end(),
+                      "PipelineSpec: stage '" + stages[s].name +
+                          "' depends on unknown stage '" + dep + "'");
+        IMARS_REQUIRE(it->second != s,
+                      "PipelineSpec: stage '" + stages[s].name +
+                          "' depends on itself");
+        g.preds[s].push_back(it->second);
+        g.succs[it->second].push_back(s);
+      }
+    }
+  }
+
+  // Deterministic topological order: Kahn's algorithm, always taking the
+  // lowest ready stage index, so a linear chain yields 0,1,2,... and the
+  // event-model accounting walks every graph in a reproducible order.
+  std::vector<std::size_t> pending(n);
+  for (std::size_t s = 0; s < n; ++s) pending[s] = g.preds[s].size();
+  std::vector<bool> placed(n, false);
+  g.order.reserve(n);
+  while (g.order.size() < n) {
+    std::size_t next = n;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (!placed[s] && pending[s] == 0) {
+        next = s;
+        break;
+      }
+    }
+    IMARS_REQUIRE(next < n, "PipelineSpec: dependency cycle in stage graph");
+    placed[next] = true;
+    g.order.push_back(next);
+    for (std::size_t succ : g.succs[next]) --pending[succ];
+  }
+
+  // Work-item routing into sharded stages. Explicit graphs: the replicated
+  // direct predecessors, in declared edge order. Implicit linear chains:
+  // the nearest preceding replicated stage — the pre-DAG "replicated
+  // stages (re)define the item set" rule.
+  for (std::size_t s = 0; s < n; ++s) {
+    if (stages[s].kind != StageKind::kSharded) continue;
+    if (linear) {
+      for (std::size_t p = s; p-- > 0;) {
+        if (stages[p].kind == StageKind::kReplicated) {
+          g.item_sources[s].push_back(p);
+          break;
+        }
+      }
+    } else {
+      for (std::size_t p : g.preds[s])
+        if (stages[p].kind == StageKind::kReplicated)
+          g.item_sources[s].push_back(p);
+    }
+  }
+
+  // The output stage: the last sharded stage in topological order produces
+  // the query's scored partials (and feeds the merge unit).
+  for (std::size_t s : g.order)
+    if (stages[s].kind == StageKind::kSharded) g.output_stage = s;
+  IMARS_REQUIRE(!merge_topk || g.output_stage != kNoStage,
+                "PipelineSpec: merge_topk requires a sharded stage");
+  return g;
+}
+
+device::Ns PipelineSpec::critical_path(
+    std::span<const device::Ns> stage_cost) const {
+  IMARS_REQUIRE(stage_cost.size() == stages.size(),
+                "PipelineSpec::critical_path: one cost per stage");
+  const Graph g = resolve();
+  std::vector<device::Ns> done(stages.size(), device::Ns{0.0});
+  device::Ns longest{0.0};
+  for (std::size_t s : g.order) {
+    device::Ns ready{0.0};
+    for (std::size_t p : g.preds[s]) ready = device::max(ready, done[p]);
+    done[s] = ready + stage_cost[s];
+    longest = device::max(longest, done[s]);
+  }
+  return longest;
+}
+
+// --- StagePipeline ----------------------------------------------------------
 
 /// Functional scratch of one in-flight batch. Tasks on the shard executors
 /// fill the per-(query, stage) records; collect() reads them single-threaded
@@ -24,16 +135,23 @@ struct StagePipeline::BatchHandle::State {
 
   struct StageRec {
     StageStats rep_stats;  ///< replicated-stage measured costs
+    std::vector<std::size_t> out_items;  ///< replicated-stage item output
     std::vector<std::vector<std::size_t>> slices;  ///< sharded: per shard
     std::vector<StageStats> shard_stats;           ///< sharded: per shard
   };
 
   std::vector<std::size_t> home;                  ///< per query
-  std::vector<std::vector<std::size_t>> items;    ///< current work-item set
+  std::vector<std::vector<std::size_t>> init_items;  ///< per query
   std::vector<std::vector<StageRec>> rec;         ///< [query][stage]
-  /// Partial scored results of the last sharded stage, [query][shard].
+  /// Partial scored results of the OUTPUT sharded stage, [query][shard].
   std::vector<std::vector<std::vector<recsys::ScoredItem>>> partials;
-  std::unique_ptr<std::atomic<std::size_t>[]> fan_in;  ///< per query
+  std::size_t stages = 0;  ///< stage count of the slot's graph
+  /// Per (query, stage), flattened qi * stages + s: slice fan-in of a
+  /// running sharded stage / pending predecessor edges of a not-yet-ready
+  /// stage.
+  std::unique_ptr<std::atomic<std::size_t>[]> fan_in;
+  std::unique_ptr<std::atomic<std::size_t>[]> deps_left;
+  std::unique_ptr<std::atomic<std::size_t>[]> stages_left;  ///< per query
 
   std::atomic<std::size_t> outstanding{0};
   std::atomic<bool> failed{false};
@@ -41,6 +159,13 @@ struct StagePipeline::BatchHandle::State {
   std::shared_future<void> done_future;
   std::mutex err_mu;
   std::exception_ptr error;
+
+  std::atomic<std::size_t>& fan(std::size_t qi, std::size_t s) {
+    return fan_in[qi * stages + s];
+  }
+  std::atomic<std::size_t>& deps(std::size_t qi, std::size_t s) {
+    return deps_left[qi * stages + s];
+  }
 
   void fail(std::exception_ptr e) {
     std::lock_guard lock(err_mu);
@@ -71,15 +196,7 @@ StagePipeline::StagePipeline(std::size_t shards,
   IMARS_REQUIRE(map_.shards() == shards,
                 "StagePipeline: ShardMap covers a different shard count");
   for (const auto& spec : specs_) {
-    IMARS_REQUIRE(spec.stage_count() >= 1, "StagePipeline: empty stage graph");
-    // Partial results are kept per shard, not per (stage, shard): a second
-    // sharded stage would mix its partials with the first's in the final
-    // merge. Guard the engine's current envelope explicitly.
-    std::size_t sharded_stages = 0;
-    for (const auto& s : spec.stages)
-      if (s.kind == StageKind::kSharded) ++sharded_stages;
-    IMARS_REQUIRE(sharded_stages <= 1,
-                  "StagePipeline: at most one sharded stage per graph");
+    graphs_.push_back(spec.resolve());  // validates the stage graph
     offsets_.push_back(total_stages_);
     total_stages_ += spec.stage_count();
   }
@@ -125,6 +242,22 @@ device::Ns StagePipeline::frontier() const {
   return latest;
 }
 
+device::Ns StagePipeline::service_estimate(
+    std::size_t slot, std::span<const device::Ns> stage_cost, std::size_t k,
+    std::size_t batch) const {
+  IMARS_REQUIRE(slot < specs_.size(),
+                "StagePipeline::service_estimate: slot out of range");
+  const PipelineSpec& spec = specs_[slot];
+  device::Ns est = spec.critical_path(stage_cost);
+  // The remaining batch pipelines behind the first query, paced by the
+  // slowest stage unit.
+  device::Ns bottleneck{0.0};
+  for (const auto& c : stage_cost) bottleneck = device::max(bottleneck, c);
+  if (batch > 1) est += bottleneck * static_cast<double>(batch - 1);
+  if (spec.merge_topk) est += merge_cost(shards(), k).latency;
+  return est;
+}
+
 StagePipeline::BatchHandle StagePipeline::submit(const Batch& batch,
                                                  ServableBackend& servable,
                                                  std::size_t k,
@@ -139,6 +272,7 @@ StagePipeline::BatchHandle StagePipeline::submit(const Batch& batch,
   IMARS_REQUIRE(spec_idx < specs_.size(),
                 "StagePipeline::submit: spec slot out of range");
   const PipelineSpec& spec = specs_[spec_idx];
+  const PipelineSpec::Graph& graph = graphs_[spec_idx];
   const PipelineSpec& sspec = servable.spec();
   IMARS_REQUIRE(sspec.stage_count() == spec.stage_count() &&
                     sspec.merge_topk == spec.merge_topk,
@@ -146,24 +280,40 @@ StagePipeline::BatchHandle StagePipeline::submit(const Batch& batch,
   for (std::size_t s = 0; s < spec.stage_count(); ++s)
     IMARS_REQUIRE(sspec.stages[s].kind == spec.stages[s].kind,
                   "StagePipeline::submit: servable stage kind mismatch");
+  // The servable's declared edges must resolve to the slot's graph (an
+  // implicit linear chain and its explicit declaration are interchangeable
+  // — both resolve to the same Graph). Two linear chains with matching
+  // stage count, kinds and merge flag resolve identically by construction,
+  // so the hot per-batch path skips the re-resolution entirely.
+  if (!sspec.linear_chain() || !spec.linear_chain())
+    IMARS_REQUIRE(sspec.resolve() == graph,
+                  "StagePipeline::submit: servable stage graph mismatch");
 
+  const std::size_t stages = spec.stage_count();
   auto st = std::make_shared<BatchHandle::State>();
   st->batch = batch;
   st->k = k;
   st->spec_idx = spec_idx;
   st->urgent = urgent;
   st->seq = next_submit_seq_++;
+  st->stages = stages;
   st->home.resize(n);
-  st->items.resize(n);
-  st->rec.assign(n, std::vector<BatchHandle::State::StageRec>(
-                        spec.stage_count()));
+  st->init_items.resize(n);
+  st->rec.assign(n, std::vector<BatchHandle::State::StageRec>(stages));
   for (auto& query_rec : st->rec)
-    for (std::size_t s = 0; s < spec.stage_count(); ++s)
+    for (std::size_t s = 0; s < stages; ++s)
       if (spec.stages[s].kind == StageKind::kSharded)
         query_rec[s].shard_stats.resize(ns);
   st->partials.assign(
       n, std::vector<std::vector<recsys::ScoredItem>>(ns));
-  st->fan_in = std::make_unique<std::atomic<std::size_t>[]>(n);
+  st->fan_in = std::make_unique<std::atomic<std::size_t>[]>(n * stages);
+  st->deps_left = std::make_unique<std::atomic<std::size_t>[]>(n * stages);
+  st->stages_left = std::make_unique<std::atomic<std::size_t>[]>(n);
+  for (std::size_t qi = 0; qi < n; ++qi) {
+    st->stages_left[qi].store(stages);
+    for (std::size_t s = 0; s < stages; ++s)
+      st->deps(qi, s).store(graph.preds[s].size());
+  }
   st->outstanding.store(n);
   st->done_future = st->done.get_future().share();
   {
@@ -172,14 +322,24 @@ StagePipeline::BatchHandle StagePipeline::submit(const Batch& batch,
     pending_.push_back(st);
   }
 
+  // Does any sharded stage partition the request's own item set?
+  const bool needs_initial = [&] {
+    for (std::size_t s = 0; s < stages; ++s)
+      if (spec.stages[s].kind == StageKind::kSharded &&
+          graph.item_sources[s].empty())
+        return true;
+    return false;
+  }();
+
   for (std::size_t qi = 0; qi < n; ++qi) {
     const Request& req = st->batch.requests[qi];
     // All placement routes through the ShardMap: queries spread over the
     // replicated stage's replicas by id, proportionally to capability.
     st->home[qi] = map_.shard_of(req.id);
-    if (spec.stages.front().kind == StageKind::kSharded)
-      st->items[qi] = servable.initial_items(req);
-    advance(st, servable, qi, 0);
+    if (needs_initial) st->init_items[qi] = servable.initial_items(req);
+    // Kick off every source stage; the rest chain along the graph edges.
+    for (std::size_t s = 0; s < stages; ++s)
+      if (graph.preds[s].empty()) schedule_stage(st, servable, qi, s);
   }
 
   BatchHandle handle;
@@ -187,29 +347,31 @@ StagePipeline::BatchHandle StagePipeline::submit(const Batch& batch,
   return handle;
 }
 
-void StagePipeline::advance(const std::shared_ptr<BatchHandle::State>& st,
-                            ServableBackend& servable, std::size_t qi,
-                            std::size_t stage) {
+void StagePipeline::schedule_stage(
+    const std::shared_ptr<BatchHandle::State>& st, ServableBackend& servable,
+    std::size_t qi, std::size_t stage) {
   // Nothing in the chain may leak an exception: a throw between the
   // counter updates (e.g. bad_alloc in partition or task submission)
-  // would leave `outstanding` above zero and hang collect() forever, so
-  // any such failure terminates the query here instead.
+  // would leave the batch's counters above zero and hang collect()
+  // forever, so any such failure marks the batch failed and structurally
+  // completes the stage instead.
   try {
-    advance_unchecked(st, servable, qi, stage);
+    schedule_stage_unchecked(st, servable, qi, stage);
   } catch (...) {
     st->fail(std::current_exception());
-    if (st->outstanding.fetch_sub(1) == 1) st->done.set_value();
+    finish_stage(st, servable, qi, stage);
   }
 }
 
-void StagePipeline::advance_unchecked(
+void StagePipeline::schedule_stage_unchecked(
     const std::shared_ptr<BatchHandle::State>& st, ServableBackend& servable,
     std::size_t qi, std::size_t stage) {
   const PipelineSpec& spec = specs_[st->spec_idx];
-  // A failed query skips its remaining stages (collect() rethrows).
-  if (stage >= spec.stage_count() ||
-      st->failed.load(std::memory_order_acquire)) {
-    if (st->outstanding.fetch_sub(1) == 1) st->done.set_value();
+  const PipelineSpec::Graph& graph = graphs_[st->spec_idx];
+  // A failed batch skips its remaining functional work; stages still
+  // complete structurally so the done promise fires (collect() rethrows).
+  if (st->failed.load(std::memory_order_acquire)) {
+    finish_stage(st, servable, qi, stage);
     return;
   }
 
@@ -218,47 +380,78 @@ void StagePipeline::advance_unchecked(
     executors_.at(shard).submit(
         [this, st, &servable, qi, stage, shard] {
           try {
-            st->items[qi] = servable.run_replicated(
+            st->rec[qi][stage].out_items = servable.run_replicated(
                 stage, shard, st->batch.requests[qi],
                 &st->rec[qi][stage].rep_stats);
           } catch (...) {
             st->fail(std::current_exception());
           }
-          advance(st, servable, qi, stage + 1);
+          finish_stage(st, servable, qi, stage);
         },
         st->urgent);
     return;
   }
 
-  // Sharded stage: partition the query's work items, fan out to the owning
-  // shards, join on the last slice.
+  // Sharded stage: partition the stage's input items (the replicated
+  // source stages' outputs, or the request's own item set), fan out to
+  // the owning shards, join on the last slice.
   auto& rec = st->rec[qi][stage];
-  rec.slices = map_.partition(st->items[qi]);
+  const auto& sources = graph.item_sources[stage];
+  if (sources.empty()) {
+    rec.slices = map_.partition(st->init_items[qi]);
+  } else if (sources.size() == 1) {
+    rec.slices = map_.partition(st->rec[qi][sources.front()].out_items);
+  } else {
+    // A join over several replicated feeders consumes the concatenation
+    // of their outputs, in declared edge order (deterministic).
+    std::vector<std::size_t> items;
+    for (std::size_t src : sources) {
+      const auto& out = st->rec[qi][src].out_items;
+      items.insert(items.end(), out.begin(), out.end());
+    }
+    rec.slices = map_.partition(items);
+  }
   std::size_t nonempty = 0;
   for (const auto& s : rec.slices)
     if (!s.empty()) ++nonempty;
   if (nonempty == 0) {
-    advance(st, servable, qi, stage + 1);
+    finish_stage(st, servable, qi, stage);
     return;
   }
-  st->fan_in[qi].store(nonempty);
+  const bool is_output = stage == graph.output_stage;
+  st->fan(qi, stage).store(nonempty);
   for (std::size_t shard = 0; shard < rec.slices.size(); ++shard) {
     if (rec.slices[shard].empty()) continue;
     executors_.at(shard).submit(
-        [this, st, &servable, qi, stage, shard] {
+        [this, st, &servable, qi, stage, shard, is_output] {
           auto& r = st->rec[qi][stage];
           try {
-            st->partials[qi][shard] = servable.run_sharded(
+            auto partial = servable.run_sharded(
                 stage, shard, st->batch.requests[qi], r.slices[shard], st->k,
                 &r.shard_stats[shard]);
+            // Only the output stage's partials reach the merge; an interior
+            // sharded stage (e.g. an embedding-gather tower) feeds timing
+            // and successors, not results.
+            if (is_output) st->partials[qi][shard] = std::move(partial);
           } catch (...) {
             st->fail(std::current_exception());
           }
-          if (st->fan_in[qi].fetch_sub(1) == 1)
-            advance(st, servable, qi, stage + 1);
+          if (st->fan(qi, stage).fetch_sub(1) == 1)
+            finish_stage(st, servable, qi, stage);
         },
         st->urgent);
   }
+}
+
+void StagePipeline::finish_stage(
+    const std::shared_ptr<BatchHandle::State>& st, ServableBackend& servable,
+    std::size_t qi, std::size_t stage) {
+  const PipelineSpec::Graph& graph = graphs_[st->spec_idx];
+  for (std::size_t succ : graph.succs[stage])
+    if (st->deps(qi, succ).fetch_sub(1) == 1)
+      schedule_stage(st, servable, qi, succ);
+  if (st->stages_left[qi].fetch_sub(1) == 1)
+    if (st->outstanding.fetch_sub(1) == 1) st->done.set_value();
 }
 
 StageStats StagePipeline::adjust_stage(const StageStats& measured,
@@ -380,22 +573,22 @@ std::vector<StagePipeline::QueryResult> StagePipeline::collect(
   const std::size_t n = st->batch.size();
   const std::size_t ns = shards();
   const PipelineSpec& spec = specs_[st->spec_idx];
+  const PipelineSpec::Graph& graph = graphs_[st->spec_idx];
   const std::size_t base = offsets_[st->spec_idx];
   // Co-resident servables must never alias each other's hot-cache rows.
   const std::uint32_t table_base =
       static_cast<std::uint32_t>(st->spec_idx) << 16;
   const std::size_t stages = spec.stage_count();
-  const std::size_t last_sharded = [&] {
-    std::size_t last = stages;  // `stages` = none
-    for (std::size_t s = 0; s < stages; ++s)
-      if (spec.stages[s].kind == StageKind::kSharded) last = s;
-    return last;
-  }();
 
   // Deterministic accounting in batch order: cache rewrite of ET costs,
   // then the event model (per-shard multi-stage pipeline with shared
   // ET-bank contention, as in core/throughput.hpp) composes hardware time.
+  // Each query's stages are walked in topological order; a stage becomes
+  // ready when its last predecessor ends, so the query's completion is its
+  // critical path through the graph (bit-identical to the old chain walk
+  // on linear specs, where ready is simply the previous stage's end).
   std::vector<QueryResult> results(n);
+  std::vector<device::Ns> stage_end(stages);
   for (std::size_t qi = 0; qi < n; ++qi) {
     const Request& req = st->batch.requests[qi];
     QueryResult& out = results[qi];
@@ -404,13 +597,16 @@ std::vector<StagePipeline::QueryResult> StagePipeline::collect(
     out.batch_size = n;
     out.dispatch = st->batch.dispatch;
     out.home_shard = st->home[qi];
-    out.work_items = st->items[qi].size();
     out.stage_latency.resize(stages);
     out.stage_stats.resize(stages);
 
-    device::Ns prev_end = st->batch.dispatch;
-    for (std::size_t s = 0; s < stages; ++s) {
+    device::Ns complete = st->batch.dispatch;
+    for (std::size_t s : graph.order) {
       const auto& rec = st->rec[qi][s];
+      device::Ns ready = st->batch.dispatch;
+      for (std::size_t p : graph.preds[s])
+        ready = device::max(ready, stage_end[p]);
+
       if (spec.stages[s].kind == StageKind::kReplicated) {
         const std::size_t home = st->home[qi];
         // accesses() vectors exist only to feed the cache; skip them when
@@ -424,20 +620,27 @@ std::vector<StagePipeline::QueryResult> StagePipeline::collect(
         const device::Ns t = adj.total().latency;
         const device::Ns et = adj.at(OpKind::kEtLookup).latency;
         ShardClocks& c = clocks_[home];
+        // A stage with no ET traffic (e.g. a pure crossbar tower) neither
+        // waits on nor claims the shard's shared ET banks — that is what
+        // lets parallel feature towers genuinely overlap. Every pre-DAG
+        // stage carries ET cost, so their timing is unchanged.
         const device::Ns start =
-            std::max({prev_end, c.stage_free[base + s], c.shared_free});
+            et.value > 0.0
+                ? std::max({ready, c.stage_free[base + s], c.shared_free})
+                : std::max(ready, c.stage_free[base + s]);
         const device::Ns end = start + t;
         c.stage_free[base + s] = end;
-        c.shared_free = start + et;
+        if (et.value > 0.0) c.shared_free = start + et;
         usage_[home].stage_busy[base + s] += t;
-        out.stage_latency[s] = t;
-        prev_end = end;
+        out.stage_latency[s] = end - ready;
+        stage_end[s] = end;
+        complete = device::max(complete, end);
         continue;
       }
 
       // Sharded stage: slices run concurrently across shards; each occupies
       // its shard's stage unit and ET banks.
-      device::Ns stage_end = prev_end;
+      device::Ns end = ready;
       std::size_t contributing = 0;
       for (std::size_t shard = 0; shard < ns; ++shard) {
         if (rec.slices.empty() || rec.slices[shard].empty()) continue;
@@ -452,24 +655,38 @@ std::vector<StagePipeline::QueryResult> StagePipeline::collect(
         const device::Ns et = adj.at(OpKind::kEtLookup).latency;
         ShardClocks& c = clocks_[shard];
         const device::Ns start =
-            std::max({prev_end, c.stage_free[base + s], c.shared_free});
-        const device::Ns end = start + t;
-        c.stage_free[base + s] = end;
-        c.shared_free = start + et;
+            et.value > 0.0
+                ? std::max({ready, c.stage_free[base + s], c.shared_free})
+                : std::max(ready, c.stage_free[base + s]);
+        const device::Ns slice_end = start + t;
+        c.stage_free[base + s] = slice_end;
+        if (et.value > 0.0) c.shared_free = start + et;
         usage_[shard].stage_busy[base + s] += t;
-        stage_end = device::max(stage_end, end);
+        end = device::max(end, slice_end);
       }
-      if (s == last_sharded && spec.merge_topk) {
-        // Merge unit: global top-k from the per-shard top-k lists.
-        const OpCost merge =
-            merge_cost(std::max<std::size_t>(contributing, 1), st->k);
-        out.stage_stats[s].at(OpKind::kComm) += merge;
-        stage_end = stage_end + merge.latency;
+      if (s == graph.output_stage) {
+        out.work_items = 0;
+        for (const auto& slice : rec.slices) out.work_items += slice.size();
+        if (spec.merge_topk) {
+          // Merge unit: global top-k from the per-shard top-k lists.
+          const OpCost merge =
+              merge_cost(std::max<std::size_t>(contributing, 1), st->k);
+          out.stage_stats[s].at(OpKind::kComm) += merge;
+          end = end + merge.latency;
+        }
       }
-      out.stage_latency[s] = stage_end - prev_end;
-      prev_end = stage_end;
+      out.stage_latency[s] = end - ready;
+      stage_end[s] = end;
+      complete = device::max(complete, end);
     }
-    out.complete = prev_end;
+    out.complete = complete;
+    // Graphs without a sharded stage report the last replicated stage's
+    // item output (the pre-DAG "current item set" semantics).
+    if (graph.output_stage == PipelineSpec::kNoStage) {
+      for (std::size_t s : graph.order)
+        if (spec.stages[s].kind == StageKind::kReplicated)
+          out.work_items = st->rec[qi][s].out_items.size();
+    }
 
     std::vector<recsys::ScoredItem> all;
     for (std::size_t shard = 0; shard < ns; ++shard)

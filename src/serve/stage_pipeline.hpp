@@ -4,12 +4,20 @@
 // pipeline over FilterRankBackend replicas with `item % N` placement. This
 // engine generalizes all three axes:
 //
-//   * the *stage graph* is a descriptor (PipelineSpec): a linear sequence
-//     of stages, each either replicated (the whole query runs on its home
-//     shard) or sharded (the query's work items are partitioned across
-//     shards and the partial results merged). Each stage owns one event-
-//     model unit per shard; all stages of a shard contend for its shared
-//     ET banks — the same contention rule as core/throughput.hpp.
+//   * the *stage graph* is a descriptor (PipelineSpec): a DAG of stages,
+//     each either replicated (the whole query runs on its home shard) or
+//     sharded (the query's work items are partitioned across shards and
+//     the partial results merged). Each stage declares its predecessor
+//     stages; a stage's task becomes ready when ALL predecessors complete,
+//     so independent branches (e.g. DLRM's dense bottom-MLP tower next to
+//     the 26 embedding gathers) dispatch concurrently and a join waits on
+//     its last arriving edge. A spec that declares no edges is a linear
+//     chain (each stage depends on the previous one) and is timed exactly
+//     as the pre-DAG engine timed it. Each stage owns one event-model unit
+//     per shard; every stage with embedding-table traffic contends for its
+//     shard's shared ET banks — the same contention rule as
+//     core/throughput.hpp — while ET-free stages (pure crossbar towers)
+//     overlap freely.
 //   * the *workload* is an abstract ServableBackend: the two-stage
 //     YouTubeDNN flow (serve/shard_router.hpp) and the single-stage
 //     DLRM/Criteo CTR flow (serve/servable_ctr.hpp) both serve through the
@@ -20,15 +28,18 @@
 //
 // Execution is split into submit() and collect(). submit() enqueues the
 // batch's functional work onto the per-shard worker threads and returns
-// immediately: a query's stages chain — when its stage-s task finishes it
-// schedules the stage-s+1 tasks itself, with no batch-wide barrier — so a
-// later batch's early stages overlap an earlier batch's late stages on the
-// host threads (the hardware event model already pipelines; PR 1 only
-// phased the host loop). collect() then composes hardware time
-// deterministically in submission order: cache rewrite of ET costs first,
-// then the per-shard pipeline clocks. Because every timing decision happens
-// in collect(), overlapped and phased execution produce bit-identical
-// reports.
+// immediately: a query's stages chain along the graph edges — when a
+// stage's task finishes it decrements each successor's pending-edge count
+// and schedules the ones that became ready, with no batch-wide barrier —
+// so fan-out branches run concurrently and a later batch's early stages
+// overlap an earlier batch's late stages on the host threads (the hardware
+// event model already pipelines; PR 1 only phased the host loop).
+// collect() then composes hardware time deterministically in submission
+// order: cache rewrite of ET costs first, then the per-shard pipeline
+// clocks walked in deterministic topological order — a query's completion
+// is its critical path through the graph. Because every timing decision
+// happens in collect(), overlapped and phased execution produce
+// bit-identical reports.
 //
 // Multi-tenant fabrics (PR 3): one pipeline can host SEVERAL co-resident
 // servables — e.g. an interactive filter/rank tenant next to a bulk CTR
@@ -106,17 +117,66 @@ enum class StageKind : std::uint8_t {
 struct StageSpec {
   std::string name;
   StageKind kind = StageKind::kReplicated;
+  /// Names of predecessor stages. If NO stage of the graph declares any,
+  /// the spec is a linear chain — stage s depends on stage s-1, the
+  /// pre-DAG behavior, timed identically. Otherwise the edges are exactly
+  /// as declared and a stage with an empty list is a source (ready at
+  /// batch dispatch).
+  std::vector<std::string> deps;
 };
 
-/// Linear stage graph of a workload. A replicated stage (re)defines the
-/// query's work-item set; a sharded stage consumes it.
+/// Stage graph of a workload: a DAG of replicated/sharded stages. A
+/// sharded stage partitions the work items produced by its replicated
+/// direct predecessors (concatenated in declared edge order) — or, with no
+/// replicated predecessor, the servable's initial_items(); on implicit
+/// linear chains the nearest preceding replicated stage feeds it, exactly
+/// the pre-DAG "replicated stages (re)define the item set" rule.
 struct PipelineSpec {
+  static constexpr std::size_t kNoStage = static_cast<std::size_t>(-1);
+
   std::vector<StageSpec> stages;
-  /// Last sharded stage's partials ship to the merge unit for a k-way
+  /// The output stage's partials ship to the merge unit for a k-way
   /// tournament (the filter/rank flow); single-shot workloads (CTR) skip it.
   bool merge_topk = false;
 
   std::size_t stage_count() const noexcept { return stages.size(); }
+
+  /// True when no stage declares dependencies (the implicit linear chain).
+  bool linear_chain() const noexcept {
+    for (const auto& s : stages)
+      if (!s.deps.empty()) return false;
+    return true;
+  }
+
+  /// The resolved, validated dependency structure of a spec.
+  struct Graph {
+    std::vector<std::vector<std::size_t>> preds;  ///< per stage, resolved
+    std::vector<std::vector<std::size_t>> succs;
+    /// Deterministic topological order (Kahn's algorithm, lowest stage
+    /// index first among ready stages); a linear chain yields 0,1,2,...
+    std::vector<std::size_t> order;
+    /// Per stage: the replicated stages whose output items a sharded stage
+    /// partitions (empty = servable.initial_items; always empty for
+    /// replicated stages).
+    std::vector<std::vector<std::size_t>> item_sources;
+    /// The stage producing the query's scored partials (and feeding the
+    /// merge unit): the last sharded stage in topological order, or
+    /// kNoStage when the graph has none.
+    std::size_t output_stage = kNoStage;
+
+    bool operator==(const Graph&) const = default;
+  };
+
+  /// Resolves and validates the graph. Throws imars::Error on: an empty
+  /// graph, duplicate or empty stage names (when edges are declared),
+  /// edges naming unknown stages, dependency cycles, or `merge_topk` on a
+  /// graph with no sharded stage.
+  Graph resolve() const;
+
+  /// Longest dispatch-to-done path through the graph under the given
+  /// per-stage costs (one entry per stage, spec order; merge excluded).
+  /// A linear chain reduces to the plain stage-cost sum.
+  device::Ns critical_path(std::span<const device::Ns> stage_cost) const;
 };
 
 /// A workload adapter served by the engine. Implementations own one backend
@@ -161,6 +221,18 @@ class ServableBackend {
   virtual std::vector<RowAccess> accesses(
       std::size_t stage, const Request& req,
       std::span<const std::size_t> slice) const = 0;
+
+  /// Per-stage hardware-latency estimate of one query's pass through each
+  /// stage (index-aligned with spec().stages) when served at top-`k`,
+  /// typically probed on shard 0's replica against the bound population.
+  /// Empty = unknown (callers keep their configured constants). Runs the
+  /// replica on the calling thread, so it must NOT be called while a batch
+  /// is in flight — the runtime probes before serving, which keeps the
+  /// derived QoS service estimates completion-independent.
+  virtual std::vector<device::Ns> stage_cost_estimate(std::size_t k) {
+    (void)k;
+    return {};
+  }
 };
 
 /// The generic engine: per-shard worker threads + per-stage event clocks.
@@ -175,10 +247,12 @@ class StagePipeline {
     std::size_t batch_size = 0;
     device::Ns dispatch;         ///< batch close/dispatch time
     std::vector<recsys::ScoredItem> topk;  ///< merged, best first, <= k
-    std::size_t work_items = 0;  ///< items entering the sharded stage(s)
+    std::size_t work_items = 0;  ///< items entering the output sharded stage
     std::size_t home_shard = 0;  ///< shard that ran the replicated stage(s)
-    device::Ns complete;         ///< simulated completion (merge done)
-    std::vector<device::Ns> stage_latency;        ///< per stage
+    device::Ns complete;  ///< critical path through the graph (merge done)
+    /// Per stage (spec order): completion minus graph-ready time — on a
+    /// linear chain exactly the stage's serial latency share.
+    std::vector<device::Ns> stage_latency;
     std::vector<recsys::StageStats> stage_stats;  ///< cache-adjusted
   };
 
@@ -227,6 +301,16 @@ class StagePipeline {
   /// already committed to. The admission-gated runtime holds ready batches
   /// until the frontier comes within its admit window of simulated now.
   device::Ns frontier() const;
+
+  /// Graph-aware batch service estimate for slot `slot`: one query's
+  /// critical path through the stage DAG under `stage_cost` (one entry per
+  /// stage) plus pipelined occupancy of the bottleneck stage for the
+  /// remaining `batch - 1` queries, plus the top-k merge when the graph
+  /// merges. The runtime uses this to default an unset
+  /// QosClassConfig::service_estimate.
+  device::Ns service_estimate(std::size_t slot,
+                              std::span<const device::Ns> stage_cost,
+                              std::size_t k, std::size_t batch) const;
 
   /// Enqueues the batch's functional work; returns immediately. Stages
   /// chain across the shard executors with no inter-stage barrier.
@@ -278,14 +362,22 @@ class StagePipeline {
     device::Ns shared_free;              ///< shared ET banks available
   };
 
-  /// Schedules stage `stage` of query `qi`; never leaks an exception (a
-  /// failure terminates the query so the batch's done promise still
-  /// fires).
-  void advance(const std::shared_ptr<BatchHandle::State>& st,
-               ServableBackend& servable, std::size_t qi, std::size_t stage);
-  void advance_unchecked(const std::shared_ptr<BatchHandle::State>& st,
-                         ServableBackend& servable, std::size_t qi,
-                         std::size_t stage);
+  /// Schedules stage `stage` of query `qi` (all its graph predecessors
+  /// have completed); never leaks an exception (a failure marks the batch
+  /// failed and structurally completes the stage so every counter still
+  /// drains and the done promise fires).
+  void schedule_stage(const std::shared_ptr<BatchHandle::State>& st,
+                      ServableBackend& servable, std::size_t qi,
+                      std::size_t stage);
+  void schedule_stage_unchecked(const std::shared_ptr<BatchHandle::State>& st,
+                                ServableBackend& servable, std::size_t qi,
+                                std::size_t stage);
+  /// Marks stage `stage` of query `qi` complete: schedules successors whose
+  /// last pending edge this was, and fires the batch's done promise when
+  /// the last stage of the last query finishes.
+  void finish_stage(const std::shared_ptr<BatchHandle::State>& st,
+                    ServableBackend& servable, std::size_t qi,
+                    std::size_t stage);
 
   /// Applies the cache to `accesses` and rewrites the stage's ET-lookup
   /// cost; returns the adjusted stats. `table_base` namespaces the cache
@@ -301,6 +393,7 @@ class StagePipeline {
   recsys::OpCost merge_cost(std::size_t slices, std::size_t k) const;
 
   std::vector<PipelineSpec> specs_;   ///< one per co-resident servable slot
+  std::vector<PipelineSpec::Graph> graphs_;  ///< resolved, one per slot
   std::vector<std::size_t> offsets_;  ///< per slot, into the stage layout
   std::size_t total_stages_ = 0;
   device::DeviceProfile profile_;
