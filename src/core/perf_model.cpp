@@ -170,4 +170,23 @@ OpCost PerfModel::cached_row() const {
   return OpCost{profile_.cache_read.latency, profile_.cache_read.energy};
 }
 
+OpCost PerfModel::row_write() const {
+  const auto& p = profile_;
+  // One 32-byte embedding transfer over the RSC bus into the array, then a
+  // RAM-mode row write (the dual of row_fetch's read + transfer).
+  const std::size_t bytes = arch_.emb_dim;  // int8 lanes
+  const std::size_t cycles =
+      (bytes * 8 + p.rsc_bus_bits - 1) / p.rsc_bus_bits;
+  OpCost cost;
+  cost.latency =
+      p.cma_write.latency + p.rsc_cycle * static_cast<double>(cycles);
+  cost.energy =
+      p.cma_write.energy + p.rsc_energy * static_cast<double>(cycles);
+  return cost;
+}
+
+OpCost PerfModel::buffer_fill() const {
+  return OpCost{profile_.cache_write.latency, profile_.cache_write.energy};
+}
+
 }  // namespace imars::core

@@ -63,6 +63,16 @@ class PerfModel {
   /// (the cache-hit cost: no CMA access, no RSC transfer).
   recsys::OpCost cached_row() const;
 
+  /// One ET row written back to its CMA array over the RSC bus (embedding-
+  /// update write-through, and the dirty-row flush of the write-back
+  /// cache). The RAM-mode row write is the dual of row_fetch()'s read.
+  recsys::OpCost row_write() const;
+
+  /// One embedding-update row absorbed into the periphery hot-row buffer
+  /// (write-back fill: no CMA write, no RSC transfer — the array write is
+  /// deferred until the dirty row is evicted).
+  recsys::OpCost buffer_fill() const;
+
   const ArchConfig& arch() const noexcept { return arch_; }
   const device::DeviceProfile& profile() const noexcept { return profile_; }
 

@@ -25,7 +25,7 @@ DeviceProfile DeviceProfile::fefet22() {
   const double e = 0.45, l = 0.7;
   for (OpCost* c : {&p.cma_write, &p.cma_read, &p.cma_add, &p.cma_search,
                     &p.intra_mat_add, &p.intra_bank_add, &p.xbar_matmul,
-                    &p.cache_read}) {
+                    &p.cache_read, &p.cache_write}) {
     c->energy = c->energy * e;
     c->latency = c->latency * l;
   }

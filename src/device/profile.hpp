@@ -48,6 +48,12 @@ struct DeviceProfile {
   /// file-class SRAM macro, NanGate 45nm synthesis numbers.
   OpCost cache_read{Pj{1.1}, Ns{0.5}};
 
+  /// One row write into the hot-row SRAM buffer (periphery-buffer fill: a
+  /// write-back cache absorbs embedding-update traffic here instead of
+  /// paying the CMA write). Same register-file-class macro as cache_read;
+  /// writes cost slightly more than reads (full bitline swing).
+  OpCost cache_write{Pj{1.4}, Ns{0.6}};
+
   /// Per-layer digital overhead of a crossbar DNN pass (DAC input streaming,
   /// ADC conversion, activation periphery). Calibrated so that the filtering
   /// DNN stack (3 layers) reproduces the paper's reported 2.69x improvement

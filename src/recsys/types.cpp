@@ -11,6 +11,7 @@ std::string_view op_name(OpKind k) {
     case OpKind::kNns: return "NNS";
     case OpKind::kTopK: return "TopK";
     case OpKind::kComm: return "Comm";
+    case OpKind::kEtWrite: return "ET Write";
     case OpKind::kCount: break;
   }
   return "unknown";

@@ -24,6 +24,11 @@ enum class OpKind : std::uint8_t {
   kNns,
   kTopK,
   kComm,
+  /// Embedding-table row *writes*: update write-through to the CMA arrays
+  /// and dirty-row flushes out of the periphery write-back buffer (serving
+  /// extension). Zero on read-only streams, so adding the category does
+  /// not perturb any read-path accounting.
+  kEtWrite,
   kCount
 };
 

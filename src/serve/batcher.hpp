@@ -36,6 +36,10 @@ struct Request {
   std::size_t user = 0;       ///< index into the user-context population
   std::size_t client = 0;     ///< closed-loop client that issued it
   std::size_t qos_class = 0;  ///< priority class (index into the class table)
+  /// Embedding-update write (fire-and-forget row writes instead of a
+  /// query): bypasses the batcher; the runtime charges its write traffic
+  /// through the write-back cache model. Never set on read-only streams.
+  bool is_update = false;
   device::Ns enqueue;         ///< simulated arrival time
 };
 

@@ -8,6 +8,10 @@ bool HotEmbeddingCache::contains(std::uint32_t table, std::uint32_t row) const {
   return resident_.find(key_of(table, row)) != resident_.end();
 }
 
+bool HotEmbeddingCache::dirty(std::uint32_t table, std::uint32_t row) const {
+  return dirty_.find(key_of(table, row)) != dirty_.end();
+}
+
 bool HotEmbeddingCache::settle_heap() {
   while (!heap_.empty()) {
     const auto [freq, key] = heap_.top();
@@ -24,6 +28,23 @@ bool HotEmbeddingCache::settle_heap() {
     return true;
   }
   return false;
+}
+
+void HotEmbeddingCache::evict(std::uint64_t key) {
+  resident_.erase(key);
+  // A dirty row leaves the buffer through its deferred array write: the
+  // eviction flushes it. Read-only streams keep dirty_ empty, so this
+  // branch never perturbs their accounting.
+  if (!dirty_.empty() && dirty_.erase(key) > 0) {
+    ++stats_.flushes;
+    ++pending_flushes_;
+  }
+}
+
+std::uint64_t HotEmbeddingCache::take_flushed() {
+  const std::uint64_t n = pending_flushes_;
+  pending_flushes_ = 0;
+  return n;
 }
 
 bool HotEmbeddingCache::access(std::uint32_t table, std::uint32_t row) {
@@ -49,16 +70,38 @@ bool HotEmbeddingCache::access(std::uint32_t table, std::uint32_t row) {
   }
 
   // Frequency-based admission: replace the coldest resident row only if the
-  // missed row is now strictly hotter.
+  // missed row is now strictly hotter. The admitted row enters clean; if it
+  // was flushed out dirty moments ago, the deferred write already happened
+  // and must not resurrect.
   if (settle_heap()) {
     const auto [min_freq, min_key] = heap_.top();
     if (freq > min_freq) {
       heap_.pop();
-      resident_.erase(min_key);
+      evict(min_key);
       resident_.emplace(key, freq);
       heap_.emplace(freq, key);
     }
   }
+  return false;
+}
+
+bool HotEmbeddingCache::update(std::uint32_t table, std::uint32_t row) {
+  const std::uint64_t key = key_of(table, row);
+  ++freq_[key];  // updates count toward LFU admission on later reads
+
+  if (cfg_.capacity_rows == 0) {
+    ++stats_.update_misses;  // no buffer: pure write-through
+    return false;
+  }
+  if (auto it = resident_.find(key); it != resident_.end()) {
+    it->second = freq_[key];  // heap refreshed lazily in settle_heap()
+    dirty_.insert(key);
+    ++stats_.update_hits;
+    return true;
+  }
+  // No write-allocate: the array takes the write directly, so an update
+  // flood can never displace the read-hot set.
+  ++stats_.update_misses;
   return false;
 }
 

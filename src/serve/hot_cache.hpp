@@ -1,4 +1,4 @@
-// Frequency-aware hot-embedding cache.
+// Frequency-aware hot-embedding cache with a write-back model.
 //
 // Recommendation ET traffic is Zipf-skewed (src/data/zipf.*): a small set
 // of popular item rows absorbs most accesses. The serving runtime keeps a
@@ -9,12 +9,25 @@
 // TinyLFU-style): a row is admitted only once its observed frequency
 // exceeds the coldest resident row's, so one-off scans cannot flush the
 // hot set.
+//
+// Write-back (embedding-update traffic, cf. MARM arXiv:2411.09425): an
+// update to a *resident* row is absorbed into the periphery buffer — the
+// row is marked dirty and the fill is charged at the buffer-write cost
+// (DeviceProfile::cache_write) instead of the CMA row write. An update to
+// a non-resident row writes through to the array (PerfModel::row_write).
+// When a dirty row is evicted by frequency admission, its deferred array
+// write finally happens: the eviction *flushes* the row, and the caller
+// charges the flush into hardware time (take_flushed()). Updates bump the
+// LFU frequency but never allocate on write — a pure update stream cannot
+// flush the read-hot set. With capacity 0 every update degrades to plain
+// write-through.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <queue>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace imars::serve {
@@ -26,11 +39,22 @@ struct HotCacheConfig {
 struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
+  // --- write-back model -----------------------------------------------
+  std::uint64_t update_hits = 0;    ///< updates absorbed in the buffer
+  std::uint64_t update_misses = 0;  ///< updates written through to the CMA
+  std::uint64_t flushes = 0;        ///< dirty rows written back on eviction
 
   std::uint64_t accesses() const noexcept { return hits + misses; }
   double hit_rate() const noexcept {
     const std::uint64_t n = accesses();
     return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+  }
+  std::uint64_t updates() const noexcept { return update_hits + update_misses; }
+  /// Fraction of update writes the periphery buffer absorbed.
+  double write_hit_rate() const noexcept {
+    const std::uint64_t n = updates();
+    return n == 0 ? 0.0
+                  : static_cast<double>(update_hits) / static_cast<double>(n);
   }
 };
 
@@ -41,14 +65,31 @@ class HotEmbeddingCache {
   const HotCacheConfig& config() const noexcept { return cfg_; }
 
   /// Records one access to row `row` of table `table`; returns true on a
-  /// cache hit. Updates frequency counters and the resident set.
+  /// cache hit. Updates frequency counters and the resident set. Admitting
+  /// a hotter row may evict a dirty resident — the flush is recorded for
+  /// take_flushed().
   bool access(std::uint32_t table, std::uint32_t row);
+
+  /// Records one embedding-update write; returns true when the buffer
+  /// absorbed it (row resident: marked dirty, charged at buffer-fill cost)
+  /// and false on write-through (not resident, or cache disabled: charged
+  /// at the CMA row-write cost). Bumps the LFU frequency but never
+  /// allocates, so a write flood cannot evict the read-hot set.
+  bool update(std::uint32_t table, std::uint32_t row);
+
+  /// Dirty-row flushes recorded since the last call (evictions of rows
+  /// holding a deferred array write); clears the counter. Callers charge
+  /// each flush at the row-write cost into the hardware time of whatever
+  /// operation triggered the eviction.
+  std::uint64_t take_flushed();
 
   const CacheStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = CacheStats{}; }
 
   std::size_t resident_rows() const noexcept { return resident_.size(); }
+  std::size_t dirty_rows() const noexcept { return dirty_.size(); }
   bool contains(std::uint32_t table, std::uint32_t row) const;
+  bool dirty(std::uint32_t table, std::uint32_t row) const;
 
  private:
   static std::uint64_t key_of(std::uint32_t table, std::uint32_t row) {
@@ -59,12 +100,17 @@ class HotEmbeddingCache {
   /// frequency; returns false when the resident set is empty.
   bool settle_heap();
 
+  /// Drops `key` from the resident set; a dirty row records its flush.
+  void evict(std::uint64_t key);
+
   using HeapEntry = std::pair<std::uint64_t, std::uint64_t>;  // (freq, key)
 
   HotCacheConfig cfg_;
   CacheStats stats_;
   std::unordered_map<std::uint64_t, std::uint64_t> freq_;      // full history
   std::unordered_map<std::uint64_t, std::uint64_t> resident_;  // key -> freq
+  std::unordered_set<std::uint64_t> dirty_;  // resident rows awaiting flush
+  std::uint64_t pending_flushes_ = 0;        // since last take_flushed()
   // Lazy min-heap over resident frequencies (stale entries skipped).
   std::priority_queue<HeapEntry, std::vector<HeapEntry>,
                       std::greater<HeapEntry>>

@@ -11,7 +11,8 @@ LoadGenerator::LoadGenerator(const LoadGenConfig& cfg)
       users_(cfg.num_users, cfg.user_zipf_s),
       rng_(cfg.seed),
       gap_rng_(util::hash64(cfg.seed, 0x6170736f6e6e6fULL)),
-      class_rng_(util::hash64(cfg.seed, 0x716f73636c617373ULL)) {
+      class_rng_(util::hash64(cfg.seed, 0x716f73636c617373ULL)),
+      update_rng_(util::hash64(cfg.seed, 0x757064617465ULL)) {
   IMARS_REQUIRE(cfg_.clients >= 1, "LoadGenerator: need at least one client");
   IMARS_REQUIRE(cfg_.num_users >= 1, "LoadGenerator: empty user population");
   if (cfg_.arrivals == ArrivalProcess::kOpenPoisson)
@@ -31,6 +32,15 @@ LoadGenerator::LoadGenerator(const LoadGenConfig& cfg)
   if (!cfg_.class_mix.empty())
     IMARS_REQUIRE(mix_total_ > 0.0,
                   "LoadGenerator: class_mix must have a positive share");
+  IMARS_REQUIRE(cfg_.update_fraction >= 0.0 && cfg_.update_fraction <= 1.0,
+                "LoadGenerator: update_fraction must be in [0, 1]");
+}
+
+bool LoadGenerator::draw_update() {
+  // Zero fraction performs no draw at all: read-only streams consume
+  // nothing from the update stream and stay bit-identical.
+  if (cfg_.update_fraction <= 0.0) return false;
+  return update_rng_.uniform() < cfg_.update_fraction;
 }
 
 std::size_t LoadGenerator::draw_class() {
@@ -55,6 +65,7 @@ std::optional<Request> LoadGenerator::next(std::size_t client,
   r.client = client;
   r.user = users_.sample(rng_);
   r.qos_class = draw_class();
+  r.is_update = draw_update();
   r.enqueue = ready + cfg_.think;
   return r;
 }
@@ -79,6 +90,7 @@ std::optional<Request> LoadGenerator::next_arrival() {
   r.client = r.id % cfg_.clients;  // labeling only; arrivals are global
   r.user = users_.sample(rng_);
   r.qos_class = draw_class();
+  r.is_update = draw_update();
   r.enqueue = open_clock_;
   return r;
 }

@@ -57,6 +57,11 @@ struct LoadGenConfig {
   /// non-decreasing); replayed verbatim, `total_queries`/`class_mix` are
   /// ignored.
   std::vector<Request> trace;
+  /// Fraction of the stream issued as embedding-update writes
+  /// (Request::is_update) rather than queries, drawn i.i.d. per request
+  /// from a dedicated RNG stream — 0 performs no draw at all, so read-only
+  /// streams stay bit-identical to pre-write-back runs. Must be in [0, 1].
+  double update_fraction = 0.0;
 };
 
 class LoadGenerator {
@@ -78,6 +83,7 @@ class LoadGenerator {
 
  private:
   std::size_t draw_class();
+  bool draw_update();
 
   LoadGenConfig cfg_;
   data::ZipfSampler users_;
@@ -87,6 +93,8 @@ class LoadGenerator {
   util::Xoshiro256 gap_rng_;  ///< open-loop inter-arrival draws
   util::Xoshiro256 class_rng_;  ///< QoS-class draws (own stream: adding
                                 ///< classes never shifts user draws)
+  util::Xoshiro256 update_rng_;  ///< update-mix draws (own stream: enabling
+                                 ///< updates never shifts user/class draws)
   double mix_total_ = 0.0;      ///< sum of class_mix shares
   std::size_t issued_ = 0;
   device::Ns open_clock_{0.0};  ///< last open-loop arrival time

@@ -5,6 +5,7 @@
 #include <limits>
 #include <optional>
 #include <queue>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -100,6 +101,15 @@ ServingRuntime::ServingRuntime(
   }
   // The config's shard count reflects the fabric actually built.
   cfg_.shards = servables_.front()->shards();
+  row_bytes_ = arch.emb_dim;  // int8 lanes: one byte per lane per row
+  if (cfg_.placement.enabled) {
+    IMARS_REQUIRE(cfg_.placement.hot_rows >= 1,
+                  "ServingRuntime: placement needs a positive hot_rows");
+    IMARS_REQUIRE(!cfg_.placement.histogram.empty() ||
+                      cfg_.placement.warmup_queries >= 1,
+                  "ServingRuntime: placement needs an offline histogram or "
+                  "a warmup window");
+  }
   // A filter/rank servable passed through the generic constructor (e.g. a
   // heterogeneous fabric) still supports run(gen, users).
   for (const auto& s : servables_)
@@ -153,7 +163,52 @@ QosBatcherConfig ServingRuntime::resolved_qos() {
   return qos;
 }
 
+ShardMap ServingRuntime::placed_map(const LoadGenConfig& load) {
+  const PlacementConfig& pc = cfg_.placement;
+  std::vector<HotKey> hot;
+  if (!pc.histogram.empty()) {
+    hot = PlacementPolicy::top_keys(pc.histogram, pc.hot_rows);
+  } else {
+    // Warmup window: replay the run's own arrival stream (fresh generator,
+    // same seed) and histogram the work-item keys each request would route
+    // through the map. Runs replica 0 on the calling thread — no batch is
+    // in flight yet, exactly like the QoS estimate probes.
+    std::unordered_map<std::size_t, std::uint64_t> counts;
+    LoadGenerator warm(load);
+    ServableBackend& sv = *servables_.front();
+    std::size_t profiled = 0;
+    for (std::size_t i = 0; profiled < pc.warmup_queries; ++i) {
+      const std::optional<Request> r =
+          load.arrivals == ArrivalProcess::kClosedLoop
+              ? warm.next(i % load.clients, device::Ns{0.0})
+              : warm.next_arrival();
+      if (!r) break;
+      // Updates never route items through the map in the served run, so
+      // they contribute nothing to the profile; the window counts QUERIES.
+      if (r->is_update) continue;
+      ++profiled;
+      for (std::size_t key : sv.profile_items(*r)) ++counts[key];
+    }
+    hot = PlacementPolicy::top_keys(counts, pc.hot_rows);
+  }
+  // Greedy balance costs: an explicit per-item override when configured,
+  // else the per-shard row costs resolved through the fabric's own cache
+  // timings (one PerfModel per shard technology); a single shared timing
+  // means a homogeneous fabric — pins then only balance the hot mass.
+  std::vector<device::Ns> cost = pc.shard_costs;
+  if (cost.empty() && timings_.size() == cfg_.shards)
+    for (const auto& t : timings_) cost.push_back(t.row_miss.latency);
+  IMARS_REQUIRE(cost.empty() || cost.size() == cfg_.shards,
+                "ServingRuntime: one placement shard cost per shard");
+  return PlacementPolicy::pin_hot(make_map(cfg_, cfg_.shards), hot, cost,
+                                  pc.hot_rows);
+}
+
 ServeReport ServingRuntime::run(LoadGenerator& gen) {
+  // Frequency-aware placement re-derives its pin layer per run (the warmup
+  // profile tracks the generator's config); disabled, the configured map
+  // is never touched and routing stays bit-identical to the pin-free map.
+  if (cfg_.placement.enabled) pipeline_.set_shard_map(placed_map(gen.config()));
   pipeline_.reset_clock();
   // Latency-critical classes without a hand-tuned service_estimate get a
   // graph-aware default (critical path through the servable's stage DAG,
@@ -222,8 +277,59 @@ ServeReport ServingRuntime::run(LoadGenerator& gen) {
     StagePipeline::BatchHandle handle;
     ServableBackend* servable = nullptr;
     std::size_t qos_class = 0;
+    device::Ns dispatch;  ///< batch close time (update-ordering fence)
   };
   std::deque<InflightBatch> inflight;
+
+  // Embedding-update requests awaiting application, in arrival order.
+  // Updates bypass the batcher entirely; their write traffic is applied in
+  // TIMESTAMP order relative to batch dispatches — every update with
+  // enqueue <= a batch's dispatch applies before that batch's collection.
+  // Both phased and deferred collection walk batches in dispatch order, so
+  // the cache/clock mutation sequence is identical under overlap on/off
+  // (the write-back analogue of the bit-identical-reports contract).
+  std::deque<Request> pending_updates;
+  auto apply_update = [&](const Request& r) {
+    const std::size_t cls = qos.classes.size() == 1 ? 0 : r.qos_class;
+    IMARS_REQUIRE(cls < qos.classes.size(),
+                  "ServingRuntime: update routed to a missing class");
+    const QosClassConfig& ccfg = qos.classes[cls];
+    ServableBackend& sv = *servables_[ccfg.servable];
+    // Ring only: the update is keyed by request id, not by an item row.
+    const std::size_t home = pipeline_.shard_map().ring_of(r.id);
+    const CacheTiming& timing =
+        timings_.size() == 1 ? timings_.front() : timings_[home];
+    // Same key namespace as the read path (co-resident servables must not
+    // alias each other's rows).
+    const std::uint32_t table_base =
+        static_cast<std::uint32_t>(ccfg.servable) << 16;
+    recsys::OpCost cost;
+    // The cache object is used even when the read path runs cache-less
+    // (capacity 0): update() then degrades to counted write-through, which
+    // is exactly the telemetry a buffer-less fabric should report.
+    for (const auto& a : sv.update_accesses(r)) {
+      const bool absorbed = cache.update(table_base + a.table, a.row);
+      const recsys::OpCost& c =
+          absorbed ? timing.buffer_fill : timing.row_write;
+      cost.latency += c.latency;
+      cost.energy += c.energy;
+    }
+    // update() never evicts today (no write-allocate), but stay general:
+    // any flush it ever records is charged with this update's traffic.
+    const double flushed = static_cast<double>(cache.take_flushed());
+    cost.latency += timing.row_write.latency * flushed;
+    cost.energy += timing.row_write.energy * flushed;
+    pipeline_.charge_write(home, cost, r.enqueue);
+    ++report.updates;
+    report.update_cost += cost;
+  };
+  auto apply_updates_until = [&](device::Ns t) {
+    while (!pending_updates.empty() &&
+           pending_updates.front().enqueue.value <= t.value) {
+      apply_update(pending_updates.front());
+      pending_updates.pop_front();
+    }
+  };
   // Closed-but-unadmitted batches. Ungated configs release a batch the
   // instant it closes (the deque never survives an event), which is
   // exactly the PR 2 dispatch behavior.
@@ -235,6 +341,9 @@ ServeReport ServingRuntime::run(LoadGenerator& gen) {
   auto drain_one = [&] {
     InflightBatch entry = std::move(inflight.front());
     inflight.pop_front();
+    // Updates that arrived up to this batch's close apply first (timestamp
+    // order — see pending_updates above).
+    apply_updates_until(entry.dispatch);
     const auto results = pipeline_.collect(std::move(entry.handle),
                                            *entry.servable, cache_ptr,
                                            timings_);
@@ -267,6 +376,8 @@ ServeReport ServingRuntime::run(LoadGenerator& gen) {
         q.energy += s.total().energy;
         q.device_time += s.total().latency;
       }
+      report.routed_items += res.routed_items;
+      report.pinned_items += res.pinned_items;
       ++cr.queries;
       cr.device_time += q.device_time;
       if (slo.value > 0.0 && (q.complete - q.enqueue) > slo)
@@ -291,7 +402,7 @@ ServeReport ServingRuntime::run(LoadGenerator& gen) {
     const bool urgent = ccfg.deadline.value > 0.0;
     inflight.push_back({pipeline_.submit(batch, *servable, cfg_.k,
                                          ccfg.servable, urgent),
-                        servable, cls});
+                        servable, cls, batch.dispatch});
     if (!defer) {
       drain_one();
     } else {
@@ -411,8 +522,25 @@ ServeReport ServingRuntime::run(LoadGenerator& gen) {
       // past (a held batch completing early), and the flush/clamp
       // timestamps below must never move backwards for it.
       const Request r = pop_arrival();
-      batcher.add(r);
       last_enqueue = device::max(last_enqueue, r.enqueue);
+      if (r.is_update) {
+        // Embedding-update writes never enter the batcher: their traffic
+        // is applied in timestamp order against the write-back cache. Like
+        // QosBatcher::add, a slightly out-of-order arrival (a gated closed
+        // loop completing a held batch early) is inserted in enqueue
+        // order, after any equal timestamps — apply_updates_until's fence
+        // walks the deque front-to-back by timestamp.
+        auto pos = pending_updates.end();
+        while (pos != pending_updates.begin() &&
+               std::prev(pos)->enqueue.value > r.enqueue.value)
+          --pos;
+        pending_updates.insert(pos, r);
+        if (!open)
+          if (auto next = gen.next(r.client, r.enqueue))
+            arrivals.push(*next);
+        continue;
+      }
+      batcher.add(r);
       close_fired(r.enqueue);  // size trigger fires as the queue fills
       pump(r.enqueue);
       continue;
@@ -436,6 +564,8 @@ ServeReport ServingRuntime::run(LoadGenerator& gen) {
     // Only in-flight batches remain (deferred collection).
     drain_one();
   }
+  // Updates trailing the last batch dispatch (or an update-only stream).
+  apply_updates_until(device::Ns{std::numeric_limits<double>::infinity()});
 
   report.shards.assign(pipeline_.usage().begin(), pipeline_.usage().end());
   for (std::size_t slot = 0; slot < pipeline_.spec_count(); ++slot) {
@@ -447,6 +577,8 @@ ServeReport ServingRuntime::run(LoadGenerator& gen) {
     report.stage_names.push_back(std::move(names));
   }
   report.cache = cache.stats();
+  report.flush_bytes =
+      static_cast<std::size_t>(cache.stats().flushes) * row_bytes_;
   return report;
 }
 

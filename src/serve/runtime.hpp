@@ -44,6 +44,29 @@
 
 namespace imars::serve {
 
+/// Frequency-aware placement (PlacementPolicy pin layer over the
+/// configured ShardMap): the hottest profiled work-item keys are pinned to
+/// low-row-latency shards before serving. The frequency profile comes from
+/// an offline `histogram` when one is supplied, otherwise from a warmup
+/// window — a fresh LoadGenerator over the run's own config (same seed, so
+/// the profiled traffic is the served traffic) driven through
+/// ServableBackend::profile_items on the calling thread before any batch
+/// is in flight. Per-shard row costs are resolved through the fabric's own
+/// cache timings (each shard's PerfModel row-fetch cost), so mixed
+/// technologies pin their hot rows onto the fastest CMAs. Disabled, the
+/// configured map is never touched — read-only runs stay bit-identical.
+struct PlacementConfig {
+  bool enabled = false;
+  std::size_t hot_rows = 0;        ///< pins to place (must be positive)
+  std::size_t warmup_queries = 0;  ///< profile window length
+  std::vector<HotKey> histogram;   ///< offline profile (overrides warmup)
+  /// Per-shard per-item cost driving the greedy pin balance. Empty = the
+  /// per-shard PerfModel row-fetch timings (pure row-latency placement);
+  /// benches pass measured whole-stage per-item costs instead when the
+  /// serving stage does more than fetch the row (e.g. per-candidate DNN).
+  std::vector<device::Ns> shard_costs;
+};
+
 struct ServingConfig {
   std::size_t shards = 4;
   std::size_t k = 10;  ///< global top-k per query
@@ -60,6 +83,8 @@ struct ServingConfig {
   /// Capability weights of the item partition (one per shard).
   std::vector<double> shard_weights;
   std::size_t map_granularity = 64;  ///< buckets per shard (weighted maps)
+  /// Frequency-aware hot-row pinning over the map above.
+  PlacementConfig placement;
   /// Async stage overlap: keep up to `max_inflight` batches in flight so a
   /// later batch's early stages overlap an earlier batch's late stages on
   /// the worker threads. Honored under completion-independent arrivals
@@ -143,11 +168,17 @@ class ServingRuntime {
   /// overlap-invariant determinism contract holds.
   QosBatcherConfig resolved_qos();
 
+  /// The configured map with the PlacementPolicy pin layer applied
+  /// (placement must be enabled). Profiles on the calling thread before
+  /// serving; deterministic for a given load config.
+  ShardMap placed_map(const LoadGenConfig& load);
+
   ServingConfig cfg_;
   QosBatcherConfig qos_;              ///< effective class table
   std::vector<CacheTiming> timings_;  ///< one, or one per shard
   std::vector<std::unique_ptr<ServableBackend>> servables_;
   ShardRouter* router_ = nullptr;  ///< first filter/rank servable, if any
+  std::size_t row_bytes_ = 0;      ///< flush-traffic bytes per ET row
   StagePipeline pipeline_;
 };
 

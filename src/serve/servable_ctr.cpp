@@ -173,4 +173,18 @@ std::vector<RowAccess> CtrServable::accesses(
   return out;
 }
 
+std::vector<RowAccess> CtrServable::update_accesses(const Request& req) const {
+  // One row write per categorical feature (DLRM reads exactly one row per
+  // table, and the update refreshes the same rows). Pooling/parallel flags
+  // are read-path concepts; the write path only needs the keys.
+  std::vector<RowAccess> out;
+  const auto& s = sample_of(req);
+  out.reserve(s.sparse.size());
+  for (std::size_t f = 0; f < s.sparse.size(); ++f)
+    out.push_back({static_cast<std::uint32_t>(f),
+                   static_cast<std::uint32_t>(s.sparse[f]),
+                   /*pooled=*/false, /*first_in_table=*/false});
+  return out;
+}
+
 }  // namespace imars::serve

@@ -99,6 +99,11 @@ class CtrServable final : public ServableBackend {
       std::size_t stage, const Request& req,
       std::span<const std::size_t> slice) const override;
 
+  /// An embedding update writes the impression's categorical rows (one row
+  /// per sparse feature — the rows an online trainer refreshes after the
+  /// click label lands).
+  std::vector<RowAccess> update_accesses(const Request& req) const override;
+
   /// Per-stage scoring cost probed on shard 0 against the first bound
   /// sample (empty before bind_samples): {score} for kFused,
   /// {gather, dense, interact} for the tower graphs. `k` is irrelevant to

@@ -52,6 +52,10 @@ struct ServedQuery {
 /// co-resident servables concatenate their stages in servable order).
 struct ShardUsage {
   std::vector<device::Ns> stage_busy;
+  /// ET-bank time consumed by embedding-update write traffic (buffer
+  /// fills, write-through rows and dirty-row flushes charged outside the
+  /// stage units); zero on read-only streams.
+  device::Ns write_busy;
 
   /// Busy time of the first stage (the replicated filter in the two-stage
   /// pipeline); zero for single-stage pipelines.
@@ -95,6 +99,25 @@ struct ServeReport {
   recsys::StageStats rank_stats;
   device::Ns makespan;              ///< last completion time
   std::size_t batches = 0;
+
+  // --- write-back / placement telemetry -----------------------------------
+  std::size_t updates = 0;      ///< embedding-update requests applied
+  /// Total hardware cost of the update traffic (periphery-buffer fills,
+  /// write-through row writes, dirty-row eviction flushes applied outside
+  /// the batch path). Flushes triggered by read admissions are charged
+  /// into the evicting stage's kEtWrite cost instead.
+  recsys::OpCost update_cost;
+  std::size_t flush_bytes = 0;  ///< dirty-row flush traffic (row bytes)
+  std::size_t routed_items = 0;  ///< work items routed through the ShardMap
+  std::size_t pinned_items = 0;  ///< of those, items served via a hot pin
+  /// Fraction of routed work items a PlacementPolicy pin placed (0 when
+  /// placement is disabled).
+  double pin_hit_rate() const noexcept {
+    return routed_items == 0
+               ? 0.0
+               : static_cast<double>(pinned_items) /
+                     static_cast<double>(routed_items);
+  }
 
   std::size_t size() const noexcept { return queries.size(); }
 

@@ -101,6 +101,87 @@ ShardMap ShardMap::from_costs(std::span<const device::Ns> per_item_cost,
   return weighted(weights, granularity);
 }
 
+void ShardMap::set_pins(
+    std::vector<std::pair<std::size_t, std::uint32_t>> pins) {
+  IMARS_REQUIRE(!table_.empty(), "ShardMap::set_pins: empty map");
+  pins_.clear();
+  pins_.reserve(pins.size());
+  for (const auto& [key, shard] : pins) {
+    IMARS_REQUIRE(shard < shards(), "ShardMap::set_pins: shard out of range");
+    pins_[key] = shard;  // later entries win (deterministic for callers)
+  }
+}
+
+std::vector<HotKey> PlacementPolicy::top_keys(std::vector<HotKey> profile,
+                                              std::size_t max_pins) {
+  std::erase_if(profile, [](const HotKey& k) { return k.freq == 0; });
+  std::sort(profile.begin(), profile.end(),
+            [](const HotKey& a, const HotKey& b) {
+              if (a.freq != b.freq) return a.freq > b.freq;
+              return a.key < b.key;  // deterministic tie-break
+            });
+  if (profile.size() > max_pins) profile.resize(max_pins);
+  return profile;
+}
+
+std::vector<HotKey> PlacementPolicy::top_keys(
+    const std::unordered_map<std::size_t, std::uint64_t>& counts,
+    std::size_t max_pins) {
+  std::vector<HotKey> keys;
+  keys.reserve(counts.size());
+  for (const auto& [key, freq] : counts) keys.push_back({key, freq});
+  return top_keys(std::move(keys), max_pins);
+}
+
+ShardMap PlacementPolicy::pin_hot(const ShardMap& base,
+                                  std::span<const HotKey> hot,
+                                  std::span<const device::Ns> shard_row_cost,
+                                  std::size_t max_pins) {
+  IMARS_REQUIRE(!base.empty(), "PlacementPolicy::pin_hot: empty base map");
+  IMARS_REQUIRE(!base.has_pins(),
+                "PlacementPolicy::pin_hot: base map already has pins (the "
+                "policy would replace them — clear or merge explicitly)");
+  const std::size_t ns = base.shards();
+  IMARS_REQUIRE(shard_row_cost.empty() || shard_row_cost.size() == ns,
+                "PlacementPolicy::pin_hot: one row cost per shard");
+  std::vector<double> cost(ns, 1.0);
+  if (!shard_row_cost.empty()) {
+    // Non-positive entries (unmeasured / zero-cost oracle shards) take the
+    // uniform cost so they still attract their share of pins.
+    for (std::size_t s = 0; s < ns; ++s)
+      if (shard_row_cost[s].value > 0.0) cost[s] = shard_row_cost[s].value;
+  }
+
+  // Greedy hottest-first weighted load balance (LPT on popularity mass
+  // scaled by per-row cost): the first key lands on the cheapest shard,
+  // later keys fill in wherever the pinned busy-time estimate stays
+  // lowest. Deterministic: the profile is pre-sorted and ties break to the
+  // lower shard index.
+  std::vector<double> load(ns, 0.0);
+  std::vector<std::pair<std::size_t, std::uint32_t>> pins;
+  const std::size_t n = std::min(hot.size(), max_pins);
+  pins.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (hot[i].freq == 0) break;  // profile is sorted: nothing hot follows
+    std::size_t best = 0;
+    double best_key = 0.0;
+    for (std::size_t s = 0; s < ns; ++s) {
+      const double k =
+          (load[s] + static_cast<double>(hot[i].freq)) * cost[s];
+      if (s == 0 || k < best_key) {
+        best = s;
+        best_key = k;
+      }
+    }
+    load[best] += static_cast<double>(hot[i].freq);
+    pins.emplace_back(hot[i].key, static_cast<std::uint32_t>(best));
+  }
+
+  ShardMap pinned = base;
+  pinned.set_pins(std::move(pins));
+  return pinned;
+}
+
 double ShardMap::share(std::size_t s) const {
   IMARS_REQUIRE(s < share_.size(), "ShardMap::share: shard out of range");
   return share_[s];

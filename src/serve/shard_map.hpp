@@ -1,4 +1,5 @@
-// Capability-weighted item placement across accelerator shards.
+// Capability-weighted item placement across accelerator shards, with an
+// optional frequency-aware pin layer.
 //
 // PR 1 placed items with a hard-coded `item % N`, which assumes every shard
 // ranks at the same speed. Mixed-technology fabrics (e.g. FeFET-45 next to
@@ -13,11 +14,23 @@
 // The uniform map uses exactly `shards` buckets, making `shard_of(key)`
 // bit-identical to the old `key % N` — the refactor cannot perturb PR 1's
 // timing with identical shards.
+//
+// Frequency-aware placement (PlacementPolicy, cf. RecFlash
+// arXiv:2604.25338): the bucket ring is frequency-blind, so a Zipf-hot key
+// lands wherever `key % buckets` happens to fall — possibly on the slowest
+// technology. A *pin* overrides the ring for an individual key; the
+// PlacementPolicy pins the hottest keys of a measured (or offline)
+// frequency profile onto low-row-latency shards, balancing the pinned
+// popularity mass by each shard's per-row cost. Pins never change which
+// keys are served (any map is a disjoint cover), only where — results are
+// placement-invariant by construction, timing is not.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "device/units.hpp"
@@ -51,10 +64,25 @@ class ShardMap {
   std::size_t shards() const noexcept { return share_.size(); }
   std::size_t buckets() const noexcept { return table_.size(); }
 
-  /// The shard owning `key`. Every key maps to exactly one shard, so the
-  /// per-shard slices of any key set are disjoint and cover it.
+  /// The shard owning WORK-ITEM `key`: its pin when one exists, the bucket
+  /// ring otherwise. Every key maps to exactly one shard, so the per-shard
+  /// slices of any key set are disjoint and cover it.
   std::size_t shard_of(std::size_t key) const {
     IMARS_REQUIRE(!table_.empty(), "ShardMap::shard_of: empty map");
+    if (!pins_.empty()) {
+      const auto it = pins_.find(key);
+      if (it != pins_.end()) return it->second;
+    }
+    return ring_of(key);
+  }
+
+  /// The bucket-ring shard of `key`, IGNORING pins. Query-home placement
+  /// (and update-home routing) uses this: pins express where embedding
+  /// ROWS live, and request ids share the key space with item keys — a
+  /// pinned hot item must not drag every request whose id collides with it
+  /// onto the pin's shard.
+  std::size_t ring_of(std::size_t key) const {
+    IMARS_REQUIRE(!table_.empty(), "ShardMap::ring_of: empty map");
     return table_[key % table_.size()];
   }
 
@@ -67,9 +95,60 @@ class ShardMap {
   std::vector<std::vector<std::size_t>> partition(
       std::span<const std::size_t> keys) const;
 
+  // --- frequency-aware pins -------------------------------------------
+
+  /// Replaces the pin table: each (key, shard) entry overrides the bucket
+  /// ring for that key. Shard indices must be in range.
+  void set_pins(std::vector<std::pair<std::size_t, std::uint32_t>> pins);
+
+  bool has_pins() const noexcept { return !pins_.empty(); }
+  std::size_t pinned_rows() const noexcept { return pins_.size(); }
+  /// True when `key` routes through a pin rather than the bucket ring.
+  bool is_pinned(std::size_t key) const {
+    return !pins_.empty() && pins_.find(key) != pins_.end();
+  }
+
  private:
   std::vector<std::uint32_t> table_;  ///< bucket -> shard
   std::vector<double> share_;         ///< per-shard fraction of buckets
+  std::unordered_map<std::size_t, std::uint32_t> pins_;  ///< key overrides
+};
+
+/// One entry of a key-frequency profile (warmup window or offline
+/// histogram), ordered hottest-first by the policy.
+struct HotKey {
+  std::size_t key = 0;
+  std::uint64_t freq = 0;
+};
+
+/// Builds frequency-aware pin layers over a base ShardMap.
+class PlacementPolicy {
+ public:
+  /// The `max_pins` hottest keys of `counts`, hottest first (frequency
+  /// descending, key ascending on ties — deterministic regardless of the
+  /// map's iteration order).
+  static std::vector<HotKey> top_keys(
+      const std::unordered_map<std::size_t, std::uint64_t>& counts,
+      std::size_t max_pins);
+
+  /// Same ordering/truncation contract over an unsorted profile (e.g. an
+  /// offline histogram); zero-frequency entries are dropped.
+  static std::vector<HotKey> top_keys(std::vector<HotKey> profile,
+                                      std::size_t max_pins);
+
+  /// `base` with up to `max_pins` of the hottest profiled keys pinned to
+  /// low-latency shards. Keys are assigned hottest-first by greedy weighted
+  /// load balance: key k goes to the shard minimizing
+  /// (pinned_mass + freq_k) * row_cost — so the hottest rows land on the
+  /// fastest CMA technology while no shard accumulates a disproportionate
+  /// share of the hot mass. `shard_row_cost` holds one per-row latency per
+  /// shard (e.g. each shard's PerfModel::row_fetch); empty or non-positive
+  /// entries fall back to uniform cost. Zero-frequency keys are never
+  /// pinned. `base` must be pin-free: the policy would otherwise silently
+  /// replace hand-set pins, so that conflict is an error.
+  static ShardMap pin_hot(const ShardMap& base, std::span<const HotKey> hot,
+                          std::span<const device::Ns> shard_row_cost,
+                          std::size_t max_pins);
 };
 
 }  // namespace imars::serve

@@ -160,4 +160,13 @@ std::vector<RowAccess> ShardRouter::accesses(
                     : rank_accesses(user_of(req), slice);
 }
 
+std::vector<RowAccess> ShardRouter::update_accesses(const Request& req) const {
+  return filter_accesses(user_of(req));
+}
+
+std::vector<std::size_t> ShardRouter::profile_items(const Request& req) {
+  StageStats stats;  // observational probe; costs discarded
+  return shards_.front()->filter(user_of(req), &stats);
+}
+
 }  // namespace imars::serve

@@ -97,6 +97,16 @@ class ShardRouter final : public ServableBackend {
       std::size_t stage, const Request& req,
       std::span<const std::size_t> slice) const override;
 
+  /// An embedding update writes the user's profile rows: the filter-feature
+  /// sparse rows plus the interaction history (the rows an online trainer
+  /// refreshes after the user acts on a recommendation).
+  std::vector<RowAccess> update_accesses(const Request& req) const override;
+
+  /// Candidate items of the request's filter pass, probed on replica 0 —
+  /// the keys its rank stage routes through the ShardMap (placement
+  /// frequency profiling).
+  std::vector<std::size_t> profile_items(const Request& req) override;
+
   /// {filter, rank} hardware-latency estimates probed on shard 0 against
   /// the first bound user (empty before bind_users). The rank estimate
   /// covers the full candidate set of the probe's filter pass at top-`k`.

@@ -31,11 +31,13 @@ PipelineSpec::Graph PipelineSpec::resolve() const {
     }
   } else {
     // Edges are declared by name, so names must be unique and non-empty.
+    // Every rejection names the offending stage — a spec assembled from
+    // config has to be debuggable from the error text alone.
     std::unordered_map<std::string_view, std::size_t> by_name;
     for (std::size_t s = 0; s < n; ++s) {
       IMARS_REQUIRE(!stages[s].name.empty(),
-                    "PipelineSpec: stages of a dependency graph must be "
-                    "named");
+                    "PipelineSpec: stage #" + std::to_string(s) +
+                        " of a dependency graph must be named");
       IMARS_REQUIRE(by_name.emplace(stages[s].name, s).second,
                     "PipelineSpec: duplicate stage name '" + stages[s].name +
                         "'");
@@ -70,7 +72,16 @@ PipelineSpec::Graph PipelineSpec::resolve() const {
         break;
       }
     }
-    IMARS_REQUIRE(next < n, "PipelineSpec: dependency cycle in stage graph");
+    if (next == n) {
+      // Name a stage on (or downstream of) the cycle: the lowest-index
+      // stage still waiting on a predecessor.
+      std::size_t stuck = 0;
+      while (placed[stuck]) ++stuck;
+      IMARS_REQUIRE(false,
+                    "PipelineSpec: dependency cycle in stage graph "
+                    "involving stage '" +
+                        stages[stuck].name + "'");
+    }
     placed[next] = true;
     g.order.push_back(next);
     for (std::size_t succ : g.succs[next]) --pending[succ];
@@ -224,13 +235,33 @@ void StagePipeline::reset_clock() {
     c.stage_free.assign(total_stages_, device::Ns{0.0});
     c.shared_free = device::Ns{0.0};
   }
-  for (auto& u : usage_)
+  for (auto& u : usage_) {
     u.stage_busy.assign(total_stages_, device::Ns{0.0});
+    u.write_busy = device::Ns{0.0};
+  }
   // Handles abandoned before collection (e.g. a caller unwound past them
   // after another batch's error) left their sequence numbers unconsumed;
   // realign so the next run starts clean — stale handles then fail
   // collect()'s order check instead of corrupting the fresh clocks.
   next_collect_seq_ = next_submit_seq_;
+}
+
+void StagePipeline::set_shard_map(ShardMap map) {
+  IMARS_REQUIRE(map.shards() == shards(),
+                "StagePipeline::set_shard_map: shard count mismatch");
+  IMARS_REQUIRE(next_submit_seq_ == next_collect_seq_,
+                "StagePipeline::set_shard_map: batches in flight");
+  map_ = std::move(map);
+}
+
+void StagePipeline::charge_write(std::size_t shard,
+                                 const recsys::OpCost& cost, device::Ns at) {
+  IMARS_REQUIRE(shard < shards(),
+                "StagePipeline::charge_write: shard out of range");
+  ShardClocks& c = clocks_[shard];
+  const device::Ns start = device::max(at, c.shared_free);
+  c.shared_free = start + cost.latency;
+  usage_[shard].write_busy += cost.latency;
 }
 
 device::Ns StagePipeline::frontier() const {
@@ -335,7 +366,9 @@ StagePipeline::BatchHandle StagePipeline::submit(const Batch& batch,
     const Request& req = st->batch.requests[qi];
     // All placement routes through the ShardMap: queries spread over the
     // replicated stage's replicas by id, proportionally to capability.
-    st->home[qi] = map_.shard_of(req.id);
+    // Homes use the bucket ring only — row pins must not capture requests
+    // whose ids collide with pinned item keys.
+    st->home[qi] = map_.ring_of(req.id);
     if (needs_initial) st->init_items[qi] = servable.initial_items(req);
     // Kick off every source stage; the rest chain along the graph edges.
     for (std::size_t s = 0; s < stages; ++s)
@@ -489,8 +522,13 @@ StageStats StagePipeline::adjust_stage(const StageStats& measured,
   std::size_t full_groups = 0;
   for (const auto& [id, g] : groups)
     if (g.first > 0 && g.second == g.first) ++full_groups;
+  // Write-back model: a miss admission above may have evicted a dirty row,
+  // whose deferred array write happens NOW — charge the flush into this
+  // stage's ET-write cost so it lands in hardware time. Read-only streams
+  // never dirty a row, so flushed stays 0 and the accounting is untouched.
+  const double flushed = static_cast<double>(cache->take_flushed());
   if (pooled_hits == 0 && pooled_first_hits == 0 && row_hits == 0 &&
-      parallel_hits == 0)
+      parallel_hits == 0 && flushed == 0.0)
     return measured;
 
   // Replace each hit's CMA+bus cost with the hot-buffer cost, clamped so an
@@ -527,6 +565,11 @@ StageStats StagePipeline::adjust_stage(const StageStats& measured,
                         timing.row_miss.energy * pll)
                            .value)} +
               timing.hit.energy * (hits + pll);
+  if (flushed > 0.0) {
+    OpCost& wr = adjusted.at(OpKind::kEtWrite);
+    wr.latency += timing.row_write.latency * flushed;
+    wr.energy += timing.row_write.energy * flushed;
+  }
   return adjusted;
 }
 
@@ -618,7 +661,11 @@ std::vector<StagePipeline::QueryResult> StagePipeline::collect(
             cache, timing_of(home), table_base);
         out.stage_stats[s] = adj;
         const device::Ns t = adj.total().latency;
-        const device::Ns et = adj.at(OpKind::kEtLookup).latency;
+        // Flush write-backs (kEtWrite) occupy the same in-memory arrays as
+        // the lookups, so they extend the shared ET-bank claim; zero on
+        // read-only streams.
+        const device::Ns et = adj.at(OpKind::kEtLookup).latency +
+                              adj.at(OpKind::kEtWrite).latency;
         ShardClocks& c = clocks_[home];
         // A stage with no ET traffic (e.g. a pure crossbar tower) neither
         // waits on nor claims the shard's shared ET banks — that is what
@@ -652,7 +699,8 @@ std::vector<StagePipeline::QueryResult> StagePipeline::collect(
             cache, timing_of(shard), table_base);
         out.stage_stats[s].merge(adj);
         const device::Ns t = adj.total().latency;
-        const device::Ns et = adj.at(OpKind::kEtLookup).latency;
+        const device::Ns et = adj.at(OpKind::kEtLookup).latency +
+                              adj.at(OpKind::kEtWrite).latency;
         ShardClocks& c = clocks_[shard];
         const device::Ns start =
             et.value > 0.0
@@ -663,6 +711,15 @@ std::vector<StagePipeline::QueryResult> StagePipeline::collect(
         if (et.value > 0.0) c.shared_free = start + et;
         usage_[shard].stage_busy[base + s] += t;
         end = device::max(end, slice_end);
+      }
+      // Placement telemetry: how much of the routed traffic the pin layer
+      // placed. Skipped entirely on pin-free maps (read-only parity).
+      if (map_.has_pins()) {
+        for (const auto& slice : rec.slices)
+          for (std::size_t key : slice) {
+            ++out.routed_items;
+            if (map_.is_pinned(key)) ++out.pinned_items;
+          }
       }
       if (s == graph.output_stage) {
         out.work_items = 0;

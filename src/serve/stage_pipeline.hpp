@@ -82,12 +82,20 @@ struct CacheTiming {
   /// write-back + add yet; PerfModel::et_lookup charges read*L +
   /// (write+add)*(L-1)).
   recsys::OpCost pooled_first_miss;
+  /// One ET row written to its CMA array + RSC transfer: the update
+  /// write-through cost and the dirty-row flush cost (write-back model).
+  recsys::OpCost row_write;
+  /// One update absorbed into the periphery hot-row buffer (dirty fill).
+  recsys::OpCost buffer_fill;
 
   static CacheTiming from_model(const core::PerfModel& model) {
     const auto& read = model.profile().cma_read;
-    return CacheTiming{model.cached_row(), model.row_fetch(),
+    return CacheTiming{model.cached_row(),
+                       model.row_fetch(),
                        model.pooled_row(),
-                       recsys::OpCost{read.latency, read.energy}};
+                       recsys::OpCost{read.latency, read.energy},
+                       model.row_write(),
+                       model.buffer_fill()};
   }
 };
 
@@ -222,6 +230,25 @@ class ServableBackend {
       std::size_t stage, const Request& req,
       std::span<const std::size_t> slice) const = 0;
 
+  /// ET rows an embedding-update request (Request::is_update) writes —
+  /// e.g. the user's profile rows after an interaction. The runtime routes
+  /// them through the write-back cache model instead of dispatching the
+  /// request as a query. Default: no update traffic (updates are inert).
+  virtual std::vector<RowAccess> update_accesses(const Request& req) const {
+    (void)req;
+    return {};
+  }
+
+  /// Work-item keys `req` would route through the ShardMap, for
+  /// frequency-profiling a PlacementPolicy warmup window (e.g. the filter
+  /// stage's candidate items). May run replica 0 functionally on the
+  /// calling thread, so it must NOT be called while a batch is in flight —
+  /// the runtime profiles before serving, like stage_cost_estimate().
+  /// Default: the request's initial item set.
+  virtual std::vector<std::size_t> profile_items(const Request& req) {
+    return initial_items(req);
+  }
+
   /// Per-stage hardware-latency estimate of one query's pass through each
   /// stage (index-aligned with spec().stages) when served at top-`k`,
   /// typically probed on shard 0's replica against the bound population.
@@ -254,6 +281,11 @@ class StagePipeline {
     /// linear chain exactly the stage's serial latency share.
     std::vector<device::Ns> stage_latency;
     std::vector<recsys::StageStats> stage_stats;  ///< cache-adjusted
+    /// Work items this query routed through the ShardMap across ALL
+    /// sharded stages, and how many of them a PlacementPolicy pin placed
+    /// (both zero when the map has no pins — the count is skipped).
+    std::size_t routed_items = 0;
+    std::size_t pinned_items = 0;
   };
 
   /// An in-flight batch: functional work enqueued, accounting pending.
@@ -296,6 +328,18 @@ class StagePipeline {
     return offsets_.at(slot);
   }
   const ShardMap& shard_map() const noexcept { return map_; }
+
+  /// Replaces the item placement (e.g. with a PlacementPolicy pin layer).
+  /// Only legal while no batch is in flight — item routing must not change
+  /// under a submitted batch's feet.
+  void set_shard_map(ShardMap map);
+
+  /// Charges embedding-update write traffic to shard `shard`'s shared ET
+  /// banks, starting no earlier than `at` (the update's arrival): row
+  /// writes really occupy the in-memory arrays, so subsequent batches see
+  /// the contention. Accounted into ShardUsage::write_busy.
+  void charge_write(std::size_t shard, const recsys::OpCost& cost,
+                    device::Ns at);
 
   /// Device backlog frontier: the latest time any stage unit or ET bank is
   /// already committed to. The admission-gated runtime holds ready batches

@@ -68,4 +68,29 @@ inline void expect_reports_identical(const serve::ServeReport& a,
   }
 }
 
+/// Asserts two serving reports answered the same queries with the same
+/// RESULTS: identical id/user sequence and identical merged top-k items and
+/// scores per query. Timestamps, latencies, batching, placement and energy
+/// are deliberately NOT compared — this is the placement-invariance
+/// contract (any ShardMap/PlacementPolicy is a disjoint cover, so it may
+/// move work between shards but never change what is computed).
+inline void expect_results_identical(const serve::ServeReport& a,
+                                     const serve::ServeReport& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& qa = a.queries[i];
+    const auto& qb = b.queries[i];
+    ASSERT_EQ(qa.id, qb.id) << "query " << i;
+    EXPECT_EQ(qa.user, qb.user);
+    EXPECT_EQ(qa.qos_class, qb.qos_class);
+    EXPECT_EQ(qa.candidates, qb.candidates);
+    ASSERT_EQ(qa.topk.size(), qb.topk.size()) << "query " << i;
+    for (std::size_t j = 0; j < qa.topk.size(); ++j) {
+      EXPECT_EQ(qa.topk[j].item, qb.topk[j].item)
+          << "query " << i << " position " << j;
+      EXPECT_FLOAT_EQ(qa.topk[j].score, qb.topk[j].score);
+    }
+  }
+}
+
 }  // namespace imars::serve_test

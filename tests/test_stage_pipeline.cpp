@@ -703,6 +703,163 @@ TEST(PipelineSpec, CriticalPathFollowsLongestBranch) {
   EXPECT_DOUBLE_EQ(chain.critical_path(costs).value, 270.0);
 }
 
+// --- Adversarial spec fuzzing (ISSUE satellite) ----------------------------
+// A seeded random DAG generator drives resolve() through every rejection
+// class, asserting the imars::Error text NAMES the offending stage (specs
+// are assembled from config — the error must be debuggable standalone), and
+// through accepted graphs, asserting the topological order is valid,
+// reproducible, and exactly the deterministic min-index Kahn order.
+
+std::string stage_name(std::size_t i) { return "s" + std::to_string(i); }
+
+/// Random acyclic spec: stages s0..s{n-1}, forward edges only, at least one
+/// edge so the spec is in explicit (named-graph) mode.
+PipelineSpec random_dag(util::Xoshiro256& rng, std::size_t n) {
+  PipelineSpec spec;
+  for (std::size_t i = 0; i < n; ++i)
+    spec.stages.push_back({stage_name(i),
+                           rng.below(2) == 0 ? StageKind::kReplicated
+                                             : StageKind::kSharded,
+                           {}});
+  bool any_edge = false;
+  for (std::size_t j = 1; j < n; ++j)
+    for (std::size_t i = 0; i < j; ++i)
+      if (rng.below(5) < 2) {
+        spec.stages[j].deps.push_back(stage_name(i));
+        any_edge = true;
+      }
+  if (!any_edge) spec.stages[n - 1].deps.push_back(stage_name(0));
+  return spec;
+}
+
+/// resolve()'s error text, or empty when the spec is accepted.
+std::string resolve_error(const PipelineSpec& spec) {
+  try {
+    (void)spec.resolve();
+  } catch (const Error& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(PipelineSpecFuzz, RejectedGraphsNameTheOffendingStage) {
+  util::Xoshiro256 rng(0xDA6F00D);
+  for (int iter = 0; iter < 150; ++iter) {
+    const std::size_t n = 2 + rng.below(6);
+    PipelineSpec spec = random_dag(rng, n);
+    std::vector<std::string> expect_tokens;
+    switch (iter % 5) {
+      case 0: {  // unknown dependency: must name both ends of the edge
+        const std::size_t j = rng.below(n);
+        spec.stages[j].deps.push_back("ghost");
+        expect_tokens = {stage_name(j), "ghost"};
+        break;
+      }
+      case 1: {  // duplicate stage name
+        const std::size_t i = rng.below(n - 1);
+        const std::size_t j = i + 1 + rng.below(n - 1 - i);
+        spec.stages[j].name = spec.stages[i].name;
+        expect_tokens = {"duplicate", stage_name(i)};
+        break;
+      }
+      case 2: {  // self-dependency
+        const std::size_t j = rng.below(n);
+        spec.stages[j].deps.push_back(spec.stages[j].name);
+        expect_tokens = {stage_name(j), "itself"};
+        break;
+      }
+      case 3: {  // cycle: a chain plus one back edge i -> j (j > i)
+        for (std::size_t s = 0; s < n; ++s) spec.stages[s].deps.clear();
+        for (std::size_t s = 1; s < n; ++s)
+          spec.stages[s].deps.push_back(stage_name(s - 1));
+        const std::size_t i = rng.below(n - 1);
+        const std::size_t j = i + 1 + rng.below(n - 1 - i);
+        spec.stages[i].deps.push_back(stage_name(j));
+        // Kahn gets stuck exactly at the back edge's tail: the error must
+        // name a stage ON the cycle, and stage i is the first stuck one.
+        expect_tokens = {"cycle", stage_name(i)};
+        break;
+      }
+      case 4: {  // unnamed stage in an explicit graph: named by index
+        const std::size_t j = rng.below(n);
+        spec.stages[j].name.clear();
+        expect_tokens = {"stage #" + std::to_string(j)};
+        break;
+      }
+    }
+    const std::string msg = resolve_error(spec);
+    ASSERT_FALSE(msg.empty()) << "iter " << iter << ": spec was accepted";
+    for (const auto& token : expect_tokens)
+      EXPECT_NE(msg.find(token), std::string::npos)
+          << "iter " << iter << ": error '" << msg
+          << "' does not mention '" << token << "'";
+  }
+}
+
+TEST(PipelineSpecFuzz, MergeWithoutShardedStageIsRejected) {
+  util::Xoshiro256 rng(0xBEEF);
+  for (int iter = 0; iter < 20; ++iter) {
+    PipelineSpec spec = random_dag(rng, 2 + rng.below(5));
+    for (auto& s : spec.stages) s.kind = StageKind::kReplicated;
+    spec.merge_topk = true;
+    const std::string msg = resolve_error(spec);
+    ASSERT_FALSE(msg.empty());
+    EXPECT_NE(msg.find("merge_topk"), std::string::npos) << msg;
+  }
+}
+
+TEST(PipelineSpecFuzz, AcceptedGraphsTopoOrderDeterministically) {
+  util::Xoshiro256 rng(0xCAFE);
+  std::size_t accepted = 0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t n = 1 + rng.below(7);
+    PipelineSpec spec = n == 1 ? PipelineSpec{{{stage_name(0),
+                                               StageKind::kSharded,
+                                               {}}},
+                                              false}
+                               : random_dag(rng, n);
+    // merge_topk only when legal — rejection is covered above.
+    bool has_sharded = false;
+    for (const auto& s : spec.stages)
+      has_sharded |= s.kind == StageKind::kSharded;
+    spec.merge_topk = has_sharded && rng.below(2) == 0;
+
+    const PipelineSpec::Graph g = spec.resolve();
+    ++accepted;
+    // Reproducible: a second resolution is structurally identical.
+    EXPECT_TRUE(g == spec.resolve()) << "iter " << iter;
+
+    // The order is a valid topological sort...
+    ASSERT_EQ(g.order.size(), spec.stage_count());
+    std::vector<std::size_t> position(spec.stage_count());
+    for (std::size_t pos = 0; pos < g.order.size(); ++pos)
+      position[g.order[pos]] = pos;
+    for (std::size_t s = 0; s < spec.stage_count(); ++s)
+      for (std::size_t p : g.preds[s])
+        EXPECT_LT(position[p], position[s]) << "iter " << iter;
+
+    // ...and exactly the min-index Kahn order: at every step the placed
+    // stage is the LOWEST-index ready one (the determinism contract the
+    // event-model accounting relies on).
+    std::vector<std::size_t> pending(spec.stage_count());
+    for (std::size_t s = 0; s < spec.stage_count(); ++s)
+      pending[s] = g.preds[s].size();
+    std::vector<bool> placed(spec.stage_count(), false);
+    for (std::size_t step = 0; step < g.order.size(); ++step) {
+      std::size_t lowest = spec.stage_count();
+      for (std::size_t s = 0; s < spec.stage_count(); ++s)
+        if (!placed[s] && pending[s] == 0) {
+          lowest = s;
+          break;
+        }
+      ASSERT_EQ(g.order[step], lowest) << "iter " << iter << " step " << step;
+      placed[lowest] = true;
+      for (std::size_t succ : g.succs[lowest]) --pending[succ];
+    }
+  }
+  EXPECT_EQ(accepted, 200u);  // the generator never produces invalid graphs
+}
+
 // --- Diamond-graph fan-out/join execution ----------------------------------
 
 /// Synthetic four-stage diamond servable with scripted per-stage costs:
