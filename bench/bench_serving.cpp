@@ -12,11 +12,14 @@
 //
 // Emits BENCH_serving.json records (bench/harness.hpp JsonReport).
 #include <iostream>
+#include <string>
+#include <string_view>
 
 #include "core/backend_factory.hpp"
 #include "core/calibration.hpp"
 #include "harness.hpp"
 #include "serve/runtime.hpp"
+#include "serve/trace.hpp"
 #include "util/table.hpp"
 
 using namespace imars;
@@ -33,7 +36,14 @@ struct GridPoint {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace <file>: export the saturated open-loop point as Chrome
+  // trace-event JSON (pure observation — every figure stays bit-identical).
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i)
+    if (std::string_view(argv[i]) == "--trace" && i + 1 < argc)
+      trace_path = argv[++i];
+
   const bool quick = bench::quick_mode();
   const double scale = quick ? 0.04 : 0.12;
   const std::size_t queries = quick ? 24 : 96;
@@ -152,9 +162,11 @@ int main() {
   open_cfg.traffic.filter_features = ml.model->filter_features();
   open_cfg.traffic.rank_features = ml.model->rank_features();
   open_cfg.overlap = true;  // open loop: batches overlap on worker threads
+  open_cfg.self_profile = !trace_path.empty();  // host spans ride along
   // One fabric for the whole sweep: run() resets clocks/usage/cache, so
   // only the offered rate varies between points.
   serve::ServingRuntime open_rt(factory, open_cfg, arch, profile);
+  serve::TraceLog trace;
   for (const double frac : {0.6, 0.9, 1.2}) {
     serve::LoadGenConfig lg;
     lg.clients = 16;
@@ -166,7 +178,17 @@ int main() {
     lg.rate_qps = frac * qps_full_cache;
     serve::LoadGenerator gen(lg);
 
+    // Trace the saturated point only: each run() resets the simulated
+    // clock, so spans from two sweep points would overlap on one track.
+    const bool traced = !trace_path.empty() && frac == 1.2;
+    if (traced) open_rt.set_observer(&trace);
     const auto report = open_rt.run(gen, users);
+    if (traced) {
+      open_rt.set_observer(nullptr);
+      trace.write(trace_path);
+      std::cout << "trace: " << trace.events().size() << " events -> "
+                << trace_path << "\n";
+    }
     const std::string name =
         "open@" + util::Table::num(frac, 1) + "x";
     open_table.row({name, util::Table::num(lg.rate_qps, 0),

@@ -21,11 +21,14 @@
 // points of the weights.
 #include <algorithm>
 #include <iostream>
+#include <string>
+#include <string_view>
 
 #include "core/backend_factory.hpp"
 #include "core/calibration.hpp"
 #include "harness.hpp"
 #include "serve/runtime.hpp"
+#include "serve/trace.hpp"
 #include "util/table.hpp"
 
 using namespace imars;
@@ -54,7 +57,16 @@ serve::ServingConfig base_config(const Fabric& fx) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace <file>: export the class-aware overload run as Chrome
+  // trace-event JSON (tools/trace_summary validates it; CI uploads it next
+  // to the BENCH_*.json artifacts). Observation is a pure observer — every
+  // figure and the BENCH JSON are bit-identical with or without it.
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i)
+    if (std::string_view(argv[i]) == "--trace" && i + 1 < argc)
+      trace_path = argv[++i];
+
   const bool quick = bench::quick_mode();
   const double scale = quick ? 0.04 : 0.12;
   const std::size_t base_queries = quick ? 24 : 96;
@@ -143,9 +155,17 @@ int main() {
   bulk.weight = 10.0;
   qos_cfg.qos.classes = {interactive, bulk};
   qos_cfg.qos.admit_window = service_est;
+  qos_cfg.self_profile = !trace_path.empty();  // host spans ride along
   serve::ServingRuntime qos_rt(fx.factory, qos_cfg, fx.arch, fx.profile);
+  serve::TraceLog trace;
+  if (!trace_path.empty()) qos_rt.set_observer(&trace);
   serve::LoadGenerator qos_gen(mix_lg);
   const auto qos = qos_rt.run(qos_gen, fx.users);
+  if (!trace_path.empty()) {
+    trace.write(trace_path);
+    std::cout << "trace: " << trace.events().size() << " events -> "
+              << trace_path << "\n\n";
+  }
 
   util::Table tail_table("10:1 overload at 2x capacity (" +
                          std::to_string(overload_queries) + " queries)");

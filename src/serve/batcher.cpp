@@ -27,23 +27,27 @@ std::optional<device::Ns> DynamicBatcher::deadline() const {
 std::optional<Batch> DynamicBatcher::poll(device::Ns now) {
   if (pending_.empty()) return std::nullopt;
   if (pending_.size() >= cfg_.max_batch)
-    return close_batch(now, cfg_.max_batch);
-  if (now >= *deadline()) return close_batch(now, pending_.size());
+    return close_batch(now, cfg_.max_batch, CloseTrigger::kSize);
+  if (now >= *deadline())
+    return close_batch(now, pending_.size(), CloseTrigger::kDeadline);
   return std::nullopt;
 }
 
 std::optional<Batch> DynamicBatcher::flush(device::Ns now) {
   if (pending_.empty()) return std::nullopt;
-  return close_batch(now, std::min(pending_.size(), cfg_.max_batch));
+  return close_batch(now, std::min(pending_.size(), cfg_.max_batch),
+                     CloseTrigger::kFlush);
 }
 
-Batch DynamicBatcher::close_batch(device::Ns now, std::size_t count) {
+Batch DynamicBatcher::close_batch(device::Ns now, std::size_t count,
+                                  CloseTrigger trigger) {
   Batch b;
   b.id = next_batch_id_++;
   // Class-blind: the batch may mix labels, so it carries class 0 — the
   // same value a single-class QosBatcher emits for the identical stream.
   b.qos_class = 0;
   b.dispatch = now;
+  b.trigger = trigger;
   b.requests.assign(pending_.begin(),
                     pending_.begin() + static_cast<std::ptrdiff_t>(count));
   pending_.erase(pending_.begin(),
@@ -174,25 +178,41 @@ std::optional<std::size_t> QosBatcher::pick(device::Ns now,
   return best;
 }
 
+CloseTrigger QosBatcher::poll_trigger(std::size_t cls) const {
+  const QosClassConfig& c = cfg_.classes[cls];
+  if (queues_[cls].size() >= c.max_batch) return CloseTrigger::kSize;
+  // The fired trigger was the wait-budget deadline; it counts as
+  // preemptive when end-to-end-deadline slack clamped the budget below the
+  // class's own max_wait (the close happened EARLY to protect the SLO).
+  if (c.deadline.value > 0.0) {
+    const device::Ns slack =
+        device::max(c.deadline - c.service_estimate, device::Ns{0.0});
+    if (slack < c.max_wait) return CloseTrigger::kPreemptive;
+  }
+  return CloseTrigger::kDeadline;
+}
+
 std::optional<Batch> QosBatcher::poll(device::Ns now) {
   const auto cls = pick(now, /*fired_only=*/true);
   if (!cls) return std::nullopt;
-  return close_batch(*cls, now);
+  return close_batch(*cls, now, poll_trigger(*cls));
 }
 
 std::optional<Batch> QosBatcher::flush(device::Ns now) {
   const auto cls = pick(now, /*fired_only=*/false);
   if (!cls) return std::nullopt;
-  return close_batch(*cls, now);
+  return close_batch(*cls, now, CloseTrigger::kFlush);
 }
 
-Batch QosBatcher::close_batch(std::size_t cls, device::Ns now) {
+Batch QosBatcher::close_batch(std::size_t cls, device::Ns now,
+                              CloseTrigger trigger) {
   auto& q = queues_[cls];
   const std::size_t count = std::min(q.size(), cfg_.classes[cls].max_batch);
   Batch b;
   b.id = next_batch_id_++;
   b.qos_class = cls;
   b.dispatch = now;
+  b.trigger = trigger;
   b.requests.assign(q.begin(), q.begin() + static_cast<std::ptrdiff_t>(count));
   q.erase(q.begin(), q.begin() + static_cast<std::ptrdiff_t>(count));
   admitted_cost_[cls] +=

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "device/units.hpp"
+#include "serve/observe.hpp"
 
 namespace imars::serve {
 
@@ -49,6 +50,10 @@ struct Batch {
   std::size_t id = 0;
   std::size_t qos_class = 0;
   device::Ns dispatch;  ///< simulated close/dispatch time
+  /// Why the batch closed (observability: batch spans attribute tail
+  /// latency to the close decision). Pure telemetry — nothing downstream
+  /// reads it back into scheduling.
+  CloseTrigger trigger = CloseTrigger::kSize;
   std::vector<Request> requests;
 
   std::size_t size() const noexcept { return requests.size(); }
@@ -82,7 +87,7 @@ class DynamicBatcher {
   std::optional<Batch> flush(device::Ns now);
 
  private:
-  Batch close_batch(device::Ns now, std::size_t count);
+  Batch close_batch(device::Ns now, std::size_t count, CloseTrigger trigger);
 
   DynamicBatcherConfig cfg_;
   std::deque<Request> pending_;
@@ -192,7 +197,11 @@ class QosBatcher {
   device::Ns trigger_time(std::size_t cls) const;
   bool admissible(std::size_t cls) const;
   std::optional<std::size_t> pick(device::Ns now, bool fired_only) const;
-  Batch close_batch(std::size_t cls, device::Ns now);
+  Batch close_batch(std::size_t cls, device::Ns now, CloseTrigger trigger);
+  /// The close reason a poll() of class `cls` at `now` reports: size if
+  /// the queue fills the batch, otherwise the fired deadline — preemptive
+  /// when the wait budget was clamped by end-to-end-deadline slack.
+  CloseTrigger poll_trigger(std::size_t cls) const;
 
   QosBatcherConfig cfg_;
   std::vector<std::deque<Request>> queues_;  ///< one per class

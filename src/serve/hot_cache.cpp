@@ -35,10 +35,14 @@ void HotEmbeddingCache::evict(std::uint64_t key) {
   // A dirty row leaves the buffer through its deferred array write: the
   // eviction flushes it. Read-only streams keep dirty_ empty, so this
   // branch never perturbs their accounting.
-  if (!dirty_.empty() && dirty_.erase(key) > 0) {
+  const bool was_dirty = !dirty_.empty() && dirty_.erase(key) > 0;
+  if (was_dirty) {
     ++stats_.flushes;
     ++pending_flushes_;
   }
+  if (sink_ != nullptr)
+    sink_->on_cache_evict(static_cast<std::uint32_t>(key >> 32),
+                          static_cast<std::uint32_t>(key), was_dirty);
 }
 
 std::uint64_t HotEmbeddingCache::take_flushed() {
@@ -91,17 +95,20 @@ bool HotEmbeddingCache::update(std::uint32_t table, std::uint32_t row) {
 
   if (cfg_.capacity_rows == 0) {
     ++stats_.update_misses;  // no buffer: pure write-through
+    if (sink_ != nullptr) sink_->on_cache_update(/*absorbed=*/false);
     return false;
   }
   if (auto it = resident_.find(key); it != resident_.end()) {
     it->second = freq_[key];  // heap refreshed lazily in settle_heap()
     dirty_.insert(key);
     ++stats_.update_hits;
+    if (sink_ != nullptr) sink_->on_cache_update(/*absorbed=*/true);
     return true;
   }
   // No write-allocate: the array takes the write directly, so an update
   // flood can never displace the read-hot set.
   ++stats_.update_misses;
+  if (sink_ != nullptr) sink_->on_cache_update(/*absorbed=*/false);
   return false;
 }
 

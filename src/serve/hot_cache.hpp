@@ -30,6 +30,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "serve/observe.hpp"
+
 namespace imars::serve {
 
 struct HotCacheConfig {
@@ -86,6 +88,11 @@ class HotEmbeddingCache {
   const CacheStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = CacheStats{}; }
 
+  /// Attaches a pure-observer sink (nullptr detaches): evictions (with
+  /// their dirty flag) and update absorption are reported as they happen.
+  /// Observation never alters admission, eviction or the statistics.
+  void set_observer(ObserverSink* sink) noexcept { sink_ = sink; }
+
   std::size_t resident_rows() const noexcept { return resident_.size(); }
   std::size_t dirty_rows() const noexcept { return dirty_.size(); }
   bool contains(std::uint32_t table, std::uint32_t row) const;
@@ -107,6 +114,7 @@ class HotEmbeddingCache {
 
   HotCacheConfig cfg_;
   CacheStats stats_;
+  ObserverSink* sink_ = nullptr;  ///< pure observer; never feeds back
   std::unordered_map<std::uint64_t, std::uint64_t> freq_;      // full history
   std::unordered_map<std::uint64_t, std::uint64_t> resident_;  // key -> freq
   std::unordered_set<std::uint64_t> dirty_;  // resident rows awaiting flush

@@ -5,6 +5,7 @@
 #include <limits>
 #include <optional>
 #include <queue>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -210,14 +211,23 @@ ServeReport ServingRuntime::run(LoadGenerator& gen) {
   // is never touched and routing stays bit-identical to the pin-free map.
   if (cfg_.placement.enabled) pipeline_.set_shard_map(placed_map(gen.config()));
   pipeline_.reset_clock();
+  // Observation is attached for this run only; the sink is a pure observer
+  // (see ObserverSink), so every path below is bit-identical with or
+  // without it.
+  pipeline_.set_observer(sink_);
   // Latency-critical classes without a hand-tuned service_estimate get a
   // graph-aware default (critical path through the servable's stage DAG,
   // probed before serving) for the preemptive-close slack computation.
   const QosBatcherConfig qos = resolved_qos();
   HotEmbeddingCache cache(cfg_.cache);
+  cache.set_observer(sink_);
   HotEmbeddingCache* cache_ptr =
       cfg_.cache.capacity_rows > 0 ? &cache : nullptr;
   QosBatcher batcher(qos);
+  // Wall-clock self-profiling of the event-model hot path; host-side
+  // telemetry only, exempt from the simulated-time determinism contract.
+  HostProfiler prof;
+  if (cfg_.self_profile) prof.enable(sink_);
 
   const bool open = gen.config().arrivals != ArrivalProcess::kClosedLoop;
   const bool gated = qos.gated();
@@ -260,6 +270,10 @@ ServeReport ServingRuntime::run(LoadGenerator& gen) {
   };
 
   ServeReport report;
+  if (cfg_.streaming_report) {
+    report.streaming = StreamingAggregates(cfg_.streaming_rel_err);
+    report.streaming.enabled = true;
+  }
   for (const auto& cls : qos.classes) {
     ClassReport cr;
     cr.name = cls.name;
@@ -277,7 +291,11 @@ ServeReport ServingRuntime::run(LoadGenerator& gen) {
     StagePipeline::BatchHandle handle;
     ServableBackend* servable = nullptr;
     std::size_t qos_class = 0;
+    std::size_t id = 0;        ///< batch id (observer span key)
+    device::Ns first_enqueue;  ///< oldest member's arrival
     device::Ns dispatch;  ///< batch close time (update-ordering fence)
+    device::Ns release;   ///< admission-gate release (== dispatch ungated)
+    CloseTrigger trigger = CloseTrigger::kSize;
   };
   std::deque<InflightBatch> inflight;
 
@@ -344,65 +362,101 @@ ServeReport ServingRuntime::run(LoadGenerator& gen) {
     // Updates that arrived up to this batch's close apply first (timestamp
     // order — see pending_updates above).
     apply_updates_until(entry.dispatch);
-    const auto results = pipeline_.collect(std::move(entry.handle),
-                                           *entry.servable, cache_ptr,
-                                           timings_);
+    const auto results = [&] {
+      HostProfiler::Scope host(prof, "host.collect");
+      return pipeline_.collect(std::move(entry.handle), *entry.servable,
+                               cache_ptr, timings_);
+    }();
+    HostProfiler::Scope host(prof, "host.report");
     ++report.batches;
     ClassReport& cr = report.classes[entry.qos_class];
     ++cr.batches;
     const device::Ns slo = qos.classes[entry.qos_class].deadline;
+    device::Ns batch_complete = entry.dispatch;
     for (const auto& res : results) {
       const Request& req = res.request;
-      ServedQuery q;
-      q.id = req.id;
-      q.user = req.user;
-      q.client = req.client;
-      q.qos_class = req.qos_class;
-      q.batch = res.batch_id;
-      q.batch_size = res.batch_size;
-      q.home_shard = res.home_shard;
-      q.candidates = res.work_items;
-      q.enqueue = req.enqueue;
-      q.dispatch = res.dispatch;
-      q.complete = res.complete;
-      q.topk = res.topk;
-      // Every stage before the last aggregates as "filter", the last as
-      // "rank" (scoring), so the split reconciles with per-query energy
-      // for any stage count.
-      for (std::size_t s = 0; s + 1 < res.stage_latency.size(); ++s)
-        q.filter_latency += res.stage_latency[s];
-      q.rank_latency = res.stage_latency.back();
+      // Whole-run telemetry (class accounting, stage stats, makespan) is
+      // identical in record and streaming mode; only the per-query record
+      // retention differs.
+      device::Ns device_time;
+      device::Pj energy;
       for (const auto& s : res.stage_stats) {
-        q.energy += s.total().energy;
-        q.device_time += s.total().latency;
+        energy += s.total().energy;
+        device_time += s.total().latency;
       }
       report.routed_items += res.routed_items;
       report.pinned_items += res.pinned_items;
       ++cr.queries;
-      cr.device_time += q.device_time;
-      if (slo.value > 0.0 && (q.complete - q.enqueue) > slo)
+      cr.device_time += device_time;
+      if (slo.value > 0.0 && (res.complete - req.enqueue) > slo)
         ++cr.slo_violations;
-      report.queries.push_back(std::move(q));
+      if (report.streaming.enabled) {
+        report.streaming.note(req.qos_class,
+                              (res.complete - req.enqueue).value,
+                              energy.value, device_time.value);
+      } else {
+        ServedQuery q;
+        q.id = req.id;
+        q.user = req.user;
+        q.client = req.client;
+        q.qos_class = req.qos_class;
+        q.batch = res.batch_id;
+        q.batch_size = res.batch_size;
+        q.home_shard = res.home_shard;
+        q.candidates = res.work_items;
+        q.enqueue = req.enqueue;
+        q.dispatch = res.dispatch;
+        q.complete = res.complete;
+        q.topk = res.topk;
+        // Every stage before the last aggregates as "filter", the last as
+        // "rank" (scoring), so the split reconciles with per-query energy
+        // for any stage count.
+        for (std::size_t s = 0; s + 1 < res.stage_latency.size(); ++s)
+          q.filter_latency += res.stage_latency[s];
+        q.rank_latency = res.stage_latency.back();
+        q.energy = energy;
+        q.device_time = device_time;
+        report.queries.push_back(std::move(q));
+      }
       for (std::size_t s = 0; s + 1 < res.stage_stats.size(); ++s)
         report.filter_stats.merge(res.stage_stats[s]);
       report.rank_stats.merge(res.stage_stats.back());
       report.makespan = device::max(report.makespan, res.complete);
+      batch_complete = device::max(batch_complete, res.complete);
 
       // Closed loop: the client issues its next query on completion.
       if (!open)
         if (auto next = gen.next(req.client, res.complete))
           arrivals.push(*next);
     }
+    if (sink_ != nullptr) {
+      const QosClassConfig& ccfg = qos.classes[entry.qos_class];
+      BatchSpan bs;
+      bs.id = entry.id;
+      bs.qos_class = entry.qos_class;
+      bs.class_name = ccfg.name;
+      bs.size = results.size();
+      bs.servable = ccfg.servable;
+      bs.trigger = entry.trigger;
+      bs.first_enqueue = entry.first_enqueue;
+      bs.close = entry.dispatch;
+      bs.release = entry.release;
+      bs.complete = batch_complete;
+      sink_->on_batch(bs);
+    }
   };
 
-  auto submit_batch = [&](const Batch& batch) {
+  auto submit_batch = [&](const Batch& batch, device::Ns release) {
     const std::size_t cls = batch.qos_class;
     const QosClassConfig& ccfg = qos.classes[cls];
     ServableBackend* servable = servables_[ccfg.servable].get();
     const bool urgent = ccfg.deadline.value > 0.0;
     inflight.push_back({pipeline_.submit(batch, *servable, cfg_.k,
                                          ccfg.servable, urgent),
-                        servable, cls, batch.dispatch});
+                        servable, cls, batch.id,
+                        batch.requests.empty() ? batch.dispatch
+                                               : batch.requests.front().enqueue,
+                        batch.dispatch, release, batch.trigger});
     if (!defer) {
       drain_one();
     } else {
@@ -473,16 +527,30 @@ ServeReport ServingRuntime::run(LoadGenerator& gen) {
       const std::size_t idx = gated ? pick_ready() : 0;
       const Batch batch = std::move(ready[idx]);
       ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(idx));
-      submit_batch(batch);
+      submit_batch(batch, now);
+      // Time series at every release: gated-queue depth, in-flight depth,
+      // and how far the device backlog frontier runs ahead of "now".
+      if (sink_ != nullptr) {
+        sink_->on_counter("queue.ready", now,
+                          static_cast<double>(ready.size()));
+        sink_->on_counter("queue.inflight", now,
+                          static_cast<double>(inflight.size()));
+        sink_->on_counter("frontier.lag_ns", now,
+                          std::max(0.0, (pipeline_.frontier() - now).value));
+      }
     }
   };
 
   auto close_fired = [&](device::Ns now) {
+    HostProfiler::Scope host(prof, "host.batcher");
     bool closed = false;
     while (auto batch = batcher.poll(now)) {
       ready.push_back(std::move(*batch));
       closed = true;
     }
+    if (closed && sink_ != nullptr)
+      sink_->on_counter("queue.ready", now,
+                        static_cast<double>(ready.size()));
     return closed;
   };
 
@@ -579,6 +647,18 @@ ServeReport ServingRuntime::run(LoadGenerator& gen) {
   report.cache = cache.stats();
   report.flush_bytes =
       static_cast<std::size_t>(cache.stats().flushes) * row_bytes_;
+  // End-of-run whole-shard occupancy, stamped at the makespan: total_busy
+  // (every stage unit plus the write path — the one view that counts
+  // ShardUsage::write_busy) and the write path alone.
+  if (sink_ != nullptr) {
+    for (std::size_t s = 0; s < report.shards.size(); ++s) {
+      const std::string prefix = "shard." + std::to_string(s);
+      sink_->on_counter(prefix + ".total_busy_ns", report.makespan,
+                        report.shards[s].total_busy().value);
+      sink_->on_counter(prefix + ".write_busy_ns", report.makespan,
+                        report.shards[s].write_busy.value);
+    }
+  }
   return report;
 }
 

@@ -95,6 +95,18 @@ struct ServingConfig {
   bool overlap = false;
   std::size_t max_inflight = 4;
 
+  /// Streaming report: drop per-query retention and fill
+  /// ServeReport::streaming instead — means exact, percentiles within
+  /// `streaming_rel_err` (see StreamingAggregates). Aggregate views answer
+  /// identically (within resolution); record-only views throw.
+  bool streaming_report = false;
+  double streaming_rel_err = 0.01;
+  /// Wall-clock self-profiling of the simulator's own hot path (batcher
+  /// close, collect(), report accumulation), reported through the attached
+  /// observer as host spans. Host-side telemetry only — simulated time and
+  /// reports are unaffected.
+  bool self_profile = false;
+
   /// The effective class table (explicit `qos`, or the single-tenant table
   /// derived from `batcher`).
   QosBatcherConfig effective_qos() const {
@@ -154,6 +166,14 @@ class ServingRuntime {
   /// already be bound (e.g. CtrServable::bind_samples).
   ServeReport run(LoadGenerator& gen);
 
+  /// Attaches a pure-observer sink (nullptr detaches) for the next run():
+  /// batch lifecycle spans, stage/ET spans, cache events, queue-depth and
+  /// frontier time series, end-of-run busy totals — and, with
+  /// `self_profile`, host wall-clock spans. Observation never feeds back:
+  /// every report is bit-identical with the sink attached or not.
+  void set_observer(ObserverSink* sink) noexcept { sink_ = sink; }
+  ObserverSink* observer() const noexcept { return sink_; }
+
  private:
   static ShardMap make_map(const ServingConfig& cfg, std::size_t shards);
   static std::vector<PipelineSpec> specs_of(
@@ -179,6 +199,7 @@ class ServingRuntime {
   std::vector<std::unique_ptr<ServableBackend>> servables_;
   ShardRouter* router_ = nullptr;  ///< first filter/rank servable, if any
   std::size_t row_bytes_ = 0;      ///< flush-traffic bytes per ET row
+  ObserverSink* sink_ = nullptr;   ///< pure observer; never feeds back
   StagePipeline pipeline_;
 };
 

@@ -22,7 +22,25 @@ double percentile_or_zero(const std::vector<double>& xs, double p) {
 
 }  // namespace
 
+void StreamingAggregates::note(std::size_t cls, double latency_ns,
+                               double energy_pj, double device_ns) {
+  ++queries;
+  energy_pj_sum += energy_pj;
+  latency.record(latency_ns);
+  if (cls >= class_latency.size()) {
+    class_latency.resize(cls + 1, StreamingHistogram(rel_err));
+    class_queries.resize(cls + 1, 0);
+    class_device_ns.resize(cls + 1, 0.0);
+  }
+  class_latency[cls].record(latency_ns);
+  ++class_queries[cls];
+  class_device_ns[cls] += device_ns;
+}
+
 std::vector<double> ServeReport::latencies_ns() const {
+  IMARS_REQUIRE(!streaming.enabled,
+                "ServeReport::latencies_ns: streaming mode retains no "
+                "per-query sample");
   std::vector<double> out;
   out.reserve(queries.size());
   for (const auto& q : queries) out.push_back((q.complete - q.enqueue).value);
@@ -30,6 +48,7 @@ std::vector<double> ServeReport::latencies_ns() const {
 }
 
 double ServeReport::mean_latency_ns() const {
+  if (streaming.enabled) return streaming.latency.mean();
   if (queries.empty()) return 0.0;
   double sum = 0.0;
   for (const auto& q : queries) sum += (q.complete - q.enqueue).value;
@@ -37,26 +56,34 @@ double ServeReport::mean_latency_ns() const {
 }
 
 double ServeReport::p50_latency_ns() const {
+  if (streaming.enabled) return streaming.latency.percentile(50.0);
   return percentile_or_zero(latencies_ns(), 50.0);
 }
 double ServeReport::p95_latency_ns() const {
+  if (streaming.enabled) return streaming.latency.percentile(95.0);
   return percentile_or_zero(latencies_ns(), 95.0);
 }
 double ServeReport::p99_latency_ns() const {
+  if (streaming.enabled) return streaming.latency.percentile(99.0);
   return percentile_or_zero(latencies_ns(), 99.0);
 }
 
 double ServeReport::qps() const {
-  if (queries.empty() || makespan.value <= 0.0) return 0.0;
-  return static_cast<double>(queries.size()) / makespan.seconds();
+  if (size() == 0 || makespan.value <= 0.0) return 0.0;
+  return static_cast<double>(size()) / makespan.seconds();
 }
 
 double ServeReport::mean_batch_size() const {
   if (batches == 0) return 0.0;
-  return static_cast<double>(queries.size()) / static_cast<double>(batches);
+  return static_cast<double>(size()) / static_cast<double>(batches);
 }
 
 double ServeReport::mean_energy_pj() const {
+  if (streaming.enabled)
+    return streaming.queries == 0
+               ? 0.0
+               : streaming.energy_pj_sum /
+                     static_cast<double>(streaming.queries);
   if (queries.empty()) return 0.0;
   double sum = 0.0;
   for (const auto& q : queries) sum += q.energy.value;
@@ -123,13 +150,31 @@ double ServeReport::stage_utilization(std::size_t s, std::string_view stage,
 }
 
 std::vector<double> ServeReport::class_latencies_ns(std::size_t cls) const {
+  IMARS_REQUIRE(!streaming.enabled,
+                "ServeReport::class_latencies_ns: streaming mode retains "
+                "no per-query sample");
   std::vector<double> out;
   for (const auto& q : queries)
     if (q.qos_class == cls) out.push_back((q.complete - q.enqueue).value);
   return out;
 }
 
+namespace {
+
+/// The class histogram of a streaming report, or nullptr when the label
+/// never appeared (its views then report the pinned empty-set 0.0).
+const StreamingHistogram* class_hist(const StreamingAggregates& s,
+                                     std::size_t cls) {
+  return cls < s.class_latency.size() ? &s.class_latency[cls] : nullptr;
+}
+
+}  // namespace
+
 double ServeReport::class_mean_latency_ns(std::size_t cls) const {
+  if (streaming.enabled) {
+    const auto* h = class_hist(streaming, cls);
+    return h == nullptr ? 0.0 : h->mean();
+  }
   const auto xs = class_latencies_ns(cls);
   if (xs.empty()) return 0.0;
   double sum = 0.0;
@@ -138,24 +183,53 @@ double ServeReport::class_mean_latency_ns(std::size_t cls) const {
 }
 
 double ServeReport::class_p50_latency_ns(std::size_t cls) const {
+  if (streaming.enabled) {
+    const auto* h = class_hist(streaming, cls);
+    return h == nullptr ? 0.0 : h->percentile(50.0);
+  }
   return percentile_or_zero(class_latencies_ns(cls), 50.0);
 }
 double ServeReport::class_p95_latency_ns(std::size_t cls) const {
+  if (streaming.enabled) {
+    const auto* h = class_hist(streaming, cls);
+    return h == nullptr ? 0.0 : h->percentile(95.0);
+  }
   return percentile_or_zero(class_latencies_ns(cls), 95.0);
 }
 double ServeReport::class_p99_latency_ns(std::size_t cls) const {
+  if (streaming.enabled) {
+    const auto* h = class_hist(streaming, cls);
+    return h == nullptr ? 0.0 : h->percentile(99.0);
+  }
   return percentile_or_zero(class_latencies_ns(cls), 99.0);
 }
 
 double ServeReport::class_qps(std::size_t cls) const {
   if (makespan.value <= 0.0) return 0.0;
   std::size_t n = 0;
-  for (const auto& q : queries)
-    if (q.qos_class == cls) ++n;
+  if (streaming.enabled) {
+    if (cls < streaming.class_queries.size()) n = streaming.class_queries[cls];
+  } else {
+    for (const auto& q : queries)
+      if (q.qos_class == cls) ++n;
+  }
   return static_cast<double>(n) / makespan.seconds();
 }
 
 double ServeReport::device_share(std::size_t cls, device::Ns cutoff) const {
+  if (streaming.enabled) {
+    IMARS_REQUIRE(cutoff.value ==
+                      std::numeric_limits<double>::infinity(),
+                  "ServeReport::device_share: streaming mode retains no "
+                  "per-query completions; finite cutoffs need record mode");
+    double total = 0.0;
+    for (double d : streaming.class_device_ns) total += d;
+    const double mine =
+        cls < streaming.class_device_ns.size()
+            ? streaming.class_device_ns[cls]
+            : 0.0;
+    return total > 0.0 ? mine / total : 0.0;
+  }
   double total = 0.0, mine = 0.0;
   for (const auto& q : queries) {
     if (q.complete.value > cutoff.value) continue;

@@ -19,6 +19,7 @@
 #include "device/units.hpp"
 #include "recsys/types.hpp"
 #include "serve/hot_cache.hpp"
+#include "serve/observe.hpp"
 
 namespace imars::serve {
 
@@ -55,6 +56,14 @@ struct ShardUsage {
   /// ET-bank time consumed by embedding-update write traffic (buffer
   /// fills, write-through rows and dirty-row flushes charged outside the
   /// stage units); zero on read-only streams.
+  ///
+  /// Deliberately EXCLUDED from rank_utilization / filter_utilization /
+  /// stage_utilization and from the per-class device_share accounting:
+  /// those report STAGE-UNIT occupancy and query-attributed device time,
+  /// while write traffic occupies only the shared ET banks and belongs to
+  /// no query or class. Use total_busy() (also surfaced as the observer's
+  /// end-of-run "shard.total_busy_ns" counters) for whole-shard occupancy
+  /// including the write path.
   device::Ns write_busy;
 
   /// Busy time of the first stage (the replicated filter in the two-stage
@@ -67,6 +76,13 @@ struct ShardUsage {
   device::Ns last_stage_busy() const {
     return stage_busy.empty() ? device::Ns{0.0} : stage_busy.back();
   }
+  /// All device busy time of the shard: every stage unit plus the
+  /// write-path ET time (the one place write_busy IS counted).
+  device::Ns total_busy() const {
+    device::Ns t = write_busy;
+    for (const auto& s : stage_busy) t += s;
+    return t;
+  }
 };
 
 /// Per-class (tenant) aggregate of one serving run.
@@ -78,6 +94,35 @@ struct ClassReport {
   std::size_t batches = 0;
   std::size_t slo_violations = 0;  ///< completions past enqueue + deadline
   device::Ns device_time;          ///< consumed device busy time
+};
+
+/// Memory-bounded aggregates of a streaming-mode run. The runtime fills
+/// this INSTEAD of retaining per-query ServedQuery records when
+/// ServingConfig::streaming_report is set: latency percentiles come from
+/// log-bucketed histograms (incremental p50/p95/p99 within the configured
+/// relative error of the exact sorted-sample figures), means stay exact
+/// (sum / count), and per-class accounting keys by the REQUEST's qos_class
+/// label — the same filter the record-mode class views apply. The
+/// million-user ROADMAP item cannot afford O(queries) retention; this is
+/// the replacement. Result-level views (topk, per-query records,
+/// finite-cutoff device shares) are unavailable in streaming mode.
+struct StreamingAggregates {
+  bool enabled = false;
+  double rel_err = 0.01;  ///< histogram resolution (see StreamingHistogram)
+  std::size_t queries = 0;
+  double energy_pj_sum = 0.0;
+  StreamingHistogram latency;  ///< end-to-end ns, all classes
+  // Per request-label views, grown on first sight of a label.
+  std::vector<StreamingHistogram> class_latency;
+  std::vector<std::size_t> class_queries;
+  std::vector<double> class_device_ns;
+
+  explicit StreamingAggregates(double rel_err_ = 0.01)
+      : rel_err(rel_err_), latency(rel_err_) {}
+
+  /// Accounts one served query under label `cls`.
+  void note(std::size_t cls, double latency_ns, double energy_pj,
+            double device_ns);
 };
 
 /// Aggregated results of one serving run.
@@ -99,6 +144,11 @@ struct ServeReport {
   recsys::StageStats rank_stats;
   device::Ns makespan;              ///< last completion time
   std::size_t batches = 0;
+  /// Streaming-mode aggregates (ServingConfig::streaming_report). When
+  /// enabled, `queries` above stays empty and every aggregate view below
+  /// answers from here instead; views needing per-query records
+  /// (latencies_ns, class_latencies_ns, finite-cutoff device_share) throw.
+  StreamingAggregates streaming;
 
   // --- write-back / placement telemetry -----------------------------------
   std::size_t updates = 0;      ///< embedding-update requests applied
@@ -119,10 +169,13 @@ struct ServeReport {
                      static_cast<double>(routed_items);
   }
 
-  std::size_t size() const noexcept { return queries.size(); }
+  std::size_t size() const noexcept {
+    return streaming.enabled ? streaming.queries : queries.size();
+  }
 
   /// Per-query end-to-end latencies (ns), enqueue to merged top-k —
-  /// queueing and batching delay included.
+  /// queueing and batching delay included. Record mode only (streaming
+  /// runs do not retain the sample; use the percentile views).
   std::vector<double> latencies_ns() const;
 
   // Latency percentiles use linear interpolation over the sorted sample
@@ -130,7 +183,9 @@ struct ServeReport {
   // vector and n = 1 returns the single sample for every p — the CI quick
   // benches run tiny streams, so the small-n behavior is load-bearing and
   // pinned by tests. All aggregates return 0.0 on an empty query set
-  // (e.g. a configured class that received no traffic).
+  // (e.g. a configured class that received no traffic). Streaming-mode
+  // runs answer from the histograms: identical small-n semantics, interior
+  // percentiles within streaming.rel_err bucket resolution, means exact.
   double mean_latency_ns() const;
   double p50_latency_ns() const;
   double p95_latency_ns() const;
@@ -173,7 +228,8 @@ struct ServeReport {
   /// whole run). Under sustained overload the contended window — up to the
   /// last arrival — is the fairness figure of merit: over a *complete* run
   /// every request is eventually served, so whole-run shares converge to
-  /// the workload mix regardless of scheduling.
+  /// the workload mix regardless of scheduling. Streaming mode retains no
+  /// per-query completions, so a finite cutoff throws there.
   double device_share(std::size_t cls,
                       device::Ns cutoff = device::Ns{
                           std::numeric_limits<double>::infinity()}) const;

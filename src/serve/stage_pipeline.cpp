@@ -262,6 +262,8 @@ void StagePipeline::charge_write(std::size_t shard,
   const device::Ns start = device::max(at, c.shared_free);
   c.shared_free = start + cost.latency;
   usage_[shard].write_busy += cost.latency;
+  if (sink_ != nullptr && cost.latency.value > 0.0)
+    sink_->on_write(shard, start, start + cost.latency);
 }
 
 device::Ns StagePipeline::frontier() const {
@@ -491,7 +493,9 @@ StageStats StagePipeline::adjust_stage(const StageStats& measured,
                                        std::span<const RowAccess> accesses,
                                        HotEmbeddingCache* cache,
                                        const CacheTiming& timing,
-                                       std::uint32_t table_base) const {
+                                       std::uint32_t table_base,
+                                       std::uint64_t* flushed_out) const {
+  if (flushed_out != nullptr) *flushed_out = 0;
   if (cache == nullptr) return measured;
 
   std::size_t pooled_hits = 0, pooled_first_hits = 0, row_hits = 0;
@@ -526,7 +530,9 @@ StageStats StagePipeline::adjust_stage(const StageStats& measured,
   // whose deferred array write happens NOW — charge the flush into this
   // stage's ET-write cost so it lands in hardware time. Read-only streams
   // never dirty a row, so flushed stays 0 and the accounting is untouched.
-  const double flushed = static_cast<double>(cache->take_flushed());
+  const std::uint64_t flushed_rows = cache->take_flushed();
+  if (flushed_out != nullptr) *flushed_out = flushed_rows;
+  const double flushed = static_cast<double>(flushed_rows);
   if (pooled_hits == 0 && pooled_first_hits == 0 && row_hits == 0 &&
       parallel_hits == 0 && flushed == 0.0)
     return measured;
@@ -654,11 +660,12 @@ std::vector<StagePipeline::QueryResult> StagePipeline::collect(
         const std::size_t home = st->home[qi];
         // accesses() vectors exist only to feed the cache; skip them when
         // no cache is configured.
+        std::uint64_t flushed = 0;
         const StageStats adj = adjust_stage(
             rec.rep_stats,
             cache != nullptr ? servable.accesses(s, req, {})
                              : std::vector<RowAccess>{},
-            cache, timing_of(home), table_base);
+            cache, timing_of(home), table_base, &flushed);
         out.stage_stats[s] = adj;
         const device::Ns t = adj.total().latency;
         // Flush write-backs (kEtWrite) occupy the same in-memory arrays as
@@ -667,14 +674,15 @@ std::vector<StagePipeline::QueryResult> StagePipeline::collect(
         const device::Ns et = adj.at(OpKind::kEtLookup).latency +
                               adj.at(OpKind::kEtWrite).latency;
         ShardClocks& c = clocks_[home];
+        const device::Ns unit_free = c.stage_free[base + s];
+        const device::Ns shared_free = c.shared_free;
         // A stage with no ET traffic (e.g. a pure crossbar tower) neither
         // waits on nor claims the shard's shared ET banks — that is what
         // lets parallel feature towers genuinely overlap. Every pre-DAG
         // stage carries ET cost, so their timing is unchanged.
         const device::Ns start =
-            et.value > 0.0
-                ? std::max({ready, c.stage_free[base + s], c.shared_free})
-                : std::max(ready, c.stage_free[base + s]);
+            et.value > 0.0 ? std::max({ready, unit_free, shared_free})
+                           : std::max(ready, unit_free);
         const device::Ns end = start + t;
         c.stage_free[base + s] = end;
         if (et.value > 0.0) c.shared_free = start + et;
@@ -682,6 +690,27 @@ std::vector<StagePipeline::QueryResult> StagePipeline::collect(
         out.stage_latency[s] = end - ready;
         stage_end[s] = end;
         complete = device::max(complete, end);
+        if (sink_ != nullptr) {
+          if (flushed > 0) sink_->on_cache_flush(home, start, flushed);
+          StageSpan span;
+          span.slot = st->spec_idx;
+          span.stage = s;
+          span.name = spec.stages[s].name;
+          span.shard = home;
+          span.query = req.id;
+          span.batch = st->batch.id;
+          span.ready = ready;
+          span.start = start;
+          span.end = end;
+          span.unit_wait = device::max(unit_free - ready, device::Ns{0.0});
+          span.et_wait =
+              et.value > 0.0
+                  ? device::max(shared_free - device::max(ready, unit_free),
+                                device::Ns{0.0})
+                  : device::Ns{0.0};
+          span.et_busy = et;
+          sink_->on_stage(span);
+        }
         continue;
       }
 
@@ -692,25 +721,48 @@ std::vector<StagePipeline::QueryResult> StagePipeline::collect(
       for (std::size_t shard = 0; shard < ns; ++shard) {
         if (rec.slices.empty() || rec.slices[shard].empty()) continue;
         ++contributing;
+        std::uint64_t flushed = 0;
         const StageStats adj = adjust_stage(
             rec.shard_stats[shard],
             cache != nullptr ? servable.accesses(s, req, rec.slices[shard])
                              : std::vector<RowAccess>{},
-            cache, timing_of(shard), table_base);
+            cache, timing_of(shard), table_base, &flushed);
         out.stage_stats[s].merge(adj);
         const device::Ns t = adj.total().latency;
         const device::Ns et = adj.at(OpKind::kEtLookup).latency +
                               adj.at(OpKind::kEtWrite).latency;
         ShardClocks& c = clocks_[shard];
+        const device::Ns unit_free = c.stage_free[base + s];
+        const device::Ns shared_free = c.shared_free;
         const device::Ns start =
-            et.value > 0.0
-                ? std::max({ready, c.stage_free[base + s], c.shared_free})
-                : std::max(ready, c.stage_free[base + s]);
+            et.value > 0.0 ? std::max({ready, unit_free, shared_free})
+                           : std::max(ready, unit_free);
         const device::Ns slice_end = start + t;
         c.stage_free[base + s] = slice_end;
         if (et.value > 0.0) c.shared_free = start + et;
         usage_[shard].stage_busy[base + s] += t;
         end = device::max(end, slice_end);
+        if (sink_ != nullptr) {
+          if (flushed > 0) sink_->on_cache_flush(shard, start, flushed);
+          StageSpan span;
+          span.slot = st->spec_idx;
+          span.stage = s;
+          span.name = spec.stages[s].name;
+          span.shard = shard;
+          span.query = req.id;
+          span.batch = st->batch.id;
+          span.ready = ready;
+          span.start = start;
+          span.end = slice_end;
+          span.unit_wait = device::max(unit_free - ready, device::Ns{0.0});
+          span.et_wait =
+              et.value > 0.0
+                  ? device::max(shared_free - device::max(ready, unit_free),
+                                device::Ns{0.0})
+                  : device::Ns{0.0};
+          span.et_busy = et;
+          sink_->on_stage(span);
+        }
       }
       // Placement telemetry: how much of the routed traffic the pin layer
       // placed. Skipped entirely on pin-free maps (read-only parity).

@@ -68,6 +68,7 @@
 #include "serve/batcher.hpp"
 #include "serve/executor.hpp"
 #include "serve/hot_cache.hpp"
+#include "serve/observe.hpp"
 #include "serve/serve_stats.hpp"
 #include "serve/shard_map.hpp"
 
@@ -334,6 +335,15 @@ class StagePipeline {
   /// under a submitted batch's feet.
   void set_shard_map(ShardMap map);
 
+  /// Attaches a pure-observer sink (nullptr detaches): collect() reports
+  /// every (stage, shard) execution span with its unit/ET-bank wait
+  /// decomposition, charge_write() reports write-back claims, and dirty
+  /// flushes surface as cache events. The sink only ever receives copies
+  /// of decisions already made — timing is bit-identical with or without
+  /// one attached.
+  void set_observer(ObserverSink* sink) noexcept { sink_ = sink; }
+  ObserverSink* observer() const noexcept { return sink_; }
+
   /// Charges embedding-update write traffic to shard `shard`'s shared ET
   /// banks, starting no earlier than `at` (the update's arrival): row
   /// writes really occupy the in-memory arrays, so subsequent batches see
@@ -426,11 +436,14 @@ class StagePipeline {
   /// Applies the cache to `accesses` and rewrites the stage's ET-lookup
   /// cost; returns the adjusted stats. `table_base` namespaces the cache
   /// keys (co-resident servables must not alias each other's tables).
+  /// `flushed` (optional) receives the dirty-row flush count charged into
+  /// the stage's kEtWrite cost, for the observer's cache-flush events.
   recsys::StageStats adjust_stage(const recsys::StageStats& measured,
                                   std::span<const RowAccess> accesses,
                                   HotEmbeddingCache* cache,
                                   const CacheTiming& timing,
-                                  std::uint32_t table_base) const;
+                                  std::uint32_t table_base,
+                                  std::uint64_t* flushed = nullptr) const;
 
   /// Merge-unit cost: each contributing shard ships its top-k over the RSC
   /// bus, the controller runs the k-way tournament.
@@ -442,6 +455,7 @@ class StagePipeline {
   std::size_t total_stages_ = 0;
   device::DeviceProfile profile_;
   ShardMap map_;
+  ObserverSink* sink_ = nullptr;  ///< pure observer; never feeds back
   ExecutorPool executors_;
   std::vector<ShardClocks> clocks_;
   std::vector<ShardUsage> usage_;

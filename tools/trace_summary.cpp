@@ -1,0 +1,355 @@
+// trace_summary: load a Chrome trace-event JSON file produced by the
+// serving observers (serve::TraceLog), validate its well-formedness and
+// print the top spans.
+//
+//   trace_summary [--check] [--top N] <trace.json>
+//
+// Default: print the event/span counts, the close-trigger breakdown, the
+// validation verdict and the top-N (cat, name) span totals. With --check
+// the exit code reflects the verdict (0 well-formed, 1 malformed) — CI
+// runs every uploaded trace through this gate, because a malformed trace
+// (overlapping unit spans, unpaired async events, trigger counts that do
+// not sum to the batch total) means the simulator's clock walk or the
+// observer plumbing is broken, not just the artifact.
+//
+// The parser below is a minimal recursive-descent JSON reader — the repo
+// deliberately has no third-party JSON dependency.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "serve/trace.hpp"
+
+namespace {
+
+// --- minimal JSON ----------------------------------------------------------
+
+struct JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      v = nullptr;
+
+  const JsonValue* find(std::string_view key) const {
+    if (const auto* obj = std::get_if<JsonObject>(&v))
+      for (const auto& [k, val] : *obj)
+        if (k == key) return &val;
+    return nullptr;
+  }
+  double num(double fallback = 0.0) const {
+    if (const auto* d = std::get_if<double>(&v)) return *d;
+    return fallback;
+  }
+  std::string str() const {
+    if (const auto* s = std::get_if<std::string>(&v)) return *s;
+    return {};
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : s_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    require(pos_ == s_.size(), "trailing data after the top-level value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw std::runtime_error("JSON parse error at byte " +
+                             std::to_string(pos_) + ": " + msg);
+  }
+  void require(bool ok, const char* msg) const {
+    if (!ok) fail(msg);
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+  char peek() {
+    require(pos_ < s_.size(), "unexpected end of input");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    require(pos_ < s_.size() && s_[pos_] == c, "unexpected character");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return JsonValue{string()};
+      case 't': return literal("true", JsonValue{true});
+      case 'f': return literal("false", JsonValue{false});
+      case 'n': return literal("null", JsonValue{nullptr});
+      default: return JsonValue{number()};
+    }
+  }
+
+  JsonValue literal(std::string_view word, JsonValue v) {
+    require(s_.substr(pos_, word.size()) == word, "bad literal");
+    pos_ += word.size();
+    return v;
+  }
+
+  double number() {
+    const char* begin = s_.data() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    require(end != begin, "expected a number");
+    pos_ += static_cast<std::size_t>(end - begin);
+    return v;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      require(pos_ < s_.size(), "unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      require(pos_ < s_.size(), "unterminated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          require(pos_ + 4 <= s_.size(), "truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+              code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              fail("bad \\u escape");
+          }
+          // The traces only ever escape control characters; encode the
+          // code point as UTF-8 without surrogate-pair handling.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonArray out;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue{std::move(out)};
+    }
+    while (true) {
+      out.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return JsonValue{std::move(out)};
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonObject out;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue{std::move(out)};
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      out.emplace_back(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return JsonValue{std::move(out)};
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+// --- trace-event mapping ----------------------------------------------------
+
+bool phase_of(const std::string& ph, imars::serve::TraceEvent::Phase& out) {
+  using Phase = imars::serve::TraceEvent::Phase;
+  if (ph.size() != 1) return false;
+  switch (ph[0]) {
+    case 'X': out = Phase::kComplete; return true;
+    case 'b': out = Phase::kAsyncBegin; return true;
+    case 'e': out = Phase::kAsyncEnd; return true;
+    case 'C': out = Phase::kCounter; return true;
+    case 'i': out = Phase::kInstant; return true;
+    case 'M': out = Phase::kMeta; return true;
+    default: return false;  // foreign phases pass through unchecked
+  }
+}
+
+std::vector<imars::serve::TraceEvent> to_events(const JsonValue& root) {
+  const JsonValue* list = root.find("traceEvents");
+  if (list == nullptr && std::holds_alternative<JsonArray>(root.v))
+    list = &root;  // the bare-array flavor of the format
+  if (list == nullptr || !std::holds_alternative<JsonArray>(list->v))
+    throw std::runtime_error("no traceEvents array in the file");
+
+  std::vector<imars::serve::TraceEvent> events;
+  for (const JsonValue& item : std::get<JsonArray>(list->v)) {
+    if (!std::holds_alternative<JsonObject>(item.v))
+      throw std::runtime_error("traceEvents entry is not an object");
+    imars::serve::TraceEvent ev;
+    const JsonValue* ph = item.find("ph");
+    if (ph == nullptr || !phase_of(ph->str(), ev.phase)) continue;
+    if (const auto* f = item.find("name")) ev.name = f->str();
+    if (const auto* f = item.find("cat")) ev.cat = f->str();
+    if (const auto* f = item.find("ts")) ev.ts_us = f->num();
+    if (const auto* f = item.find("dur")) ev.dur_us = f->num();
+    if (const auto* f = item.find("pid")) ev.pid = static_cast<int>(f->num());
+    if (const auto* f = item.find("tid")) ev.tid = static_cast<int>(f->num());
+    if (const auto* f = item.find("id"))
+      ev.id = static_cast<std::uint64_t>(f->num());
+    if (const auto* args = item.find("args"))
+      if (const auto* obj = std::get_if<JsonObject>(&args->v))
+        for (const auto& [k, v] : *obj) {
+          if (const auto* d = std::get_if<double>(&v.v))
+            ev.num_args.emplace_back(k, *d);
+          else if (const auto* s = std::get_if<std::string>(&v.v))
+            ev.str_args.emplace_back(k, *s);
+        }
+    events.push_back(std::move(ev));
+  }
+  return events;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: trace_summary [--check] [--top N] <trace.json>\n"
+               "  --check   exit nonzero when the trace is malformed\n"
+               "  --top N   show the N largest span groups (default 15)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check_gate = false;
+  std::size_t top_n = 15;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--check") {
+      check_gate = true;
+    } else if (arg == "--top" && i + 1 < argc) {
+      top_n = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (!arg.empty() && arg.front() == '-') {
+      return usage();
+    } else if (path.empty()) {
+      path = std::string(arg);
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty()) return usage();
+
+  std::string text;
+  {
+    std::ifstream f(path, std::ios::binary);
+    if (!f.good()) {
+      std::fprintf(stderr, "trace_summary: cannot open '%s'\n", path.c_str());
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    text = ss.str();
+  }
+
+  std::vector<imars::serve::TraceEvent> events;
+  try {
+    events = to_events(JsonParser(text).parse());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace_summary: %s: %s\n", path.c_str(), e.what());
+    return 2;
+  }
+
+  const imars::serve::TraceCheck check = imars::serve::check_trace(events);
+  std::printf("%s: %zu events, %zu unit spans, %zu batch spans\n",
+              path.c_str(), check.events, check.unit_spans, check.batch_spans);
+  if (!check.trigger_counts.empty()) {
+    std::printf("close triggers:");
+    for (const auto& [trigger, n] : check.trigger_counts)
+      std::printf(" %s=%zu", trigger.c_str(), n);
+    std::printf("\n");
+  }
+
+  const auto totals = imars::serve::summarize_trace(events, top_n);
+  if (!totals.empty()) {
+    std::printf("top spans by total time:\n");
+    std::printf("  %-10s %-24s %8s %14s %12s\n", "cat", "name", "count",
+                "total_us", "max_us");
+    for (const auto& t : totals)
+      std::printf("  %-10s %-24s %8zu %14.3f %12.3f\n", t.cat.c_str(),
+                  t.name.c_str(), t.count, t.total_us, t.max_us);
+  }
+
+  if (check.ok) {
+    std::printf("check: OK\n");
+    return 0;
+  }
+  std::printf("check: %zu problem(s)\n", check.problems.size());
+  for (const auto& p : check.problems) std::printf("  - %s\n", p.c_str());
+  return check_gate ? 1 : 0;
+}
