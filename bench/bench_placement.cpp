@@ -28,6 +28,7 @@
 #include "core/calibration.hpp"
 #include "harness.hpp"
 #include "serve/runtime.hpp"
+#include "serve/trace.hpp"
 #include "util/table.hpp"
 
 using namespace imars;
@@ -55,7 +56,10 @@ std::string load_name(const LoadPoint& lp) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --self-profile / --trace <file>: observation only (harness.hpp); the
+  // trace exports the pinned placement under the heaviest load point.
+  const auto obs = bench::parse_observe_flags(argc, argv);
   const bool quick = bench::quick_mode();
   const double scale = quick ? 0.04 : 0.12;
   const std::size_t queries = quick ? 48 : 192;
@@ -148,6 +152,7 @@ int main() {
     cfg.cache.capacity_rows = quick ? 96 : 128;
     cfg.traffic = traffic;
     cfg.overlap = true;
+    cfg.self_profile = obs.any();
     if (p.weighted) cfg.shard_map = serve::ShardMap::from_costs(rank_costs);
     if (p.pinned) {
       // Pins over the frequency- and capability-BLIND uniform ring: the
@@ -190,7 +195,20 @@ int main() {
       lg.rate_qps = 1.2 * qps_anchor;
       serve::LoadGenerator gen(lg);
 
+      serve::TraceLog trace;
+      const bool traced = !obs.trace_path.empty() && p.pinned &&
+                          &lp == &loads.back();
+      if (traced) runtimes[pi]->set_observer(&trace);
       const auto report = runtimes[pi]->run(gen, users);
+      if (traced) {
+        runtimes[pi]->set_observer(nullptr);
+        trace.write(obs.trace_path);
+        std::cout << "trace: " << trace.events().size() << " events -> "
+                  << obs.trace_path << "\n";
+      }
+      if (obs.self_profile)
+        bench::print_host_spans(load_name(lp) + "/" + p.name,
+                                report.host_span_us, std::cout);
       const double p99 = report.p99_latency_ns();
       if (p.name == "uniform") {
         uniform_p99 = p99;

@@ -18,6 +18,7 @@
 #include "harness.hpp"
 #include "serve/runtime.hpp"
 #include "serve/servable_ctr.hpp"
+#include "serve/trace.hpp"
 #include "util/table.hpp"
 
 using namespace imars;
@@ -33,7 +34,10 @@ struct GridPoint {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --self-profile / --trace <file>: observation only (harness.hpp); the
+  // trace exports the most loaded point, weighted+cache.
+  const auto obs = bench::parse_observe_flags(argc, argv);
   const bool quick = bench::quick_mode();
   const std::size_t train_samples = quick ? 800 : 4000;
   const std::size_t queries = quick ? 32 : 128;
@@ -98,6 +102,7 @@ int main() {
     // mask the placement difference.
     const bool open = g.shards > 1 && qps_serial > 0.0;
     cfg.overlap = open;
+    cfg.self_profile = obs.any();
     serve::ServingRuntime rt(std::move(servable), cfg, arch, base_profile,
                              profiles);
 
@@ -113,7 +118,19 @@ int main() {
     }
     serve::LoadGenerator gen(lg);
 
+    serve::TraceLog trace;
+    const bool traced =
+        !obs.trace_path.empty() && g.name == "weighted+cache";
+    if (traced) rt.set_observer(&trace);
     const auto report = rt.run(gen);
+    if (traced) {
+      rt.set_observer(nullptr);
+      trace.write(obs.trace_path);
+      std::cout << "trace: " << trace.events().size() << " events -> "
+                << obs.trace_path << "\n";
+    }
+    if (obs.self_profile)
+      bench::print_host_spans(g.name, report.host_span_us, std::cout);
     if (g.name == "serial") qps_serial = report.qps();
     if (g.name == "uniform") qps_uniform = report.qps();
     if (g.name == "weighted") qps_weighted = report.qps();

@@ -27,11 +27,15 @@
 #include "harness.hpp"
 #include "serve/runtime.hpp"
 #include "serve/servable_ctr.hpp"
+#include "serve/trace.hpp"
 #include "util/table.hpp"
 
 using namespace imars;
 
-int main() {
+int main(int argc, char** argv) {
+  // --self-profile / --trace <file>: observation only (harness.hpp); the
+  // trace exports the tower-parallel dag point.
+  const auto obs = bench::parse_observe_flags(argc, argv);
   const bool quick = bench::quick_mode();
   const std::size_t train_samples = quick ? 800 : 4000;
   const std::size_t queries = quick ? 48 : 192;
@@ -66,6 +70,7 @@ int main() {
     cfg.batcher.max_batch = 16;
     cfg.batcher.max_wait = device::Ns{500000.0};
     cfg.overlap = open;
+    cfg.self_profile = obs.any();
     auto rt = std::make_unique<serve::ServingRuntime>(std::move(servable),
                                                       cfg, arch, profile);
     serve::LoadGenConfig lg;
@@ -119,8 +124,19 @@ int main() {
   for (const auto& g : grid) {
     auto [rt, lg] = make_runtime(g.graph, true, rate);
     serve::LoadGenerator gen(lg);
+    serve::TraceLog trace;
+    const bool traced = !obs.trace_path.empty() && g.name == "dag";
+    if (traced) rt->set_observer(&trace);
     reports.push_back(rt->run(gen));
+    if (traced) {
+      rt->set_observer(nullptr);
+      trace.write(obs.trace_path);
+      std::cout << "trace: " << trace.events().size() << " events -> "
+                << obs.trace_path << "\n";
+    }
     const auto& report = reports.back();
+    if (obs.self_profile)
+      bench::print_host_spans(g.name, report.host_span_us, std::cout);
 
     std::string utils;
     for (const auto& node : report.stage_names[0]) {

@@ -11,6 +11,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <variant>
 #include <vector>
@@ -120,6 +121,46 @@ inline CriteoSetup make_criteo(std::size_t samples, std::size_t epochs,
 inline bool quick_mode() {
   const char* v = std::getenv("IMARS_BENCH_QUICK");
   return v != nullptr && std::string(v) == "1";
+}
+
+/// Shared `--self-profile` / `--trace <file>` flags for the serving benches.
+/// Both are pure observation: enabling them must never change a reported
+/// figure or a BENCH_*.json record. `--trace` exports one representative
+/// run (each bench picks its most loaded configuration) as Chrome
+/// trace-event JSON; `--self-profile` prints the host-path wall-clock
+/// spans of each run.
+struct ObserveFlags {
+  bool self_profile = false;
+  std::string trace_path;
+  bool any() const { return self_profile || !trace_path.empty(); }
+};
+
+inline ObserveFlags parse_observe_flags(int argc, char** argv) {
+  ObserveFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--self-profile")
+      flags.self_profile = true;
+    else if (arg == "--trace" && i + 1 < argc)
+      flags.trace_path = argv[++i];
+  }
+  return flags;
+}
+
+/// One compact line of self-profiled host spans for a run. The total
+/// mirrors ServeReport::host_total_us (worker-completion wait excluded).
+inline void print_host_spans(
+    const std::string& label,
+    const std::vector<std::pair<std::string, double>>& spans,
+    std::ostream& os) {
+  double total = 0.0;
+  for (const auto& [name, us] : spans)
+    if (name != "host.wait") total += us;
+  os << "  [self-profile] " << label << ": host path "
+     << static_cast<std::int64_t>(total) << " us";
+  for (const auto& [name, us] : spans)
+    os << ", " << name << " " << static_cast<std::int64_t>(us);
+  os << "\n";
 }
 
 /// Machine-readable bench records: collects flat key/value rows and writes

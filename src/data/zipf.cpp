@@ -18,12 +18,34 @@ ZipfSampler::ZipfSampler(std::size_t n, double s) {
   }
   for (auto& c : cdf_) c /= total;
   cdf_.back() = 1.0;  // guard against accumulated rounding
+
+  // Guide table: one cell per item, cell j holding the first index whose
+  // CDF value reaches j/n. Built with a single merge pass (O(n)); a draw
+  // then resolves in O(1) expected — the forward scan from the guide entry
+  // crosses each CDF step in exactly one cell on average.
+  IMARS_REQUIRE(n <= 0xffffffffULL, "ZipfSampler: population exceeds 2^32");
+  guide_.resize(n);
+  std::size_t k = 0;
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double t = static_cast<double>(j) * inv_n;
+    while (cdf_[k] < t) ++k;
+    guide_[j] = static_cast<std::uint32_t>(k);
+  }
 }
 
 std::size_t ZipfSampler::sample(util::Xoshiro256& rng) const {
   const double u = rng.uniform();
-  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
-  return static_cast<std::size_t>(std::distance(cdf_.begin(), it));
+  // Start at the guide cell covering u: guide_[j] is the first index with
+  // cdf >= j/n and j/n <= u, so scanning forward to the first cdf >= u
+  // returns exactly what lower_bound over the full CDF would (u < 1 and
+  // cdf_.back() == 1.0 bound the scan).
+  const std::size_t n = cdf_.size();
+  std::size_t j = static_cast<std::size_t>(u * static_cast<double>(n));
+  if (j >= n) j = n - 1;
+  std::size_t k = guide_[j];
+  while (cdf_[k] < u) ++k;
+  return k;
 }
 
 double ZipfSampler::pmf(std::size_t k) const {

@@ -204,6 +204,11 @@ std::optional<Batch> QosBatcher::flush(device::Ns now) {
   return close_batch(*cls, now, CloseTrigger::kFlush);
 }
 
+void QosBatcher::recycle(std::vector<Request>&& storage) {
+  storage.clear();
+  spares_.push_back(std::move(storage));
+}
+
 Batch QosBatcher::close_batch(std::size_t cls, device::Ns now,
                               CloseTrigger trigger) {
   auto& q = queues_[cls];
@@ -213,6 +218,11 @@ Batch QosBatcher::close_batch(std::size_t cls, device::Ns now,
   b.qos_class = cls;
   b.dispatch = now;
   b.trigger = trigger;
+  if (!spares_.empty()) {
+    // Reuse drained batch storage (capacity only; contents were cleared).
+    b.requests = std::move(spares_.back());
+    spares_.pop_back();
+  }
   b.requests.assign(q.begin(), q.begin() + static_cast<std::ptrdiff_t>(count));
   q.erase(q.begin(), q.begin() + static_cast<std::ptrdiff_t>(count));
   admitted_cost_[cls] +=

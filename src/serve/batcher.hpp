@@ -42,6 +42,13 @@ struct Request {
   /// through the write-back cache model. Never set on read-only streams.
   bool is_update = false;
   device::Ns enqueue;         ///< simulated arrival time
+  /// Per-session personalization state, filled by the load generator's
+  /// session mode (serve/session_table.*): how many queries this user's
+  /// live session has issued (1 = the arrival query) and whether the
+  /// session was created by this request. Inert defaults — a non-session
+  /// stream carries 0/false and nothing downstream changes.
+  std::uint32_t session_seq = 0;
+  bool session_fresh = false;
 };
 
 /// A closed batch, ready for dispatch to the shard router. All requests of
@@ -191,6 +198,13 @@ class QosBatcher {
   /// classes report +inf.
   double virtual_time(std::size_t cls) const;
 
+  /// Returns drained `Batch::requests` storage to the spare pool so the
+  /// next close_batch reuses its capacity instead of allocating. Purely a
+  /// memory-recycling hint: batch ids, composition and close times are
+  /// identical whether or not anything is ever recycled (the optimized
+  /// runtime feeds it, the reference path never calls it).
+  void recycle(std::vector<Request>&& storage);
+
  private:
   /// Time at which the class's deadline/preemptive trigger fires for its
   /// current oldest request (its size trigger is checked separately).
@@ -206,6 +220,7 @@ class QosBatcher {
   QosBatcherConfig cfg_;
   std::vector<std::deque<Request>> queues_;  ///< one per class
   std::vector<double> admitted_cost_;        ///< per class, request_cost sum
+  std::vector<std::vector<Request>> spares_; ///< recycled batch storage
   std::size_t next_batch_id_ = 0;
 };
 

@@ -5,24 +5,30 @@ namespace imars::serve {
 HotEmbeddingCache::HotEmbeddingCache(const HotCacheConfig& cfg) : cfg_(cfg) {}
 
 bool HotEmbeddingCache::contains(std::uint32_t table, std::uint32_t row) const {
-  return resident_.find(key_of(table, row)) != resident_.end();
+  if (reference_)
+    return resident_ref_.find(key_of(table, row)) != resident_ref_.end();
+  const std::uint64_t* slot = table_.find(key_of(table, row));
+  return slot != nullptr && (*slot & kResidentBit) != 0;
 }
 
 bool HotEmbeddingCache::dirty(std::uint32_t table, std::uint32_t row) const {
-  return dirty_.find(key_of(table, row)) != dirty_.end();
+  if (reference_)
+    return dirty_ref_.find(key_of(table, row)) != dirty_ref_.end();
+  return dirty_.contains(key_of(table, row));
 }
 
 bool HotEmbeddingCache::settle_heap() {
   while (!heap_.empty()) {
     const auto [freq, key] = heap_.top();
-    const auto it = resident_.find(key);
-    if (it == resident_.end()) {
+    const std::uint64_t* slot = table_.find(key);
+    if (slot == nullptr || (*slot & kResidentBit) == 0) {
       heap_.pop();  // evicted row, stale entry
       continue;
     }
-    if (it->second != freq) {
+    const std::uint64_t fresh = *slot & kFreqMask;
+    if (fresh != freq) {
       heap_.pop();  // frequency advanced since this entry was pushed
-      heap_.emplace(it->second, key);
+      heap_.emplace(fresh, key);
       continue;
     }
     return true;
@@ -31,11 +37,14 @@ bool HotEmbeddingCache::settle_heap() {
 }
 
 void HotEmbeddingCache::evict(std::uint64_t key) {
-  resident_.erase(key);
+  // The frequency history outlives residency, so eviction is a bit clear
+  // on the existing slot — never an erase.
+  *table_.find(key) &= ~kResidentBit;
+  --resident_count_;
   // A dirty row leaves the buffer through its deferred array write: the
   // eviction flushes it. Read-only streams keep dirty_ empty, so this
   // branch never perturbs their accounting.
-  const bool was_dirty = !dirty_.empty() && dirty_.erase(key) > 0;
+  const bool was_dirty = !dirty_.empty() && dirty_.erase(key);
   if (was_dirty) {
     ++stats_.flushes;
     ++pending_flushes_;
@@ -53,22 +62,29 @@ std::uint64_t HotEmbeddingCache::take_flushed() {
 
 bool HotEmbeddingCache::access(std::uint32_t table, std::uint32_t row) {
   const std::uint64_t key = key_of(table, row);
-  const std::uint64_t freq = ++freq_[key];
+  if (reference_) return access_ref(key);
+  // Single probe: bump the lifetime frequency and read residency together.
+  // Only this insert can rehash; the finds below never do, so `slot` stays
+  // valid across the admission bookkeeping.
+  std::uint64_t& slot = table_[key];
+  const std::uint64_t freq = (slot & kFreqMask) + 1;
+  const bool resident = (slot & kResidentBit) != 0;
+  slot = (slot & kResidentBit) | freq;
 
   if (cfg_.capacity_rows == 0) {
     ++stats_.misses;
     return false;
   }
 
-  if (auto it = resident_.find(key); it != resident_.end()) {
-    it->second = freq;  // heap entry refreshed lazily in settle_heap()
-    ++stats_.hits;
+  if (resident) {
+    ++stats_.hits;  // heap entry refreshed lazily in settle_heap()
     return true;
   }
 
   ++stats_.misses;
-  if (resident_.size() < cfg_.capacity_rows) {
-    resident_.emplace(key, freq);
+  if (resident_count_ < cfg_.capacity_rows) {
+    slot |= kResidentBit;
+    ++resident_count_;
     heap_.emplace(freq, key);
     return false;
   }
@@ -77,12 +93,21 @@ bool HotEmbeddingCache::access(std::uint32_t table, std::uint32_t row) {
   // missed row is now strictly hotter. The admitted row enters clean; if it
   // was flushed out dirty moments ago, the deferred write already happened
   // and must not resurrect.
-  if (settle_heap()) {
+  //
+  // Frequencies only ever increase and an admission replaces the minimum
+  // with something strictly hotter, so the coldest resident frequency is
+  // non-decreasing over the run: the last settled minimum is a permanent
+  // lower bound. A miss at freq <= bound can never admit — skip the heap
+  // settle outright (on Zipf traffic that is almost every cold miss, and
+  // it is what keeps the O(log capacity) heap off the per-access path).
+  if (freq > settled_min_ && settle_heap()) {
     const auto [min_freq, min_key] = heap_.top();
+    settled_min_ = min_freq;
     if (freq > min_freq) {
       heap_.pop();
       evict(min_key);
-      resident_.emplace(key, freq);
+      slot |= kResidentBit;
+      ++resident_count_;
       heap_.emplace(freq, key);
     }
   }
@@ -91,22 +116,116 @@ bool HotEmbeddingCache::access(std::uint32_t table, std::uint32_t row) {
 
 bool HotEmbeddingCache::update(std::uint32_t table, std::uint32_t row) {
   const std::uint64_t key = key_of(table, row);
-  ++freq_[key];  // updates count toward LFU admission on later reads
+  if (reference_) return update_ref(key);
+  std::uint64_t& slot = table_[key];
+  const std::uint64_t freq =
+      (slot & kFreqMask) + 1;  // updates count toward LFU admission
+  const bool resident = (slot & kResidentBit) != 0;
+  slot = (slot & kResidentBit) | freq;
 
   if (cfg_.capacity_rows == 0) {
     ++stats_.update_misses;  // no buffer: pure write-through
     if (sink_ != nullptr) sink_->on_cache_update(/*absorbed=*/false);
     return false;
   }
-  if (auto it = resident_.find(key); it != resident_.end()) {
-    it->second = freq_[key];  // heap refreshed lazily in settle_heap()
-    dirty_.insert(key);
+  if (resident) {
+    dirty_.insert(key);  // heap refreshed lazily in settle_heap()
     ++stats_.update_hits;
     if (sink_ != nullptr) sink_->on_cache_update(/*absorbed=*/true);
     return true;
   }
   // No write-allocate: the array takes the write directly, so an update
   // flood can never displace the read-hot set.
+  ++stats_.update_misses;
+  if (sink_ != nullptr) sink_->on_cache_update(/*absorbed=*/false);
+  return false;
+}
+
+// --- reference bookkeeping -------------------------------------------------
+// The pre-optimization implementation, frozen: node-based unordered maps
+// for the frequency history and resident set, and a heap settle attempted
+// on every full-cache miss. Kept verbatim (modulo member names) so the
+// reference host path pays exactly the bookkeeping cost the engine had
+// before this rework, while making the same decisions to the bit.
+
+bool HotEmbeddingCache::settle_heap_ref() {
+  while (!heap_.empty()) {
+    const auto [freq, key] = heap_.top();
+    const auto it = resident_ref_.find(key);
+    if (it == resident_ref_.end()) {
+      heap_.pop();  // evicted row, stale entry
+      continue;
+    }
+    if (it->second != freq) {
+      heap_.pop();  // frequency advanced since this entry was pushed
+      heap_.emplace(it->second, key);
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+void HotEmbeddingCache::evict_ref(std::uint64_t key) {
+  resident_ref_.erase(key);
+  const bool was_dirty = !dirty_ref_.empty() && dirty_ref_.erase(key) > 0;
+  if (was_dirty) {
+    ++stats_.flushes;
+    ++pending_flushes_;
+  }
+  if (sink_ != nullptr)
+    sink_->on_cache_evict(static_cast<std::uint32_t>(key >> 32),
+                          static_cast<std::uint32_t>(key), was_dirty);
+}
+
+bool HotEmbeddingCache::access_ref(std::uint64_t key) {
+  const std::uint64_t freq = ++freq_ref_[key];
+
+  if (cfg_.capacity_rows == 0) {
+    ++stats_.misses;
+    return false;
+  }
+
+  if (auto it = resident_ref_.find(key); it != resident_ref_.end()) {
+    it->second = freq;  // heap entry refreshed lazily in settle_heap_ref()
+    ++stats_.hits;
+    return true;
+  }
+
+  ++stats_.misses;
+  if (resident_ref_.size() < cfg_.capacity_rows) {
+    resident_ref_.emplace(key, freq);
+    heap_.emplace(freq, key);
+    return false;
+  }
+
+  if (settle_heap_ref()) {
+    const auto [min_freq, min_key] = heap_.top();
+    if (freq > min_freq) {
+      heap_.pop();
+      evict_ref(min_key);
+      resident_ref_.emplace(key, freq);
+      heap_.emplace(freq, key);
+    }
+  }
+  return false;
+}
+
+bool HotEmbeddingCache::update_ref(std::uint64_t key) {
+  ++freq_ref_[key];  // updates count toward LFU admission on later reads
+
+  if (cfg_.capacity_rows == 0) {
+    ++stats_.update_misses;  // no buffer: pure write-through
+    if (sink_ != nullptr) sink_->on_cache_update(/*absorbed=*/false);
+    return false;
+  }
+  if (auto it = resident_ref_.find(key); it != resident_ref_.end()) {
+    it->second = freq_ref_[key];  // heap refreshed lazily
+    dirty_ref_.insert(key);
+    ++stats_.update_hits;
+    if (sink_ != nullptr) sink_->on_cache_update(/*absorbed=*/true);
+    return true;
+  }
   ++stats_.update_misses;
   if (sink_ != nullptr) sink_->on_cache_update(/*absorbed=*/false);
   return false;

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "serve/observe.hpp"
+#include "util/flat_map.hpp"
 
 namespace imars::serve {
 
@@ -93,8 +94,21 @@ class HotEmbeddingCache {
   /// Observation never alters admission, eviction or the statistics.
   void set_observer(ObserverSink* sink) noexcept { sink_ = sink; }
 
-  std::size_t resident_rows() const noexcept { return resident_.size(); }
-  std::size_t dirty_rows() const noexcept { return dirty_.size(); }
+  /// Reference (pre-optimization) bookkeeping: node-based hash maps for
+  /// the frequency history / resident set and a heap settle on every
+  /// full-cache miss — exactly the data structures and work the cache had
+  /// before the hot-path rework. Every decision and statistic is identical
+  /// (the scaling bench's parity grid asserts it run for run); only the
+  /// host cost differs. Set by the runtime under
+  /// ServingConfig::reference_host_path. Must be chosen before first use.
+  void set_reference_bookkeeping(bool on) noexcept { reference_ = on; }
+
+  std::size_t resident_rows() const noexcept {
+    return reference_ ? resident_ref_.size() : resident_count_;
+  }
+  std::size_t dirty_rows() const noexcept {
+    return reference_ ? dirty_ref_.size() : dirty_.size();
+  }
   bool contains(std::uint32_t table, std::uint32_t row) const;
   bool dirty(std::uint32_t table, std::uint32_t row) const;
 
@@ -110,14 +124,40 @@ class HotEmbeddingCache {
   /// Drops `key` from the resident set; a dirty row records its flush.
   void evict(std::uint64_t key);
 
+  // Reference-bookkeeping twins (pre-optimization data structures).
+  bool access_ref(std::uint64_t key);
+  bool update_ref(std::uint64_t key);
+  bool settle_heap_ref();
+  void evict_ref(std::uint64_t key);
+
   using HeapEntry = std::pair<std::uint64_t, std::uint64_t>;  // (freq, key)
 
   HotCacheConfig cfg_;
   CacheStats stats_;
   ObserverSink* sink_ = nullptr;  ///< pure observer; never feeds back
-  std::unordered_map<std::uint64_t, std::uint64_t> freq_;      // full history
-  std::unordered_map<std::uint64_t, std::uint64_t> resident_;  // key -> freq
-  std::unordered_set<std::uint64_t> dirty_;  // resident rows awaiting flush
+  // access() is the single hottest call in StagePipeline::collect(), so
+  // the frequency history and the resident set share ONE open-addressing
+  // table (util::FlatMap64): the resident set's per-key frequency is
+  // always the lifetime frequency (every touch of a resident row syncs
+  // it), so a slot packs {resident bit | lifetime freq} and an access is a
+  // single probe. Eviction clears the bit — the frequency history must
+  // survive the eviction anyway — so admission churn never erases or
+  // re-inserts a key. None of this changes any decision the cache makes.
+  static constexpr std::uint64_t kResidentBit = 1ULL << 63;
+  static constexpr std::uint64_t kFreqMask = kResidentBit - 1;
+  util::FlatMap64 table_;          // key -> resident bit | lifetime freq
+  std::size_t resident_count_ = 0;
+  /// Lower bound on the coldest resident frequency (monotone: frequencies
+  /// only grow and admissions replace the min with a hotter row). Misses
+  /// at or below it skip the admission settle entirely.
+  std::uint64_t settled_min_ = 0;
+  // Reference-bookkeeping state (populated only when reference_ is set):
+  // the node-based containers the cache used before the hot-path rework.
+  bool reference_ = false;
+  std::unordered_map<std::uint64_t, std::uint64_t> freq_ref_;
+  std::unordered_map<std::uint64_t, std::uint64_t> resident_ref_;
+  std::unordered_set<std::uint64_t> dirty_ref_;
+  util::FlatSet64 dirty_;          // resident rows awaiting flush
   std::uint64_t pending_flushes_ = 0;        // since last take_flushed()
   // Lazy min-heap over resident frequencies (stale entries skipped).
   std::priority_queue<HeapEntry, std::vector<HeapEntry>,

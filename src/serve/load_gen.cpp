@@ -12,9 +12,19 @@ LoadGenerator::LoadGenerator(const LoadGenConfig& cfg)
       rng_(cfg.seed),
       gap_rng_(util::hash64(cfg.seed, 0x6170736f6e6e6fULL)),
       class_rng_(util::hash64(cfg.seed, 0x716f73636c617373ULL)),
-      update_rng_(util::hash64(cfg.seed, 0x757064617465ULL)) {
+      update_rng_(util::hash64(cfg.seed, 0x757064617465ULL)),
+      churn_rng_(util::hash64(cfg.seed, 0x636875726eULL)) {
   IMARS_REQUIRE(cfg_.clients >= 1, "LoadGenerator: need at least one client");
   IMARS_REQUIRE(cfg_.num_users >= 1, "LoadGenerator: empty user population");
+  if (cfg_.session_mode) {
+    IMARS_REQUIRE(cfg_.session_churn >= 0.0 && cfg_.session_churn <= 1.0,
+                  "LoadGenerator: session_churn must be in [0, 1]");
+    SessionTableConfig scfg;
+    scfg.capacity = cfg_.session_capacity;
+    scfg.max_kicks = cfg_.session_max_kicks;
+    scfg.seed = cfg_.seed;
+    sessions_ = std::make_unique<SessionTable>(scfg);
+  }
   if (cfg_.arrivals == ArrivalProcess::kOpenPoisson)
     IMARS_REQUIRE(cfg_.rate_qps > 0.0,
                   "LoadGenerator: open-loop mode needs a positive rate");
@@ -43,6 +53,19 @@ bool LoadGenerator::draw_update() {
   return update_rng_.uniform() < cfg_.update_fraction;
 }
 
+void LoadGenerator::stamp_session(Request& r) {
+  if (sessions_ == nullptr) return;
+  // Churn first, then the touch: a departing session can be the drawn
+  // user's own, making the next touch a re-arrival. Zero churn performs no
+  // draw at all, so churn-free session streams consume nothing extra.
+  if (cfg_.session_churn > 0.0 &&
+      churn_rng_.uniform() < cfg_.session_churn)
+    sessions_->evict_random(churn_rng_);
+  const SessionState s = sessions_->touch(r.user, r.enqueue);
+  r.session_seq = s.sequence;
+  r.session_fresh = s.sequence == 1;
+}
+
 std::size_t LoadGenerator::draw_class() {
   if (cfg_.class_mix.empty()) return 0;
   // Inverse-CDF draw from the normalized mix, on the dedicated stream.
@@ -67,6 +90,7 @@ std::optional<Request> LoadGenerator::next(std::size_t client,
   r.qos_class = draw_class();
   r.is_update = draw_update();
   r.enqueue = ready + cfg_.think;
+  stamp_session(r);
   return r;
 }
 
@@ -92,6 +116,7 @@ std::optional<Request> LoadGenerator::next_arrival() {
   r.qos_class = draw_class();
   r.is_update = draw_update();
   r.enqueue = open_clock_;
+  stamp_session(r);
   return r;
 }
 

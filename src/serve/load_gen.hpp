@@ -24,12 +24,14 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "data/zipf.hpp"
 #include "device/units.hpp"
 #include "serve/batcher.hpp"
+#include "serve/session_table.hpp"
 #include "util/rng.hpp"
 
 namespace imars::serve {
@@ -62,6 +64,18 @@ struct LoadGenConfig {
   /// from a dedicated RNG stream — 0 performs no draw at all, so read-only
   /// streams stay bit-identical to pre-write-back runs. Must be in [0, 1].
   double update_fraction = 0.0;
+  /// Session mode (serve/session_table.*): every drawn user is routed
+  /// through a cuckoo-hashed live-session table — a hit bumps the
+  /// session's query sequence, a miss is a session arrival, and
+  /// `session_churn` is the per-request probability of one random live
+  /// session departing (drawn on a dedicated RNG stream). The user draw
+  /// itself is untouched: with churn 0 the emitted request stream is
+  /// bit-identical to the non-session stream except for the inert
+  /// session_seq/session_fresh fields (tested).
+  bool session_mode = false;
+  std::size_t session_capacity = 1 << 16;  ///< live-session table target
+  std::size_t session_max_kicks = 32;      ///< cuckoo kick bound
+  double session_churn = 0.0;              ///< per-request departure prob.
 };
 
 class LoadGenerator {
@@ -81,9 +95,16 @@ class LoadGenerator {
   /// exhausted.
   std::optional<Request> next_arrival();
 
+  /// The live-session table (nullptr unless session_mode) — read-only
+  /// access for benches reporting session hit rates and churn stats.
+  const SessionTable* sessions() const noexcept { return sessions_.get(); }
+
  private:
   std::size_t draw_class();
   bool draw_update();
+  /// Session-mode bookkeeping for a freshly drawn request: churn draw,
+  /// table touch, session fields. No-op unless session_mode.
+  void stamp_session(Request& r);
 
   LoadGenConfig cfg_;
   data::ZipfSampler users_;
@@ -95,6 +116,9 @@ class LoadGenerator {
                                 ///< classes never shifts user draws)
   util::Xoshiro256 update_rng_;  ///< update-mix draws (own stream: enabling
                                  ///< updates never shifts user/class draws)
+  util::Xoshiro256 churn_rng_;  ///< session churn draws (own stream: session
+                                ///< mode never shifts user/class draws)
+  std::unique_ptr<SessionTable> sessions_;  ///< live sessions (session mode)
   double mix_total_ = 0.0;      ///< sum of class_mix shares
   std::size_t issued_ = 0;
   device::Ns open_clock_{0.0};  ///< last open-loop arrival time

@@ -113,6 +113,7 @@ std::uint64_t MetricsRegistry::counter(std::string_view name) const {
 
 void HostProfiler::enable(ObserverSink* sink) {
   sink_ = sink;
+  collecting_ = true;
   epoch_ = std::chrono::steady_clock::now();
   totals_.clear();
 }

@@ -217,18 +217,20 @@ class ObserverSink {
 };
 
 /// Wall-clock self-profiling of the simulator's own hot path. Scopes are
-/// RAII over std::chrono::steady_clock; when the profiler is disabled
-/// (no sink) a Scope construction is two pointer reads and no clock call.
-/// Spans report microseconds relative to the enable() epoch so traces
-/// start near zero. Host spans are telemetry about the HOST, so they are
-/// exempt from (and cannot perturb) the simulated-time determinism
-/// contract.
+/// RAII over std::chrono::steady_clock; while the profiler is disabled
+/// (never enable()d) a Scope construction is two pointer reads and no
+/// clock call. Spans report microseconds relative to the enable() epoch
+/// so traces start near zero. Host spans are telemetry about the HOST, so
+/// they are exempt from (and cannot perturb) the simulated-time
+/// determinism contract.
 class HostProfiler {
  public:
-  /// Routes spans to `sink` (nullptr disables). Resets the epoch and the
-  /// accumulated totals.
+  /// Starts collecting per-span totals (total_us()), streaming each span
+  /// to `sink` as well when one is attached — a null sink keeps the
+  /// totals, which is all ServeReport::host_span_us needs. Resets the
+  /// epoch and the accumulated totals.
   void enable(ObserverSink* sink);
-  bool enabled() const noexcept { return sink_ != nullptr; }
+  bool enabled() const noexcept { return collecting_; }
 
   /// Cumulative wall time per scope name since enable().
   const std::map<std::string, double, std::less<>>& total_us() const noexcept {
@@ -259,6 +261,7 @@ class HostProfiler {
               std::chrono::steady_clock::time_point start);
 
   ObserverSink* sink_ = nullptr;
+  bool collecting_ = false;
   std::chrono::steady_clock::time_point epoch_;
   std::map<std::string, double, std::less<>> totals_;
 };

@@ -215,15 +215,34 @@ ServeReport ServingRuntime::run(LoadGenerator& gen) {
   // (see ObserverSink), so every path below is bit-identical with or
   // without it.
   pipeline_.set_observer(sink_);
+  // Host-path A/B switch (ServingConfig::reference_host_path): simulated
+  // time is bit-identical either way; only host-side allocation behavior
+  // differs.
+  pipeline_.set_reference_mode(cfg_.reference_host_path);
   // Latency-critical classes without a hand-tuned service_estimate get a
   // graph-aware default (critical path through the servable's stage DAG,
   // probed before serving) for the preemptive-close slack computation.
   const QosBatcherConfig qos = resolved_qos();
   HotEmbeddingCache cache(cfg_.cache);
   cache.set_observer(sink_);
+  // The reference host path also re-enacts the cache's pre-optimization
+  // bookkeeping (node-based maps, per-miss heap settles) — same decisions,
+  // original host cost.
+  cache.set_reference_bookkeeping(cfg_.reference_host_path);
   HotEmbeddingCache* cache_ptr =
       cfg_.cache.capacity_rows > 0 ? &cache : nullptr;
   QosBatcher batcher(qos);
+  // Optimized host path: collected request storage flows back to the
+  // batcher's spare pool instead of being freed (the engine ignores the
+  // hook in reference mode). The hook captures this run's batcher, so it
+  // must not outlive the run — the guard clears it on every exit path.
+  pipeline_.set_request_recycler([&batcher](std::vector<Request>&& storage) {
+    batcher.recycle(std::move(storage));
+  });
+  struct RecyclerGuard {
+    StagePipeline& pipeline;
+    ~RecyclerGuard() { pipeline.set_request_recycler(nullptr); }
+  } recycler_guard{pipeline_};
   // Wall-clock self-profiling of the event-model hot path; host-side
   // telemetry only, exempt from the simulated-time determinism contract.
   HostProfiler prof;
@@ -356,17 +375,34 @@ ServeReport ServingRuntime::run(LoadGenerator& gen) {
   // Deterministic accounting of the oldest in-flight batch (collection
   // happens in dispatch order, so overlapped and phased execution yield
   // bit-identical reports).
+  // Optimized-path scratch: one result buffer reused across every drained
+  // batch, and the SoA arena accumulating per-query records until the
+  // single materialization after the event loop.
+  std::vector<StagePipeline::QueryResult> collected;
+  QueryArena arena;
   auto drain_one = [&] {
     InflightBatch entry = std::move(inflight.front());
     inflight.pop_front();
     // Updates that arrived up to this batch's close apply first (timestamp
     // order — see pending_updates above).
     apply_updates_until(entry.dispatch);
-    const auto results = [&] {
+    {
+      // Worker-completion wait is simulated-work execution time, not host
+      // bookkeeping: profile it separately so host.collect measures the
+      // composition loop itself.
+      HostProfiler::Scope host(prof, "host.wait");
+      entry.handle.wait();
+    }
+    {
       HostProfiler::Scope host(prof, "host.collect");
-      return pipeline_.collect(std::move(entry.handle), *entry.servable,
-                               cache_ptr, timings_);
-    }();
+      if (cfg_.reference_host_path)
+        collected = pipeline_.collect(std::move(entry.handle),
+                                      *entry.servable, cache_ptr, timings_);
+      else
+        pipeline_.collect_into(std::move(entry.handle), *entry.servable,
+                               cache_ptr, timings_, collected);
+    }
+    const auto& results = collected;
     HostProfiler::Scope host(prof, "host.report");
     ++report.batches;
     ClassReport& cr = report.classes[entry.qos_class];
@@ -407,7 +443,6 @@ ServeReport ServingRuntime::run(LoadGenerator& gen) {
         q.enqueue = req.enqueue;
         q.dispatch = res.dispatch;
         q.complete = res.complete;
-        q.topk = res.topk;
         // Every stage before the last aggregates as "filter", the last as
         // "rank" (scoring), so the split reconciles with per-query energy
         // for any stage count.
@@ -416,7 +451,14 @@ ServeReport ServingRuntime::run(LoadGenerator& gen) {
         q.rank_latency = res.stage_latency.back();
         q.energy = energy;
         q.device_time = device_time;
-        report.queries.push_back(std::move(q));
+        if (cfg_.reference_host_path) {
+          q.topk = res.topk;
+          report.queries.push_back(std::move(q));
+        } else {
+          // SoA arena: scalar columns + flat top-k pool, materialized into
+          // report.queries once after the event loop (identical records).
+          arena.push(q, res.topk);
+        }
       }
       for (std::size_t s = 0; s + 1 < res.stage_stats.size(); ++s)
         report.filter_stats.merge(res.stage_stats[s]);
@@ -446,17 +488,34 @@ ServeReport ServingRuntime::run(LoadGenerator& gen) {
     }
   };
 
-  auto submit_batch = [&](const Batch& batch, device::Ns release) {
+  auto submit_batch = [&](Batch batch, device::Ns release) {
     const std::size_t cls = batch.qos_class;
     const QosClassConfig& ccfg = qos.classes[cls];
     ServableBackend* servable = servables_[ccfg.servable].get();
     const bool urgent = ccfg.deadline.value > 0.0;
-    inflight.push_back({pipeline_.submit(batch, *servable, cfg_.k,
-                                         ccfg.servable, urgent),
-                        servable, cls, batch.id,
-                        batch.requests.empty() ? batch.dispatch
-                                               : batch.requests.front().enqueue,
-                        batch.dispatch, release, batch.trigger});
+    // Batch coordinates are captured BEFORE submit consumes the batch (the
+    // optimized path moves the request storage into the engine; the
+    // reference path copies, re-enacting the pre-optimization behavior).
+    InflightBatch entry;
+    entry.servable = servable;
+    entry.qos_class = cls;
+    entry.id = batch.id;
+    entry.first_enqueue = batch.requests.empty()
+                              ? batch.dispatch
+                              : batch.requests.front().enqueue;
+    entry.dispatch = batch.dispatch;
+    entry.release = release;
+    entry.trigger = batch.trigger;
+    {
+      HostProfiler::Scope host(prof, "host.submit");
+      entry.handle =
+          cfg_.reference_host_path
+              ? pipeline_.submit(batch, *servable, cfg_.k, ccfg.servable,
+                                 urgent)
+              : pipeline_.submit(std::move(batch), *servable, cfg_.k,
+                                 ccfg.servable, urgent);
+    }
+    inflight.push_back(std::move(entry));
     if (!defer) {
       drain_one();
     } else {
@@ -525,9 +584,9 @@ ServeReport ServingRuntime::run(LoadGenerator& gen) {
       if (gated && (pipeline_.frontier() - window).value > now.value)
         break;
       const std::size_t idx = gated ? pick_ready() : 0;
-      const Batch batch = std::move(ready[idx]);
+      Batch batch = std::move(ready[idx]);
       ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(idx));
-      submit_batch(batch, now);
+      submit_batch(std::move(batch), now);
       // Time series at every release: gated-queue depth, in-flight depth,
       // and how far the device backlog frontier runs ahead of "now".
       if (sink_ != nullptr) {
@@ -635,6 +694,12 @@ ServeReport ServingRuntime::run(LoadGenerator& gen) {
   // Updates trailing the last batch dispatch (or an update-only stream).
   apply_updates_until(device::Ns{std::numeric_limits<double>::infinity()});
 
+  // One bulk AoS materialization of the arena-accumulated records, outside
+  // every host span (the reference path pushed directly; streaming retains
+  // none).
+  if (!cfg_.reference_host_path && !report.streaming.enabled)
+    report.queries = arena.materialize();
+
   report.shards.assign(pipeline_.usage().begin(), pipeline_.usage().end());
   for (std::size_t slot = 0; slot < pipeline_.spec_count(); ++slot) {
     report.stage_offsets.push_back(pipeline_.stage_offset(slot));
@@ -647,6 +712,11 @@ ServeReport ServingRuntime::run(LoadGenerator& gen) {
   report.cache = cache.stats();
   report.flush_bytes =
       static_cast<std::size_t>(cache.stats().flushes) * row_bytes_;
+  // Host wall-clock totals (name order — total_us() is an ordered map);
+  // telemetry only, outside the parity contract.
+  if (cfg_.self_profile)
+    for (const auto& [name, us] : prof.total_us())
+      report.host_span_us.emplace_back(name, us);
   // End-of-run whole-shard occupancy, stamped at the makespan: total_busy
   // (every stage unit plus the write path — the one view that counts
   // ShardUsage::write_busy) and the write path alone.

@@ -159,10 +159,17 @@ std::vector<RowAccess> CtrServable::accesses(
   // sum — so hits are flagged parallel_bank, grouped per impression:
   // energy is credited per hit, latency only when a whole impression hits.
   // In the tower graphs only the gather stage touches the ET banks.
-  if (graph_ != CtrGraph::kFused && stage != kGatherStage) return {};
   std::vector<RowAccess> out;
+  accesses_into(stage, req, slice, out);
+  return out;
+}
+
+void CtrServable::accesses_into(std::size_t stage, const Request& req,
+                                std::span<const std::size_t> slice,
+                                std::vector<RowAccess>& out) const {
+  if (graph_ != CtrGraph::kFused && stage != kGatherStage) return;
   const auto& s = sample_of(req);
-  out.reserve(slice.size() * s.sparse.size());
+  out.reserve(out.size() + slice.size() * s.sparse.size());
   for (std::size_t i = 0; i < slice.size(); ++i)
     for (std::size_t f = 0; f < s.sparse.size(); ++f)
       out.push_back({static_cast<std::uint32_t>(f),
@@ -170,7 +177,6 @@ std::vector<RowAccess> CtrServable::accesses(
                      /*pooled=*/false, /*first_in_table=*/false,
                      /*parallel_bank=*/true,
                      /*parallel_group=*/static_cast<std::uint32_t>(i)});
-  return out;
 }
 
 std::vector<RowAccess> CtrServable::update_accesses(const Request& req) const {

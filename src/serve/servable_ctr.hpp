@@ -99,6 +99,13 @@ class CtrServable final : public ServableBackend {
       std::size_t stage, const Request& req,
       std::span<const std::size_t> slice) const override;
 
+  /// Hot-path form: appends the same rows into `out` (the pipeline's
+  /// per-batch scratch) without a fresh allocation; accesses() is
+  /// implemented on top of it.
+  void accesses_into(std::size_t stage, const Request& req,
+                     std::span<const std::size_t> slice,
+                     std::vector<RowAccess>& out) const override;
+
   /// An embedding update writes the impression's categorical rows (one row
   /// per sparse feature — the rows an online trainer refreshes after the
   /// click label lands).

@@ -11,16 +11,62 @@ namespace imars::serve {
 
 namespace {
 
-/// util::percentile over a possibly-empty sample: 0.0 when empty. For
-/// n >= 1 the interpolated rank p/100 * (n-1) stays inside [0, n-1], so the
-/// percentile never indexes past the sorted vector and n = 1 yields the
-/// sample itself for every p (pinned by the serving test suite).
-double percentile_or_zero(const std::vector<double>& xs, double p) {
+/// Percentile over a possibly-empty sample: 0.0 when empty. For n >= 1 the
+/// interpolated rank p/100 * (n-1) stays inside [0, n-1], so the
+/// percentile never indexes past the sample and n = 1 yields the sample
+/// itself for every p (pinned by the serving test suite). Selection-based
+/// (util::percentile_select): O(n) instead of the former copy + full sort,
+/// bit-identical values — the sample is taken by value because selection
+/// reorders it, and every caller hands over a freshly built vector anyway.
+double percentile_or_zero(std::vector<double> xs, double p) {
   if (xs.empty()) return 0.0;
-  return util::percentile(xs, p);
+  return util::percentile_select(xs, p);
 }
 
 }  // namespace
+
+void QueryArena::clear() {
+  recs.clear();
+  topk_flat.clear();
+}
+
+void QueryArena::push(const ServedQuery& q,
+                      std::span<const recsys::ScoredItem> topk) {
+  recs.push_back({q.id, q.user, q.client, q.qos_class, q.batch, q.batch_size,
+                  q.home_shard, q.candidates, q.enqueue, q.dispatch,
+                  q.complete, q.filter_latency, q.rank_latency, q.device_time,
+                  q.energy, topk.size()});
+  topk_flat.insert(topk_flat.end(), topk.begin(), topk.end());
+}
+
+std::vector<ServedQuery> QueryArena::materialize() const {
+  std::vector<ServedQuery> out(size());
+  std::size_t pool = 0;
+  for (std::size_t i = 0; i < size(); ++i) {
+    const Rec& r = recs[i];
+    ServedQuery& q = out[i];
+    q.id = r.id;
+    q.user = r.user;
+    q.client = r.client;
+    q.qos_class = r.qos_class;
+    q.batch = r.batch;
+    q.batch_size = r.batch_size;
+    q.home_shard = r.home_shard;
+    q.candidates = r.candidates;
+    q.enqueue = r.enqueue;
+    q.dispatch = r.dispatch;
+    q.complete = r.complete;
+    q.filter_latency = r.filter_latency;
+    q.rank_latency = r.rank_latency;
+    q.device_time = r.device_time;
+    q.energy = r.energy;
+    q.topk.assign(topk_flat.begin() + static_cast<std::ptrdiff_t>(pool),
+                  topk_flat.begin() +
+                      static_cast<std::ptrdiff_t>(pool + r.topk_len));
+    pool += r.topk_len;
+  }
+  return out;
+}
 
 void StreamingAggregates::note(std::size_t cls, double latency_ns,
                                double energy_pj, double device_ns) {

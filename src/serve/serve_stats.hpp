@@ -12,8 +12,10 @@
 
 #include <cstddef>
 #include <limits>
+#include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "device/units.hpp"
@@ -46,6 +48,37 @@ struct ServedQuery {
   /// Merged top-k (best first). Kept so cross-tenant isolation can be
   /// asserted result-for-result, not just in aggregate.
   std::vector<recsys::ScoredItem> topk;
+};
+
+/// Accumulation arena for per-query records. The steady-state drain loop
+/// appends one query's scalar fields as a single contiguous POD record
+/// (one growth check, one cache line stream — column-per-field scatter
+/// measurably LOST to the reference path here) and its top-k items into
+/// one flat pool — amortized growth, no per-query vector allocation inside
+/// the profiled host.report span. materialize() rebuilds the public
+/// ServedQuery records (identical values) in one pass after the event
+/// loop, outside every host span.
+struct QueryArena {
+  /// ServedQuery's scalar fields, trivially copyable (the top-k vector is
+  /// replaced by a length into the flat pool).
+  struct Rec {
+    std::size_t id, user, client, qos_class, batch, batch_size, home_shard,
+        candidates;
+    device::Ns enqueue, dispatch, complete, filter_latency, rank_latency,
+        device_time;
+    device::Pj energy;
+    std::size_t topk_len;  ///< this query's run in topk_flat
+  };
+  std::vector<Rec> recs;
+  std::vector<recsys::ScoredItem> topk_flat;  ///< all top-k items, in order
+
+  std::size_t size() const noexcept { return recs.size(); }
+  void clear();
+  /// Appends `q`'s scalar fields (its own `topk` member is ignored) and
+  /// `topk` into the flat pool.
+  void push(const ServedQuery& q, std::span<const recsys::ScoredItem> topk);
+  /// The accumulated queries as AoS records, in push order.
+  std::vector<ServedQuery> materialize() const;
 };
 
 /// Busy time of one shard's pipeline units over the run, one entry per
@@ -149,6 +182,24 @@ struct ServeReport {
   /// answers from here instead; views needing per-query records
   /// (latencies_ns, class_latencies_ns, finite-cutoff device_share) throw.
   StreamingAggregates streaming;
+  /// Host wall-clock totals per self-profile span name (microseconds; name
+  /// order), filled only when ServingConfig::self_profile is set. This is
+  /// WALL-CLOCK telemetry of the simulator itself — bench_scaling divides
+  /// reference by optimized totals for its host-speedup figure — and is
+  /// deliberately outside the bit-identical-reports contract, which covers
+  /// simulated-time fields only.
+  std::vector<std::pair<std::string, double>> host_span_us;
+
+  /// Total profiled host wall-clock (sum over host_span_us), microseconds.
+  /// host.wait — the driver blocking on worker completion — is execution
+  /// time of the batch's functional work, not host bookkeeping, so it is
+  /// excluded from the host-path total (it still appears in host_span_us).
+  double host_total_us() const noexcept {
+    double sum = 0.0;
+    for (const auto& [name, us] : host_span_us)
+      if (name != "host.wait") sum += us;
+    return sum;
+  }
 
   // --- write-back / placement telemetry -----------------------------------
   std::size_t updates = 0;      ///< embedding-update requests applied

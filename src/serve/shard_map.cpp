@@ -195,4 +195,13 @@ std::vector<std::vector<std::size_t>> ShardMap::partition(
   return slices;
 }
 
+void ShardMap::partition_into(
+    std::span<const std::size_t> keys,
+    std::vector<std::vector<std::size_t>>& slices) const {
+  IMARS_REQUIRE(!table_.empty(), "ShardMap::partition_into: empty map");
+  slices.resize(shards());
+  for (auto& slice : slices) slice.clear();
+  for (std::size_t key : keys) slices[shard_of(key)].push_back(key);
+}
+
 }  // namespace imars::serve

@@ -95,6 +95,13 @@ class ShardMap {
   std::vector<std::vector<std::size_t>> partition(
       std::span<const std::size_t> keys) const;
 
+  /// partition() into caller-owned storage: `slices` is resized to the
+  /// shard count and each slice cleared (capacity kept) and refilled, so a
+  /// hot scheduling loop reuses its slice buffers instead of allocating a
+  /// vector-of-vectors per (query, stage). Contents match partition().
+  void partition_into(std::span<const std::size_t> keys,
+                      std::vector<std::vector<std::size_t>>& slices) const;
+
   // --- frequency-aware pins -------------------------------------------
 
   /// Replaces the pin table: each (key, shard) entry overrides the bucket

@@ -156,8 +156,23 @@ std::vector<RowAccess> ShardRouter::rank_accesses(
 std::vector<RowAccess> ShardRouter::accesses(
     std::size_t stage, const Request& req,
     std::span<const std::size_t> slice) const {
-  return stage == 0 ? filter_accesses(user_of(req))
-                    : rank_accesses(user_of(req), slice);
+  std::vector<RowAccess> out;
+  accesses_into(stage, req, slice, out);
+  return out;
+}
+
+void ShardRouter::accesses_into(std::size_t stage, const Request& req,
+                                std::span<const std::size_t> slice,
+                                std::vector<RowAccess>& out) const {
+  const auto& user = user_of(req);
+  if (stage == 0) {
+    append_pooled_pass(user, traffic_.filter_features, out);
+    return;
+  }
+  for (std::size_t item : slice) {
+    append_pooled_pass(user, traffic_.rank_features, out);
+    out.push_back({kItetTable, static_cast<std::uint32_t>(item), false});
+  }
 }
 
 std::vector<RowAccess> ShardRouter::update_accesses(const Request& req) const {

@@ -97,6 +97,13 @@ class ShardRouter final : public ServableBackend {
       std::size_t stage, const Request& req,
       std::span<const std::size_t> slice) const override;
 
+  /// Hot-path form: appends the same rows into `out` (the pipeline's
+  /// per-batch scratch) without a fresh allocation; accesses() is
+  /// implemented on top of it.
+  void accesses_into(std::size_t stage, const Request& req,
+                     std::span<const std::size_t> slice,
+                     std::vector<RowAccess>& out) const override;
+
   /// An embedding update writes the user's profile rows: the filter-feature
   /// sparse rows plus the interaction history (the rows an online trainer
   /// refreshes after the user acts on a recommendation).

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <unordered_map>
 
 #include "util/error.hpp"
@@ -163,6 +162,10 @@ struct StagePipeline::BatchHandle::State {
   std::unique_ptr<std::atomic<std::size_t>[]> fan_in;
   std::unique_ptr<std::atomic<std::size_t>[]> deps_left;
   std::unique_ptr<std::atomic<std::size_t>[]> stages_left;  ///< per query
+  /// Allocated extents of the atomic arrays — a pooled State reallocates
+  /// them only when a later batch outgrows what it already holds.
+  std::size_t atomic_cap = 0;  ///< fan_in / deps_left entries
+  std::size_t query_cap = 0;   ///< stages_left entries
 
   std::atomic<std::size_t> outstanding{0};
   std::atomic<bool> failed{false};
@@ -230,6 +233,10 @@ StagePipeline::~StagePipeline() {
   for (const auto& st : live) st->done_future.wait();
 }
 
+void StagePipeline::BatchHandle::wait() const {
+  if (state_ != nullptr) state_->done_future.wait();
+}
+
 void StagePipeline::reset_clock() {
   for (auto& c : clocks_) {
     c.stage_free.assign(total_stages_, device::Ns{0.0});
@@ -239,6 +246,7 @@ void StagePipeline::reset_clock() {
     u.stage_busy.assign(total_stages_, device::Ns{0.0});
     u.write_busy = device::Ns{0.0};
   }
+  frontier_ = device::Ns{0.0};
   // Handles abandoned before collection (e.g. a caller unwound past them
   // after another batch's error) left their sequence numbers unconsumed;
   // realign so the next run starts clean — stale handles then fail
@@ -261,18 +269,24 @@ void StagePipeline::charge_write(std::size_t shard,
   ShardClocks& c = clocks_[shard];
   const device::Ns start = device::max(at, c.shared_free);
   c.shared_free = start + cost.latency;
+  frontier_ = device::max(frontier_, c.shared_free);
   usage_[shard].write_busy += cost.latency;
   if (sink_ != nullptr && cost.latency.value > 0.0)
     sink_->on_write(shard, start, start + cost.latency);
 }
 
 device::Ns StagePipeline::frontier() const {
-  device::Ns latest{0.0};
-  for (const auto& c : clocks_) {
-    for (const auto& t : c.stage_free) latest = device::max(latest, t);
-    latest = device::max(latest, c.shared_free);
-  }
-  return latest;
+  // Every clock commit (collect's stage/ET claims, charge_write) only moves
+  // a clock forward, so the running maximum maintained at each commit
+  // equals the full O(shards * stages) scan this used to perform — and the
+  // admission-gated runtime probes the frontier per pump iteration.
+  return frontier_;
+}
+
+void StagePipeline::set_reference_mode(bool on) {
+  IMARS_REQUIRE(next_submit_seq_ == next_collect_seq_,
+                "StagePipeline::set_reference_mode: batches in flight");
+  reference_mode_ = on;
 }
 
 device::Ns StagePipeline::service_estimate(
@@ -291,7 +305,68 @@ device::Ns StagePipeline::service_estimate(
   return est;
 }
 
-StagePipeline::BatchHandle StagePipeline::submit(const Batch& batch,
+std::shared_ptr<StagePipeline::BatchHandle::State>
+StagePipeline::acquire_state(std::size_t queries, std::size_t stages,
+                             const PipelineSpec& spec) {
+  const std::size_t ns = shards();
+  std::shared_ptr<BatchHandle::State> st;
+  if (!reference_mode_ && !state_pool_.empty()) {
+    st = std::move(state_pool_.back());
+    state_pool_.pop_back();
+  } else {
+    st = std::make_shared<BatchHandle::State>();
+  }
+  st->stages = stages;
+  // Structure-preserving reset: every inner vector of a pooled State keeps
+  // its capacity (StageStats is a plain array, so the assigns below
+  // allocate nothing), which makes the steady-state submit path
+  // allocation-free. A fresh State allocates exactly what the former
+  // assign-based setup did.
+  st->home.resize(queries);
+  st->init_items.resize(queries);
+  for (auto& items : st->init_items) items.clear();
+  st->rec.resize(queries);
+  for (auto& query_rec : st->rec) {
+    query_rec.resize(stages);
+    for (std::size_t s = 0; s < stages; ++s) {
+      auto& r = query_rec[s];
+      r.rep_stats = StageStats{};
+      r.out_items.clear();
+      if (spec.stages[s].kind == StageKind::kSharded)
+        r.shard_stats.assign(ns, StageStats{});
+      else
+        r.shard_stats.clear();
+      for (auto& slice : r.slices) slice.clear();
+    }
+  }
+  st->partials.resize(queries);
+  for (auto& per_shard : st->partials) {
+    per_shard.resize(ns);
+    for (auto& partial : per_shard) partial.clear();
+  }
+  if (st->atomic_cap < queries * stages) {
+    st->fan_in =
+        std::make_unique<std::atomic<std::size_t>[]>(queries * stages);
+    st->deps_left =
+        std::make_unique<std::atomic<std::size_t>[]>(queries * stages);
+    st->atomic_cap = queries * stages;
+  }
+  if (st->query_cap < queries) {
+    st->stages_left = std::make_unique<std::atomic<std::size_t>[]>(queries);
+    st->query_cap = queries;
+  }
+  // A pooled State's promise has already fired; re-arm it for this batch.
+  st->done = std::promise<void>();
+  st->done_future = st->done.get_future().share();
+  st->failed.store(false);
+  {
+    std::lock_guard lock(st->err_mu);
+    st->error = nullptr;
+  }
+  return st;
+}
+
+StagePipeline::BatchHandle StagePipeline::submit(Batch batch,
                                                  ServableBackend& servable,
                                                  std::size_t k,
                                                  std::size_t spec_idx,
@@ -323,32 +398,18 @@ StagePipeline::BatchHandle StagePipeline::submit(const Batch& batch,
                   "StagePipeline::submit: servable stage graph mismatch");
 
   const std::size_t stages = spec.stage_count();
-  auto st = std::make_shared<BatchHandle::State>();
-  st->batch = batch;
+  auto st = acquire_state(n, stages, spec);
+  st->batch = std::move(batch);
   st->k = k;
   st->spec_idx = spec_idx;
   st->urgent = urgent;
   st->seq = next_submit_seq_++;
-  st->stages = stages;
-  st->home.resize(n);
-  st->init_items.resize(n);
-  st->rec.assign(n, std::vector<BatchHandle::State::StageRec>(stages));
-  for (auto& query_rec : st->rec)
-    for (std::size_t s = 0; s < stages; ++s)
-      if (spec.stages[s].kind == StageKind::kSharded)
-        query_rec[s].shard_stats.resize(ns);
-  st->partials.assign(
-      n, std::vector<std::vector<recsys::ScoredItem>>(ns));
-  st->fan_in = std::make_unique<std::atomic<std::size_t>[]>(n * stages);
-  st->deps_left = std::make_unique<std::atomic<std::size_t>[]>(n * stages);
-  st->stages_left = std::make_unique<std::atomic<std::size_t>[]>(n);
   for (std::size_t qi = 0; qi < n; ++qi) {
     st->stages_left[qi].store(stages);
     for (std::size_t s = 0; s < stages; ++s)
       st->deps(qi, s).store(graph.preds[s].size());
   }
   st->outstanding.store(n);
-  st->done_future = st->done.get_future().share();
   {
     std::lock_guard lock(pending_mu_);
     std::erase_if(pending_, [](const auto& wp) { return wp.expired(); });
@@ -364,6 +425,20 @@ StagePipeline::BatchHandle StagePipeline::submit(const Batch& batch,
     return false;
   }();
 
+  // Optimized dispatch buffers the batch's source-stage tasks per shard
+  // and hands each shard ONE composite task — one queue lock and worker
+  // wake per shard per batch instead of per query (the futex wake is the
+  // dominant host cost of fine-grained dispatch). The reference path keeps
+  // the historical per-query enqueues. Host-side granularity only: tasks
+  // run in the same per-shard order, and every timing decision is composed
+  // later in collect().
+  DeferredTasks* defer = nullptr;
+  if (!reference_mode_) {
+    dispatch_scratch_.resize(ns);
+    for (auto& tasks : dispatch_scratch_) tasks.clear();
+    defer = &dispatch_scratch_;
+  }
+
   for (std::size_t qi = 0; qi < n; ++qi) {
     const Request& req = st->batch.requests[qi];
     // All placement routes through the ShardMap: queries spread over the
@@ -374,8 +449,20 @@ StagePipeline::BatchHandle StagePipeline::submit(const Batch& batch,
     if (needs_initial) st->init_items[qi] = servable.initial_items(req);
     // Kick off every source stage; the rest chain along the graph edges.
     for (std::size_t s = 0; s < stages; ++s)
-      if (graph.preds[s].empty()) schedule_stage(st, servable, qi, s);
+      if (graph.preds[s].empty()) schedule_stage(st, servable, qi, s, defer);
   }
+
+  if (defer != nullptr)
+    for (std::size_t shard = 0; shard < ns; ++shard) {
+      if (dispatch_scratch_[shard].empty()) continue;
+      executors_.at(shard).submit(
+          [this, st, &servable, shard,
+           tasks = std::move(dispatch_scratch_[shard])] {
+            for (const auto& [qi, stage] : tasks)
+              run_stage_task(st, servable, qi, stage, shard);
+          },
+          st->urgent);
+    }
 
   BatchHandle handle;
   handle.state_ = std::move(st);
@@ -384,23 +471,57 @@ StagePipeline::BatchHandle StagePipeline::submit(const Batch& batch,
 
 void StagePipeline::schedule_stage(
     const std::shared_ptr<BatchHandle::State>& st, ServableBackend& servable,
-    std::size_t qi, std::size_t stage) {
+    std::size_t qi, std::size_t stage, DeferredTasks* defer) {
   // Nothing in the chain may leak an exception: a throw between the
   // counter updates (e.g. bad_alloc in partition or task submission)
   // would leave the batch's counters above zero and hang collect()
   // forever, so any such failure marks the batch failed and structurally
   // completes the stage instead.
   try {
-    schedule_stage_unchecked(st, servable, qi, stage);
+    schedule_stage_unchecked(st, servable, qi, stage, defer);
   } catch (...) {
     st->fail(std::current_exception());
     finish_stage(st, servable, qi, stage);
   }
 }
 
+void StagePipeline::run_stage_task(
+    const std::shared_ptr<BatchHandle::State>& st, ServableBackend& servable,
+    std::size_t qi, std::size_t stage, std::size_t shard) {
+  const PipelineSpec& spec = specs_[st->spec_idx];
+  if (spec.stages[stage].kind == StageKind::kReplicated) {
+    try {
+      st->rec[qi][stage].out_items = servable.run_replicated(
+          stage, shard, st->batch.requests[qi],
+          &st->rec[qi][stage].rep_stats);
+    } catch (...) {
+      st->fail(std::current_exception());
+    }
+    finish_stage(st, servable, qi, stage);
+    return;
+  }
+
+  const PipelineSpec::Graph& graph = graphs_[st->spec_idx];
+  const bool is_output = stage == graph.output_stage;
+  auto& r = st->rec[qi][stage];
+  try {
+    auto partial =
+        servable.run_sharded(stage, shard, st->batch.requests[qi],
+                             r.slices[shard], st->k, &r.shard_stats[shard]);
+    // Only the output stage's partials reach the merge; an interior
+    // sharded stage (e.g. an embedding-gather tower) feeds timing and
+    // successors, not results.
+    if (is_output) st->partials[qi][shard] = std::move(partial);
+  } catch (...) {
+    st->fail(std::current_exception());
+  }
+  if (st->fan(qi, stage).fetch_sub(1) == 1)
+    finish_stage(st, servable, qi, stage);
+}
+
 void StagePipeline::schedule_stage_unchecked(
     const std::shared_ptr<BatchHandle::State>& st, ServableBackend& servable,
-    std::size_t qi, std::size_t stage) {
+    std::size_t qi, std::size_t stage, DeferredTasks* defer) {
   const PipelineSpec& spec = specs_[st->spec_idx];
   const PipelineSpec::Graph& graph = graphs_[st->spec_idx];
   // A failed batch skips its remaining functional work; stages still
@@ -412,16 +533,13 @@ void StagePipeline::schedule_stage_unchecked(
 
   if (spec.stages[stage].kind == StageKind::kReplicated) {
     const std::size_t shard = st->home[qi];
+    if (defer != nullptr) {
+      (*defer)[shard].emplace_back(qi, stage);
+      return;
+    }
     executors_.at(shard).submit(
         [this, st, &servable, qi, stage, shard] {
-          try {
-            st->rec[qi][stage].out_items = servable.run_replicated(
-                stage, shard, st->batch.requests[qi],
-                &st->rec[qi][stage].rep_stats);
-          } catch (...) {
-            st->fail(std::current_exception());
-          }
-          finish_stage(st, servable, qi, stage);
+          run_stage_task(st, servable, qi, stage, shard);
         },
         st->urgent);
     return;
@@ -433,9 +551,16 @@ void StagePipeline::schedule_stage_unchecked(
   auto& rec = st->rec[qi][stage];
   const auto& sources = graph.item_sources[stage];
   if (sources.empty()) {
-    rec.slices = map_.partition(st->init_items[qi]);
+    if (reference_mode_)
+      rec.slices = map_.partition(st->init_items[qi]);
+    else
+      map_.partition_into(st->init_items[qi], rec.slices);
   } else if (sources.size() == 1) {
-    rec.slices = map_.partition(st->rec[qi][sources.front()].out_items);
+    const auto& items = st->rec[qi][sources.front()].out_items;
+    if (reference_mode_)
+      rec.slices = map_.partition(items);
+    else
+      map_.partition_into(items, rec.slices);
   } else {
     // A join over several replicated feeders consumes the concatenation
     // of their outputs, in declared edge order (deterministic).
@@ -444,7 +569,10 @@ void StagePipeline::schedule_stage_unchecked(
       const auto& out = st->rec[qi][src].out_items;
       items.insert(items.end(), out.begin(), out.end());
     }
-    rec.slices = map_.partition(items);
+    if (reference_mode_)
+      rec.slices = map_.partition(items);
+    else
+      map_.partition_into(items, rec.slices);
   }
   std::size_t nonempty = 0;
   for (const auto& s : rec.slices)
@@ -453,26 +581,16 @@ void StagePipeline::schedule_stage_unchecked(
     finish_stage(st, servable, qi, stage);
     return;
   }
-  const bool is_output = stage == graph.output_stage;
   st->fan(qi, stage).store(nonempty);
   for (std::size_t shard = 0; shard < rec.slices.size(); ++shard) {
     if (rec.slices[shard].empty()) continue;
+    if (defer != nullptr) {
+      (*defer)[shard].emplace_back(qi, stage);
+      continue;
+    }
     executors_.at(shard).submit(
-        [this, st, &servable, qi, stage, shard, is_output] {
-          auto& r = st->rec[qi][stage];
-          try {
-            auto partial = servable.run_sharded(
-                stage, shard, st->batch.requests[qi], r.slices[shard], st->k,
-                &r.shard_stats[shard]);
-            // Only the output stage's partials reach the merge; an interior
-            // sharded stage (e.g. an embedding-gather tower) feeds timing
-            // and successors, not results.
-            if (is_output) st->partials[qi][shard] = std::move(partial);
-          } catch (...) {
-            st->fail(std::current_exception());
-          }
-          if (st->fan(qi, stage).fetch_sub(1) == 1)
-            finish_stage(st, servable, qi, stage);
+        [this, st, &servable, qi, stage, shard] {
+          run_stage_task(st, servable, qi, stage, shard);
         },
         st->urgent);
   }
@@ -500,16 +618,26 @@ StageStats StagePipeline::adjust_stage(const StageStats& measured,
 
   std::size_t pooled_hits = 0, pooled_first_hits = 0, row_hits = 0;
   std::size_t parallel_hits = 0;
-  // Per parallel group: (accesses, hits) — a group's bank-max latency term
-  // vanishes only when every one of its banks hits.
-  std::map<std::uint32_t, std::pair<std::size_t, std::size_t>> groups;
+  // Per parallel group: {id, accesses, hits} — a group's bank-max latency
+  // term vanishes only when every one of its banks hits. Groups per stage
+  // are few (scored impressions in flight), so a reused flat tally with a
+  // linear scan replaces the former per-call std::map (node allocation per
+  // group per stage per query); only the full-group COUNT feeds the
+  // adjustment, so the tally order cannot affect results.
+  group_scratch_.clear();
   for (const auto& a : accesses) {
     const bool hit = cache->access(table_base + a.table, a.row);
     if (a.parallel_bank) {
-      auto& g = groups[a.parallel_group];
-      ++g.first;
+      auto it = std::find_if(
+          group_scratch_.begin(), group_scratch_.end(),
+          [&](const auto& g) { return g[0] == a.parallel_group; });
+      if (it == group_scratch_.end()) {
+        group_scratch_.push_back({a.parallel_group, 0, 0});
+        it = group_scratch_.end() - 1;
+      }
+      ++(*it)[1];
       if (hit) {
-        ++g.second;
+        ++(*it)[2];
         ++parallel_hits;
       }
       continue;
@@ -524,8 +652,8 @@ StageStats StagePipeline::adjust_stage(const StageStats& measured,
     }
   }
   std::size_t full_groups = 0;
-  for (const auto& [id, g] : groups)
-    if (g.first > 0 && g.second == g.first) ++full_groups;
+  for (const auto& g : group_scratch_)
+    if (g[1] > 0 && g[2] == g[1]) ++full_groups;
   // Write-back model: a miss admission above may have evicted a dirty row,
   // whose deferred array write happens NOW — charge the flush into this
   // stage's ET-write cost so it lands in hardware time. Read-only streams
@@ -602,6 +730,16 @@ OpCost StagePipeline::merge_cost(std::size_t slices, std::size_t k) const {
 std::vector<StagePipeline::QueryResult> StagePipeline::collect(
     BatchHandle handle, ServableBackend& servable, HotEmbeddingCache* cache,
     std::span<const CacheTiming> timing) {
+  std::vector<QueryResult> results;
+  collect_into(std::move(handle), servable, cache, timing, results);
+  return results;
+}
+
+void StagePipeline::collect_into(BatchHandle handle,
+                                 ServableBackend& servable,
+                                 HotEmbeddingCache* cache,
+                                 std::span<const CacheTiming> timing,
+                                 std::vector<QueryResult>& results) {
   IMARS_REQUIRE(handle.valid(), "StagePipeline::collect: invalid handle");
   IMARS_REQUIRE(handle.state_->seq == next_collect_seq_,
                 "StagePipeline::collect: handles must be collected in "
@@ -636,18 +774,35 @@ std::vector<StagePipeline::QueryResult> StagePipeline::collect(
   // ready when its last predecessor ends, so the query's completion is its
   // critical path through the graph (bit-identical to the old chain walk
   // on linear specs, where ready is simply the previous stage's end).
-  std::vector<QueryResult> results(n);
-  std::vector<device::Ns> stage_end(stages);
+  results.resize(n);
+  stage_end_scratch_.resize(stages);
+  auto& stage_end = stage_end_scratch_;
+  // The top-k tie-break (score desc, item asc) is a strict total order over
+  // distinct items, so any correct sorting algorithm yields one answer —
+  // the optimized partial_sort below is value-identical to the reference
+  // full sort.
+  const auto score_order = [](const recsys::ScoredItem& a,
+                              const recsys::ScoredItem& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.item < b.item;
+  };
   for (std::size_t qi = 0; qi < n; ++qi) {
     const Request& req = st->batch.requests[qi];
     QueryResult& out = results[qi];
+    // Reused QueryResult slots carry the previous batch's values; every
+    // field is either assigned below or reset here (the sharded walk
+    // ACCUMULATES into stage_stats / routed counters, so those must start
+    // from zero).
     out.request = req;
     out.batch_id = st->batch.id;
     out.batch_size = n;
     out.dispatch = st->batch.dispatch;
     out.home_shard = st->home[qi];
     out.stage_latency.resize(stages);
-    out.stage_stats.resize(stages);
+    out.stage_stats.assign(stages, StageStats{});
+    out.work_items = 0;
+    out.routed_items = 0;
+    out.pinned_items = 0;
 
     device::Ns complete = st->batch.dispatch;
     for (std::size_t s : graph.order) {
@@ -656,16 +811,31 @@ std::vector<StagePipeline::QueryResult> StagePipeline::collect(
       for (std::size_t p : graph.preds[s])
         ready = device::max(ready, stage_end[p]);
 
+      // Row-access lists exist only to feed the cache; skip them when no
+      // cache is configured. The optimized path appends into a reused
+      // scratch buffer (accesses_into); the reference path materializes
+      // the pre-optimization per-stage vector.
+      const auto stage_accesses =
+          [&](std::size_t stage, std::span<const std::size_t> slice,
+              std::vector<RowAccess>& ref_store)
+          -> std::span<const RowAccess> {
+        if (cache == nullptr) return {};
+        if (reference_mode_) {
+          ref_store = servable.accesses(stage, req, slice);
+          return ref_store;
+        }
+        access_scratch_.clear();
+        servable.accesses_into(stage, req, slice, access_scratch_);
+        return access_scratch_;
+      };
+
       if (spec.stages[s].kind == StageKind::kReplicated) {
         const std::size_t home = st->home[qi];
-        // accesses() vectors exist only to feed the cache; skip them when
-        // no cache is configured.
         std::uint64_t flushed = 0;
-        const StageStats adj = adjust_stage(
-            rec.rep_stats,
-            cache != nullptr ? servable.accesses(s, req, {})
-                             : std::vector<RowAccess>{},
-            cache, timing_of(home), table_base, &flushed);
+        std::vector<RowAccess> ref_rows;
+        const StageStats adj =
+            adjust_stage(rec.rep_stats, stage_accesses(s, {}, ref_rows),
+                         cache, timing_of(home), table_base, &flushed);
         out.stage_stats[s] = adj;
         const device::Ns t = adj.total().latency;
         // Flush write-backs (kEtWrite) occupy the same in-memory arrays as
@@ -686,6 +856,8 @@ std::vector<StagePipeline::QueryResult> StagePipeline::collect(
         const device::Ns end = start + t;
         c.stage_free[base + s] = end;
         if (et.value > 0.0) c.shared_free = start + et;
+        // et <= t, so `end` dominates both commits.
+        frontier_ = device::max(frontier_, end);
         usage_[home].stage_busy[base + s] += t;
         out.stage_latency[s] = end - ready;
         stage_end[s] = end;
@@ -722,11 +894,11 @@ std::vector<StagePipeline::QueryResult> StagePipeline::collect(
         if (rec.slices.empty() || rec.slices[shard].empty()) continue;
         ++contributing;
         std::uint64_t flushed = 0;
+        std::vector<RowAccess> ref_rows;
         const StageStats adj = adjust_stage(
             rec.shard_stats[shard],
-            cache != nullptr ? servable.accesses(s, req, rec.slices[shard])
-                             : std::vector<RowAccess>{},
-            cache, timing_of(shard), table_base, &flushed);
+            stage_accesses(s, rec.slices[shard], ref_rows), cache,
+            timing_of(shard), table_base, &flushed);
         out.stage_stats[s].merge(adj);
         const device::Ns t = adj.total().latency;
         const device::Ns et = adj.at(OpKind::kEtLookup).latency +
@@ -740,6 +912,7 @@ std::vector<StagePipeline::QueryResult> StagePipeline::collect(
         const device::Ns slice_end = start + t;
         c.stage_free[base + s] = slice_end;
         if (et.value > 0.0) c.shared_free = start + et;
+        frontier_ = device::max(frontier_, slice_end);
         usage_[shard].stage_busy[base + s] += t;
         end = device::max(end, slice_end);
         if (sink_ != nullptr) {
@@ -797,18 +970,48 @@ std::vector<StagePipeline::QueryResult> StagePipeline::collect(
           out.work_items = st->rec[qi][s].out_items.size();
     }
 
-    std::vector<recsys::ScoredItem> all;
-    for (std::size_t shard = 0; shard < ns; ++shard)
-      all.insert(all.end(), st->partials[qi][shard].begin(),
-                 st->partials[qi][shard].end());
-    std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
-      if (a.score != b.score) return a.score > b.score;
-      return a.item < b.item;
-    });
-    if (all.size() > st->k) all.resize(st->k);
-    out.topk = std::move(all);
+    if (reference_mode_) {
+      std::vector<recsys::ScoredItem> all;
+      for (std::size_t shard = 0; shard < ns; ++shard)
+        all.insert(all.end(), st->partials[qi][shard].begin(),
+                   st->partials[qi][shard].end());
+      std::sort(all.begin(), all.end(), score_order);
+      if (all.size() > st->k) all.resize(st->k);
+      out.topk = std::move(all);
+    } else {
+      // Concat into reused scratch, order only the k survivors.
+      topk_scratch_.clear();
+      for (std::size_t shard = 0; shard < ns; ++shard)
+        topk_scratch_.insert(topk_scratch_.end(),
+                             st->partials[qi][shard].begin(),
+                             st->partials[qi][shard].end());
+      const std::size_t keep = std::min(st->k, topk_scratch_.size());
+      std::partial_sort(topk_scratch_.begin(),
+                        topk_scratch_.begin() +
+                            static_cast<std::ptrdiff_t>(keep),
+                        topk_scratch_.end(), score_order);
+      out.topk.assign(topk_scratch_.begin(),
+                      topk_scratch_.begin() +
+                          static_cast<std::ptrdiff_t>(keep));
+    }
   }
-  return results;
+
+  if (!reference_mode_) {
+    // Close the allocate/free cycle: the batch's request storage flows back
+    // to its producer (set_request_recycler), and the State — with all its
+    // per-query buffers — parks in the pool for the next submit. Its
+    // pending_ entry is erased NOW: a pooled State never expires, so
+    // leaving the weak pointer behind would grow the list without bound.
+    if (request_recycler_) request_recycler_(std::move(st->batch.requests));
+    st->batch.requests.clear();
+    {
+      std::lock_guard lock(pending_mu_);
+      std::erase_if(pending_, [&](const auto& wp) {
+        return wp.expired() || wp.lock() == st;
+      });
+    }
+    state_pool_.push_back(std::move(st));
+  }
 }
 
 std::vector<StagePipeline::QueryResult> StagePipeline::execute(

@@ -52,8 +52,10 @@
 // namespaces RowAccess table keys per slot so tenants never alias rows.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstddef>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -231,6 +233,19 @@ class ServableBackend {
       std::size_t stage, const Request& req,
       std::span<const std::size_t> slice) const = 0;
 
+  /// Appends the same rows accesses() would return to `out` — the engine's
+  /// optimized collect() path feeds a reused scratch buffer so the per-
+  /// (stage, shard, query) vector allocation disappears from the host hot
+  /// path. The default delegates to accesses() (still one allocation);
+  /// servables serving high-rate streams should override it to append
+  /// directly and implement accesses() on top of it.
+  virtual void accesses_into(std::size_t stage, const Request& req,
+                             std::span<const std::size_t> slice,
+                             std::vector<RowAccess>& out) const {
+    const auto rows = accesses(stage, req, slice);
+    out.insert(out.end(), rows.begin(), rows.end());
+  }
+
   /// ET rows an embedding-update request (Request::is_update) writes —
   /// e.g. the user's profile rows after an interaction. The runtime routes
   /// them through the write-back cache model instead of dispatching the
@@ -296,6 +311,11 @@ class StagePipeline {
     BatchHandle(BatchHandle&&) = default;
     BatchHandle& operator=(BatchHandle&&) = default;
     bool valid() const noexcept { return state_ != nullptr; }
+    /// Blocks until the batch's functional work has finished on the shard
+    /// executors. collect() waits implicitly; calling this first lets the
+    /// driver separate worker-completion wait from host composition time
+    /// in its self-profile.
+    void wait() const;
 
    private:
     friend class StagePipeline;
@@ -369,10 +389,12 @@ class StagePipeline {
   /// Enqueues the batch's functional work; returns immediately. Stages
   /// chain across the shard executors with no inter-stage barrier.
   /// `servable` must outlive the handle and its spec must match slot
-  /// `spec_idx`; `batch` is copied. Urgent batches (latency-critical
-  /// tenants) overtake queued normal work on the shard threads — host-side
-  /// ordering only, reported hardware time is unaffected.
-  BatchHandle submit(const Batch& batch, ServableBackend& servable,
+  /// `spec_idx`; `batch` is taken by value (move it in to skip the request
+  /// copy — lvalue callers keep the pre-existing copy semantics). Urgent
+  /// batches (latency-critical tenants) overtake queued normal work on the
+  /// shard threads — host-side ordering only, reported hardware time is
+  /// unaffected.
+  BatchHandle submit(Batch batch, ServableBackend& servable,
                      std::size_t k, std::size_t spec_idx = 0,
                      bool urgent = false);
 
@@ -387,6 +409,34 @@ class StagePipeline {
                                    ServableBackend& servable,
                                    HotEmbeddingCache* cache,
                                    std::span<const CacheTiming> timing);
+
+  /// collect() into caller-owned storage: `results` is resized to the batch
+  /// and refilled in place, so a steady-state drain loop reuses one result
+  /// buffer (and its per-query vectors) instead of allocating a fresh
+  /// std::vector<QueryResult> per batch. Values are identical to collect().
+  void collect_into(BatchHandle handle, ServableBackend& servable,
+                    HotEmbeddingCache* cache,
+                    std::span<const CacheTiming> timing,
+                    std::vector<QueryResult>& results);
+
+  /// Reference mode re-enacts the engine's pre-optimization host hot path
+  /// for A/B wall-clock comparison and report-parity gating (bench_scaling):
+  /// every batch allocates a fresh State (no pooling), item partitions and
+  /// row-access lists materialize as fresh vectors, and the top-k merge
+  /// full-sorts a fresh concatenation. Simulated-time results are
+  /// bit-identical in both modes — only host-side allocation behavior
+  /// differs. Only legal while no batch is in flight.
+  void set_reference_mode(bool on);
+  bool reference_mode() const noexcept { return reference_mode_; }
+
+  /// Optimized-path hook: after collect() has accounted a batch, its
+  /// request storage is handed to `recycler` (e.g. QosBatcher::recycle)
+  /// instead of being freed, closing the allocate/free cycle between the
+  /// batcher and the engine. Ignored in reference mode.
+  void set_request_recycler(
+      std::function<void(std::vector<Request>&&)> recycler) {
+    request_recycler_ = std::move(recycler);
+  }
 
   /// submit() + collect() in one step (no cross-batch overlap).
   std::vector<QueryResult> execute(const Batch& batch,
@@ -416,16 +466,31 @@ class StagePipeline {
     device::Ns shared_free;              ///< shared ET banks available
   };
 
+  /// Per-shard buffer of (query, stage) tasks deferred during submit() so
+  /// each shard receives ONE composite task per batch — one queue lock and
+  /// one worker wake — instead of one per query (the dominant host cost of
+  /// fine-grained dispatch is the futex wake per enqueue).
+  using DeferredTasks = std::vector<std::vector<std::pair<std::size_t,
+                                                          std::size_t>>>;
+
   /// Schedules stage `stage` of query `qi` (all its graph predecessors
   /// have completed); never leaks an exception (a failure marks the batch
   /// failed and structurally completes the stage so every counter still
-  /// drains and the done promise fires).
+  /// drains and the done promise fires). With `defer` non-null the task is
+  /// buffered per shard instead of enqueued (submit()'s batched initial
+  /// dispatch); graph-chained scheduling from finish_stage passes null.
   void schedule_stage(const std::shared_ptr<BatchHandle::State>& st,
                       ServableBackend& servable, std::size_t qi,
-                      std::size_t stage);
+                      std::size_t stage, DeferredTasks* defer = nullptr);
   void schedule_stage_unchecked(const std::shared_ptr<BatchHandle::State>& st,
                                 ServableBackend& servable, std::size_t qi,
-                                std::size_t stage);
+                                std::size_t stage,
+                                DeferredTasks* defer = nullptr);
+  /// The functional body of one (query, stage) task on `shard`'s worker
+  /// thread — shared by the per-query and composite dispatch paths.
+  void run_stage_task(const std::shared_ptr<BatchHandle::State>& st,
+                      ServableBackend& servable, std::size_t qi,
+                      std::size_t stage, std::size_t shard);
   /// Marks stage `stage` of query `qi` complete: schedules successors whose
   /// last pending edge this was, and fires the batch's done promise when
   /// the last stage of the last query finishes.
@@ -444,6 +509,12 @@ class StagePipeline {
                                   const CacheTiming& timing,
                                   std::uint32_t table_base,
                                   std::uint64_t* flushed = nullptr) const;
+
+  /// Acquires a batch State: pooled (structure-preserving reset, steady
+  /// state allocates nothing) or fresh in reference mode.
+  std::shared_ptr<BatchHandle::State> acquire_state(std::size_t queries,
+                                                    std::size_t stages,
+                                                    const PipelineSpec& spec);
 
   /// Merge-unit cost: each contributing shard ships its top-k over the RSC
   /// bus, the controller runs the k-way tournament.
@@ -467,6 +538,32 @@ class StagePipeline {
   /// by batch, so out-of-order collection would corrupt them silently).
   std::uint64_t next_submit_seq_ = 0;
   std::uint64_t next_collect_seq_ = 0;
+  /// Pre-optimization host path for A/B comparison (set_reference_mode).
+  bool reference_mode_ = false;
+  /// Collected States parked for reuse (never in reference mode). Their
+  /// pending_ entries are erased at collect, so pooling cannot grow the
+  /// weak-pointer list.
+  std::vector<std::shared_ptr<BatchHandle::State>> state_pool_;
+  /// Optimized-path request-storage recycler (set_request_recycler).
+  std::function<void(std::vector<Request>&&)> request_recycler_;
+  /// Running maximum over every committed clock value — all clock updates
+  /// are monotone non-decreasing, so this equals the full scan frontier()
+  /// used to compute, without the O(shards * stages) walk per admission
+  /// probe. Reset with the clocks.
+  device::Ns frontier_{0.0};
+  /// collect()-scope scratch (single-threaded there by the submission-order
+  /// contract): per-stage completion times, row-access lists, and the top-k
+  /// merge buffer, reused across queries and batches.
+  std::vector<device::Ns> stage_end_scratch_;
+  std::vector<RowAccess> access_scratch_;
+  std::vector<recsys::ScoredItem> topk_scratch_;
+  /// adjust_stage() parallel-group tally {group id, accesses, hits} —
+  /// groups per stage are few (e.g. DLRM impressions in flight), so a flat
+  /// linear-scan vector beats the former per-call std::map.
+  mutable std::vector<std::array<std::uint64_t, 3>> group_scratch_;
+  /// submit()-scope buffer for the batched initial dispatch (submission is
+  /// single-threaded by the collect-order contract).
+  DeferredTasks dispatch_scratch_;
 };
 
 }  // namespace imars::serve

@@ -39,6 +39,25 @@ double percentile(std::span<const double> values, double p) {
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
+double percentile_select(std::span<double> values, double p) {
+  IMARS_REQUIRE(!values.empty(), "percentile of empty span");
+  IMARS_REQUIRE(p >= 0.0 && p <= 100.0, "percentile must be in [0,100]");
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  const auto nth = values.begin() + static_cast<std::ptrdiff_t>(lo);
+  std::nth_element(values.begin(), nth, values.end());
+  const double v_lo = *nth;
+  // hi is lo or lo + 1; after nth_element everything past `nth` is >= v_lo,
+  // so the (lo+1)-th order statistic is the minimum of the tail — the same
+  // value the sorted copy holds at index hi.
+  const double v_hi = hi == lo
+                          ? v_lo
+                          : *std::min_element(nth + 1, values.end());
+  return v_lo * (1.0 - frac) + v_hi * frac;
+}
+
 double pearson(std::span<const double> xs, std::span<const double> ys) {
   IMARS_REQUIRE(xs.size() == ys.size(), "pearson: size mismatch");
   const std::size_t n = xs.size();

@@ -31,6 +31,14 @@ class RunningStats {
 /// Percentile with linear interpolation; `p` in [0, 100]. Copies + sorts.
 double percentile(std::span<const double> values, double p);
 
+/// Same interpolated percentile (`rank = p/100 * (n-1)`, tiny-n semantics
+/// included) computed with `nth_element` selection instead of a full sort:
+/// O(n) per call, and callers that already hold a scratch copy skip the
+/// per-call allocation entirely. Partially reorders `values`. Returns
+/// bit-identical results to `percentile` for every input — selection picks
+/// the same order statistics the sort would.
+double percentile_select(std::span<double> values, double p);
+
 /// Pearson correlation of two equal-length series; 0 if degenerate.
 double pearson(std::span<const double> xs, std::span<const double> ys);
 

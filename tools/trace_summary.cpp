@@ -2,7 +2,7 @@
 // serving observers (serve::TraceLog), validate its well-formedness and
 // print the top spans.
 //
-//   trace_summary [--check] [--top N] <trace.json>
+//   trace_summary [--check] [--top N] [--host] <trace.json>
 //
 // Default: print the event/span counts, the close-trigger breakdown, the
 // validation verdict and the top-N (cat, name) span totals. With --check
@@ -12,13 +12,21 @@
 // not sum to the batch total) means the simulator's clock walk or the
 // observer plumbing is broken, not just the artifact.
 //
+// --host switches the span table to the wall-clock self-profiling spans
+// (cat "host", pid 99 — present when the bench ran with --self-profile or
+// --trace): top host spans by total time plus the host-path wall-clock
+// total, with the worker-completion wait (host.wait) broken out the same
+// way ServeReport::host_total_us excludes it.
+//
 // The parser below is a minimal recursive-descent JSON reader — the repo
 // deliberately has no third-party JSON dependency.
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -277,22 +285,76 @@ std::vector<imars::serve::TraceEvent> to_events(const JsonValue& root) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: trace_summary [--check] [--top N] <trace.json>\n"
+               "usage: trace_summary [--check] [--top N] [--host] "
+               "<trace.json>\n"
                "  --check   exit nonzero when the trace is malformed\n"
-               "  --top N   show the N largest span groups (default 15)\n");
+               "  --top N   show the N largest span groups (default 15)\n"
+               "  --host    summarize the wall-clock host-profile spans\n");
   return 2;
+}
+
+// The --host view: aggregate the wall-clock self-profiling spans and print
+// the top groups plus the host-path total (host.wait — time blocked on
+// worker completion — shown but excluded from the total, mirroring
+// ServeReport::host_total_us).
+void print_host_view(const std::vector<imars::serve::TraceEvent>& events,
+                     std::size_t top_n) {
+  struct Group {
+    std::size_t count = 0;
+    double total_us = 0.0;
+    double max_us = 0.0;
+  };
+  std::map<std::string, Group> groups;
+  for (const auto& ev : events) {
+    if (ev.phase != imars::serve::TraceEvent::Phase::kComplete ||
+        ev.cat != "host")
+      continue;
+    Group& g = groups[ev.name];
+    ++g.count;
+    g.total_us += ev.dur_us;
+    g.max_us = std::max(g.max_us, ev.dur_us);
+  }
+  if (groups.empty()) {
+    std::printf(
+        "no host-profile spans (rerun the bench with --self-profile or "
+        "--trace to capture them)\n");
+    return;
+  }
+  std::vector<std::pair<std::string, Group>> sorted(groups.begin(),
+                                                    groups.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return a.second.total_us > b.second.total_us;
+  });
+
+  double host_path_us = 0.0, wait_us = 0.0;
+  for (const auto& [name, g] : sorted)
+    (name == "host.wait" ? wait_us : host_path_us) += g.total_us;
+
+  std::printf("top host spans by wall-clock total:\n");
+  std::printf("  %-24s %8s %14s %12s\n", "span", "count", "total_us",
+              "max_us");
+  for (std::size_t i = 0; i < std::min(top_n, sorted.size()); ++i) {
+    const auto& [name, g] = sorted[i];
+    std::printf("  %-24s %8zu %14.3f %12.3f\n", name.c_str(), g.count,
+                g.total_us, g.max_us);
+  }
+  std::printf("host path total: %.3f us (+ %.3f us host.wait, excluded)\n",
+              host_path_us, wait_us);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool check_gate = false;
+  bool host_view = false;
   std::size_t top_n = 15;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--check") {
       check_gate = true;
+    } else if (arg == "--host") {
+      host_view = true;
     } else if (arg == "--top" && i + 1 < argc) {
       top_n = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (!arg.empty() && arg.front() == '-') {
@@ -335,8 +397,10 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
 
-  const auto totals = imars::serve::summarize_trace(events, top_n);
-  if (!totals.empty()) {
+  if (host_view) {
+    print_host_view(events, top_n);
+  } else if (const auto totals = imars::serve::summarize_trace(events, top_n);
+             !totals.empty()) {
     std::printf("top spans by total time:\n");
     std::printf("  %-10s %-24s %8s %14s %12s\n", "cat", "name", "count",
                 "total_us", "max_us");
