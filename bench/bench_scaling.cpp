@@ -43,6 +43,7 @@
 #include "device/profile.hpp"
 #include "harness.hpp"
 #include "serve/runtime.hpp"
+#include "serve_compare.hpp"
 #include "util/table.hpp"
 
 using namespace imars;
@@ -148,74 +149,6 @@ class SynthServable final : public serve::ServableBackend {
   serve::PipelineSpec spec_;
 };
 
-/// Exact-equality report comparator (the bench-local analogue of the test
-/// suite's expect_reports_identical): every simulated-time field of every
-/// query, shard and class must match bit-for-bit. Host wall-clock spans
-/// are deliberately outside the contract. Prints the first mismatch.
-bool reports_equal(const serve::ServeReport& a, const serve::ServeReport& b,
-                   const std::string& label) {
-  auto fail = [&](const std::string& what) {
-    std::cerr << "[parity] MISMATCH in " << label << ": " << what << "\n";
-    return false;
-  };
-  if (a.size() != b.size())
-    return fail("query count " + std::to_string(a.size()) + " vs " +
-                std::to_string(b.size()));
-  if (a.batches != b.batches) return fail("batch count");
-  if (a.makespan.value != b.makespan.value) return fail("makespan");
-  if (a.cache.hits != b.cache.hits || a.cache.misses != b.cache.misses ||
-      a.cache.update_hits != b.cache.update_hits ||
-      a.cache.update_misses != b.cache.update_misses ||
-      a.cache.flushes != b.cache.flushes)
-    return fail("cache counters");
-  if (a.updates != b.updates || a.flush_bytes != b.flush_bytes)
-    return fail("update accounting");
-
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const auto& qa = a.queries[i];
-    const auto& qb = b.queries[i];
-    const std::string at = "query " + std::to_string(i);
-    if (qa.id != qb.id || qa.user != qb.user || qa.client != qb.client ||
-        qa.qos_class != qb.qos_class || qa.batch != qb.batch ||
-        qa.batch_size != qb.batch_size || qa.home_shard != qb.home_shard ||
-        qa.candidates != qb.candidates)
-      return fail(at + " identity/coordinates");
-    if (qa.enqueue.value != qb.enqueue.value ||
-        qa.dispatch.value != qb.dispatch.value ||
-        qa.complete.value != qb.complete.value ||
-        qa.filter_latency.value != qb.filter_latency.value ||
-        qa.rank_latency.value != qb.rank_latency.value ||
-        qa.device_time.value != qb.device_time.value ||
-        qa.energy.value != qb.energy.value)
-      return fail(at + " timing/energy");
-    if (qa.topk.size() != qb.topk.size()) return fail(at + " topk size");
-    for (std::size_t j = 0; j < qa.topk.size(); ++j)
-      if (qa.topk[j].item != qb.topk[j].item ||
-          qa.topk[j].score != qb.topk[j].score)
-        return fail(at + " topk[" + std::to_string(j) + "]");
-  }
-
-  if (a.shards.size() != b.shards.size()) return fail("shard count");
-  for (std::size_t s = 0; s < a.shards.size(); ++s) {
-    if (a.shards[s].stage_busy.size() != b.shards[s].stage_busy.size())
-      return fail("shard " + std::to_string(s) + " stage layout");
-    for (std::size_t st = 0; st < a.shards[s].stage_busy.size(); ++st)
-      if (a.shards[s].stage_busy[st].value !=
-          b.shards[s].stage_busy[st].value)
-        return fail("shard " + std::to_string(s) + " stage " +
-                    std::to_string(st) + " busy time");
-  }
-
-  if (a.classes.size() != b.classes.size()) return fail("class count");
-  for (std::size_t c = 0; c < a.classes.size(); ++c)
-    if (a.classes[c].queries != b.classes[c].queries ||
-        a.classes[c].batches != b.classes[c].batches ||
-        a.classes[c].slo_violations != b.classes[c].slo_violations ||
-        a.classes[c].device_time.value != b.classes[c].device_time.value)
-      return fail("class " + std::to_string(c) + " accounting");
-  return true;
-}
-
 /// Timing constants shared by every fabric the bench builds.
 struct SynthCosts {
   recsys::OpCost row;    ///< ET row fetch (the cache-creditable part)
@@ -304,15 +237,21 @@ int main() {
 
   util::Table parity_table("Report-parity grid (reference vs optimized)");
   parity_table.header({"cell", "queries", "batches", "identical"});
-  for (const bool overlap : {false, true})
+  // mode 0 = phased, 1 = async overlap, 2 = overlap + speculative dispatch
+  // windows (the regime where the event loop dispatches ahead of pending
+  // completions under a provable horizon — both host paths must still
+  // agree bit-for-bit).
+  for (const int mode : {0, 1, 2})
     for (const bool open : {false, true})
       for (const std::size_t classes : {std::size_t{1}, std::size_t{2}}) {
+        const bool overlap = mode >= 1;
         serve::ServingConfig cfg;
         cfg.shards = 4;
         cfg.k = 8;
         cfg.batcher.max_batch = 16;
         cfg.cache.capacity_rows = 2048;
         cfg.overlap = overlap;
+        cfg.speculate = mode == 2;
         if (classes == 2) {
           serve::QosClassConfig hi;
           hi.name = "interactive";
@@ -343,15 +282,18 @@ int main() {
           lg.session_capacity = 4096;
           lg.session_churn = 0.01;
         }
+        // Closed-loop speculation only has room to run ahead when clients
+        // think between queries (the think time extends the safe horizon).
+        if (mode == 2 && !open) lg.think = Ns{40000.0};
 
         auto opt = run_synth(cfg, lg, arch, profile, 24);
         cfg.reference_host_path = true;
         auto ref = run_synth(cfg, lg, arch, profile, 24);
 
-        const std::string cell = std::string(overlap ? "overlap" : "phased") +
-                                 (open ? ":open" : ":closed") + ":c" +
-                                 std::to_string(classes);
-        const bool same = reports_equal(opt.report, ref.report, cell);
+        const std::string cell =
+            std::string(mode == 2 ? "spec" : (overlap ? "overlap" : "phased")) +
+            (open ? ":open" : ":closed") + ":c" + std::to_string(classes);
+        const bool same = bench::reports_equal(opt.report, ref.report, cell);
         parity_ok = parity_ok && same;
         parity_table.row({cell, std::to_string(opt.report.size()),
                           std::to_string(opt.report.batches),
@@ -469,7 +411,7 @@ int main() {
   ab_cfg.reference_host_path = true;
   auto ab_ref = run_synth(ab_cfg, ab_lg, arch, profile, 24);
   const bool ab_same =
-      reports_equal(ab_opt.report, ab_ref.report, "speedup A/B");
+      bench::reports_equal(ab_opt.report, ab_ref.report, "speedup A/B");
   parity_ok = parity_ok && ab_same;
 
   const double opt_us = ab_opt.report.host_total_us();

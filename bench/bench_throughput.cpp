@@ -89,5 +89,16 @@ int main() {
                "is bounded by the serialized ET-bank contention. A deeper\n"
                "per-candidate pipeline inside the ranking stage would need\n"
                "a second rank crossbar bank (area trade-off).\n";
+
+  // CI gate: the serial stage path must report a genuine pipelined win.
+  // The old accounting double-counted the shared ET time and clamped to
+  // serial, so this printed exactly 1 — a regression back to that (or to
+  // any model where overlapping buys nothing) fails the bench.
+  const double speedup = core::pipeline_speedup(t);
+  if (!(speedup > 1.0)) {
+    std::cout << "\nFAIL: pipeline_speedup " << speedup
+              << " is not > 1 — stage overlap bought nothing\n";
+    return 1;
+  }
   return 0;
 }

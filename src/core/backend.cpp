@@ -102,14 +102,14 @@ tensor::Vector ImarsBackend::user_embedding_hw(const UserContext& user,
   }
   in.insert(in.end(), user.dense.begin(), user.dense.end());
 
-  // (1b/1c) Filtering DNN stack on crossbars.
-  const Pj before = acc_->ledger().total();
+  // (1b/1c) Filtering DNN stack on crossbars. Captured, not a total()
+  // delta: the measured energy must not depend on ledger history (see
+  // EnergyLedger::begin_capture).
+  device::ScopedEnergyCapture capture(acc_->ledger());
   Ns dnn_lat{0.0};
   auto u = filter_dnn_->infer(in, &dnn_lat);
-  if (stats != nullptr) {
-    stats->at(OpKind::kDnn) +=
-        OpCost{dnn_lat, acc_->ledger().total() - before};
-  }
+  const Pj dnn_pj = capture.take();
+  if (stats != nullptr) stats->at(OpKind::kDnn) += OpCost{dnn_lat, dnn_pj};
   return u;
 }
 
@@ -179,10 +179,10 @@ std::vector<ScoredItem> ImarsBackend::rank(
     in.insert(in.end(), history_segment.begin(), history_segment.end());
     in.insert(in.end(), user.dense.begin(), user.dense.end());
 
-    const Pj before = acc_->ledger().total();
+    device::ScopedEnergyCapture capture(acc_->ledger());
     Ns lat{0.0};
     const auto out = rank_dnn_->infer(in, &lat);
-    rank_dnn_cost += OpCost{lat, acc_->ledger().total() - before};
+    rank_dnn_cost += OpCost{lat, capture.take()};
     scores.push_back(out[0]);
   }
   if (stats != nullptr) {
@@ -264,11 +264,11 @@ std::vector<tensor::Vector> ImarsCtrBackend::gather_tower(
 tensor::Vector ImarsCtrBackend::dense_tower(const tensor::Vector& dense,
                                             StageStats* stats) {
   // Bottom MLP on crossbars.
-  const Pj before = acc_->ledger().total();
+  device::ScopedEnergyCapture capture(acc_->ledger());
   Ns lat{0.0};
   tensor::Vector b = bottom_dnn_->infer(dense, &lat);
-  if (stats != nullptr)
-    stats->at(OpKind::kDnn) += OpCost{lat, acc_->ledger().total() - before};
+  const Pj dnn_pj = capture.take();
+  if (stats != nullptr) stats->at(OpKind::kDnn) += OpCost{lat, dnn_pj};
   return b;
 }
 
@@ -280,11 +280,11 @@ float ImarsCtrBackend::interact_top(std::span<const tensor::Vector> embeddings,
   const tensor::Vector z = model_->interact(embeddings, bottom);
 
   // Top MLP on crossbars.
-  const Pj before = acc_->ledger().total();
+  device::ScopedEnergyCapture capture(acc_->ledger());
   Ns lat{0.0};
   const tensor::Vector out = top_dnn_->infer(z, &lat);
-  if (stats != nullptr)
-    stats->at(OpKind::kDnn) += OpCost{lat, acc_->ledger().total() - before};
+  const Pj dnn_pj = capture.take();
+  if (stats != nullptr) stats->at(OpKind::kDnn) += OpCost{lat, dnn_pj};
   return out[0];
 }
 

@@ -36,6 +36,19 @@ void EnergyLedger::charge(Component c, Pj energy, std::size_t ops) {
   const auto i = index_of(c);
   energy_pj_[i] += energy.value;
   ops_[i] += ops;
+  if (capturing_) capture_pj_ += energy.value;
+}
+
+void EnergyLedger::begin_capture() {
+  IMARS_REQUIRE(!capturing_, "EnergyLedger: capture already open");
+  capturing_ = true;
+  capture_pj_ = 0.0;
+}
+
+Pj EnergyLedger::end_capture() {
+  IMARS_REQUIRE(capturing_, "EnergyLedger: no capture open");
+  capturing_ = false;
+  return Pj{capture_pj_};
 }
 
 Pj EnergyLedger::energy(Component c) const { return Pj{energy_pj_[index_of(c)]}; }
@@ -58,6 +71,8 @@ void EnergyLedger::merge(const EnergyLedger& other) {
 void EnergyLedger::clear() {
   energy_pj_.fill(0.0);
   ops_.fill(0);
+  capture_pj_ = 0.0;
+  capturing_ = false;
 }
 
 }  // namespace imars::device

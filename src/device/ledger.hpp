@@ -47,15 +47,59 @@ class EnergyLedger {
   /// Total energy across all components.
   Pj total() const;
 
+  /// Opens an order-independent per-call measurement window. While a
+  /// capture is open, every charge() also accumulates into a fresh sum
+  /// starting at zero, so the measured energy of a code region depends
+  /// only on the charges inside it. A `total()` delta does NOT have that
+  /// property: floating-point addition makes
+  /// `(prior + e1 + ... + en) - prior` depend on the accumulated `prior`
+  /// in the last bits, which breaks bit-identical serving reports the
+  /// moment call order changes (overlapped execution interleaves
+  /// per-shard work differently from phased). Single-level: a nested
+  /// begin_capture() is a bug. merge() is aggregation, not a hardware
+  /// charge, and does not feed an open capture.
+  void begin_capture();
+
+  /// Closes the window; returns the energy charged since begin_capture().
+  Pj end_capture();
+
   /// Adds another ledger into this one.
   void merge(const EnergyLedger& other);
 
-  /// Resets all counters.
+  /// Resets all counters (and abandons any open capture).
   void clear();
 
  private:
   std::array<double, static_cast<std::size_t>(Component::kCount)> energy_pj_{};
   std::array<std::size_t, static_cast<std::size_t>(Component::kCount)> ops_{};
+  double capture_pj_ = 0.0;
+  bool capturing_ = false;
+};
+
+/// RAII capture window: opens on construction and guarantees the window
+/// closes on scope exit even when the measured region throws (a rejected
+/// op must leave the ledger usable for the next call). Call take() to
+/// close the window and read the captured energy on the success path.
+class ScopedEnergyCapture {
+ public:
+  explicit ScopedEnergyCapture(EnergyLedger& ledger) : ledger_(&ledger) {
+    ledger_->begin_capture();
+  }
+  ~ScopedEnergyCapture() {
+    if (open_) (void)ledger_->end_capture();
+  }
+  ScopedEnergyCapture(const ScopedEnergyCapture&) = delete;
+  ScopedEnergyCapture& operator=(const ScopedEnergyCapture&) = delete;
+
+  /// Closes the window and returns the energy charged inside it.
+  Pj take() {
+    open_ = false;
+    return ledger_->end_capture();
+  }
+
+ private:
+  EnergyLedger* ledger_;
+  bool open_ = true;
 };
 
 }  // namespace imars::device

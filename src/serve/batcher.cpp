@@ -78,7 +78,22 @@ QosBatcher::QosBatcher(const QosBatcherConfig& cfg)
     IMARS_REQUIRE(c.weight >= 0.0, "QosBatcher: weight must be non-negative");
     IMARS_REQUIRE(c.request_cost > 0.0,
                   "QosBatcher: request_cost must be positive");
+    IMARS_REQUIRE(c.service_floor.value >= 0.0,
+                  "QosBatcher: service_floor must be non-negative");
   }
+}
+
+void QosBatcher::set_service_estimate(std::size_t cls, device::Ns estimate) {
+  IMARS_REQUIRE(cls < cfg_.classes.size(), "QosBatcher: class out of range");
+  IMARS_REQUIRE(estimate.value >= 0.0,
+                "QosBatcher: service_estimate must be non-negative");
+  cfg_.classes[cls].service_estimate = estimate;
+}
+
+void QosBatcher::set_request_cost(std::size_t cls, double cost) {
+  IMARS_REQUIRE(cls < cfg_.classes.size(), "QosBatcher: class out of range");
+  IMARS_REQUIRE(cost > 0.0, "QosBatcher: request_cost must be positive");
+  cfg_.classes[cls].request_cost = cost;
 }
 
 void QosBatcher::add(const Request& r) {
@@ -184,6 +199,14 @@ CloseTrigger QosBatcher::poll_trigger(std::size_t cls) const {
   // The fired trigger was the wait-budget deadline; it counts as
   // preemptive when end-to-end-deadline slack clamped the budget below the
   // class's own max_wait (the close happened EARLY to protect the SLO).
+  // The boundary is deliberately STRICT: when
+  // `deadline - service_estimate == max_wait` exactly, the close fires at
+  // enqueue + max_wait — the very instant the plain deadline trigger would
+  // have fired anyway — so nothing happened early and it is classified
+  // kDeadline. kPreemptive is reserved for closes the SLO clamp actually
+  // moved, which keeps the per-trigger counts feeding check_trace's
+  // sum invariant attributable (pinned by
+  // QosBatcher.ExactSlackEqualToMaxWaitClassifiesAsDeadline).
   if (c.deadline.value > 0.0) {
     const device::Ns slack =
         device::max(c.deadline - c.service_estimate, device::Ns{0.0});

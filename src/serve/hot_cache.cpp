@@ -1,5 +1,7 @@
 #include "serve/hot_cache.hpp"
 
+#include <cassert>
+
 namespace imars::serve {
 
 HotEmbeddingCache::HotEmbeddingCache(const HotCacheConfig& cfg) : cfg_(cfg) {}
@@ -64,9 +66,15 @@ bool HotEmbeddingCache::access(std::uint32_t table, std::uint32_t row) {
   const std::uint64_t key = key_of(table, row);
   if (reference_) return access_ref(key);
   // Single probe: bump the lifetime frequency and read residency together.
-  // Only this insert can rehash; the finds below never do, so `slot` stays
-  // valid across the admission bookkeeping.
+  // `slot` is held across the admission bookkeeping below, which is only
+  // sound because nothing after this line structurally mutates table_:
+  // settle_heap() and evict() use table_.find (never rehashes) and
+  // evict()'s erase targets dirty_, a different map. The generation
+  // snapshot turns that argument into a debug-mode check — any future
+  // insert/erase on table_ between here and the last `slot` write trips
+  // the asserts instead of silently dereferencing a stale pointer.
   std::uint64_t& slot = table_[key];
+  [[maybe_unused]] const std::uint64_t gen = table_.generation();
   const std::uint64_t freq = (slot & kFreqMask) + 1;
   const bool resident = (slot & kResidentBit) != 0;
   slot = (slot & kResidentBit) | freq;
@@ -83,6 +91,7 @@ bool HotEmbeddingCache::access(std::uint32_t table, std::uint32_t row) {
 
   ++stats_.misses;
   if (resident_count_ < cfg_.capacity_rows) {
+    assert(table_.generation() == gen && "stale FlatMap64 slot pointer");
     slot |= kResidentBit;
     ++resident_count_;
     heap_.emplace(freq, key);
@@ -105,7 +114,8 @@ bool HotEmbeddingCache::access(std::uint32_t table, std::uint32_t row) {
     settled_min_ = min_freq;
     if (freq > min_freq) {
       heap_.pop();
-      evict(min_key);
+      evict(min_key);  // bit-clear on the existing slot — never an erase
+      assert(table_.generation() == gen && "stale FlatMap64 slot pointer");
       slot |= kResidentBit;
       ++resident_count_;
       heap_.emplace(freq, key);

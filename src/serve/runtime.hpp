@@ -67,6 +67,24 @@ struct PlacementConfig {
   std::vector<device::Ns> shard_costs;
 };
 
+/// Adaptive QoS estimates: EWMA over the observed dispatch-to-complete
+/// time of each class's batches, fed back into the batcher's preemptive
+/// close (service_estimate) and gated-admission accounting (request_cost,
+/// scaled by observed per-request device time). Observations commit on a
+/// fixed schedule — a batch's measurement is applied only once
+/// `max_inflight` later batches have been submitted, a point reached
+/// identically under phased and overlapped execution (submission n always
+/// waits for collection n - max_inflight) — so adaptation never breaks the
+/// overlap-invariance contract: reports stay bit-identical with overlap on
+/// or off, they just both follow the drifting estimates. Off (default),
+/// the estimates stay exactly as configured and every previously recorded
+/// report reproduces bit-identically.
+struct AdaptiveQosConfig {
+  bool enabled = false;
+  /// EWMA smoothing factor in (0, 1]: est' = alpha * obs + (1-alpha) * est.
+  double alpha = 0.2;
+};
+
 struct ServingConfig {
   std::size_t shards = 4;
   std::size_t k = 10;  ///< global top-k per query
@@ -94,6 +112,24 @@ struct ServingConfig {
   /// way.
   bool overlap = false;
   std::size_t max_inflight = 4;
+  /// Speculative dispatch windows: with `overlap` on, also defer collection
+  /// in the completion-DEPENDENT regimes (closed loop, gated admission) —
+  /// but only while the event loop can PROVE the pending completions cannot
+  /// affect its next decision. The proof is built from per-class service
+  /// floors (max of QosClassConfig::service_floor and the servable's
+  /// structural merge floor, StagePipeline::service_floor): every inflight
+  /// batch completes no earlier than dispatch + floor, so a closed loop's
+  /// next spawned arrival lands no earlier than that + think time, and a
+  /// gate whose frontier lower bound sits beyond the admit window is
+  /// provably still shut. Within that horizon the runtime dispatches ahead
+  /// and never rolls back; outside it, it drains exactly as the phased loop
+  /// would. Floors are validated against every observed completion
+  /// (IMARS_REQUIRE), and all decisions use only provable bounds, so
+  /// reports stay bit-identical to phased execution — speculation buys
+  /// host wall-clock overlap, never different simulated numbers.
+  bool speculate = false;
+  /// Adaptive service estimates (see AdaptiveQosConfig).
+  AdaptiveQosConfig adaptive;
 
   /// Streaming report: drop per-query retention and fill
   /// ServeReport::streaming instead — means exact, percentiles within

@@ -32,6 +32,16 @@ class FlatMap64 {
     size_ = 0;
   }
 
+  /// Structural-modification generation, for debug-mode invalidation
+  /// checks: bumped by every rehash (any `operator[]`/`set` insert may
+  /// trigger one) and by every successful erase (backward-shift deletion
+  /// moves surviving entries) — exactly the operations that silently
+  /// invalidate pointers previously returned by find()/operator[]. A
+  /// caller holding a value pointer across a possibly-mutating call
+  /// should snapshot generation() first and assert it is unchanged before
+  /// dereferencing again (see hot_cache.cpp's access()/update()).
+  std::uint64_t generation() const noexcept { return generation_; }
+
   /// Pointer to the value of `key`, or nullptr when absent.
   std::uint64_t* find(std::uint64_t key) noexcept {
     if (size_ == 0) return nullptr;
@@ -95,6 +105,7 @@ class FlatMap64 {
     }
     state_[i] = 0;
     --size_;
+    ++generation_;  // surviving entries may have shifted slots
     return true;
   }
 
@@ -123,6 +134,7 @@ class FlatMap64 {
   }
 
   void rehash(std::size_t cap) {  // cap is a power of two
+    ++generation_;  // every slot moves: all outstanding pointers die
     std::vector<std::uint64_t> old_keys = std::move(keys_);
     std::vector<std::uint64_t> old_vals = std::move(vals_);
     std::vector<std::uint8_t> old_state = std::move(state_);
@@ -145,6 +157,7 @@ class FlatMap64 {
   std::vector<std::uint8_t> state_;
   std::size_t size_ = 0;
   std::size_t mask_ = 0;
+  std::uint64_t generation_ = 0;
 };
 
 /// FlatMap64 with the value ignored: the resident-dirty set.

@@ -245,10 +245,36 @@ TEST(Throughput, SerialAndPipelinedBounds) {
   t.shared_et = device::Ns{1000.0};
 
   EXPECT_NEAR(core::qps_serial(t), 1e9 / 43000.0, 1e-6);
-  EXPECT_NEAR(core::qps_pipelined(t), 1e9 / 41000.0, 1e-6);
+  // Steady-state initiation interval = the busiest resource. The stage
+  // totals already contain their ET portions, so the bottleneck here is
+  // the 40 us rank stage, not 40 us + the (already-counted) ET time.
+  EXPECT_NEAR(core::qps_pipelined(t), 1e9 / 40000.0, 1e-6);
   EXPECT_GT(core::pipeline_speedup(t), 1.0);
-  // Pipelining can never beat the bottleneck stage alone.
-  EXPECT_LT(core::qps_pipelined(t), 1e9 / t.rank.value);
+  // Pipelining saturates — but can never beat — the bottleneck stage.
+  EXPECT_DOUBLE_EQ(core::qps_pipelined(t), 1e9 / t.rank.value);
+}
+
+// Regression for the degenerate accounting bench_throughput exposed: the
+// old model added shared_et ON TOP of the slower stage (double-counting
+// the ET time inside the stage totals) and clamped to serial, so any
+// query with shared_et >= min(filter, rank) reported speedup exactly 1.
+TEST(Throughput, SharedEtAboveSmallerStageStillGains) {
+  core::StageTimes t;
+  t.filter = device::Ns{3000.0};
+  t.rank = device::Ns{40000.0};
+  t.shared_et = device::Ns{5000.0};  // >= filter: old model pinned at 1
+  EXPECT_NEAR(core::qps_pipelined(t), 1e9 / 40000.0, 1e-6);
+  EXPECT_NEAR(core::pipeline_speedup(t), 43000.0 / 40000.0, 1e-9);
+}
+
+// Pure ET-bank queries cannot pipeline (the shared banks serialize
+// everything); the speedup degenerates to exactly 1, never below.
+TEST(Throughput, PureEtTimeCannotPipeline) {
+  core::StageTimes t;
+  t.filter = device::Ns{6000.0};
+  t.rank = device::Ns{4000.0};
+  t.shared_et = device::Ns{10000.0};  // == filter + rank: all ET time
+  EXPECT_NEAR(core::pipeline_speedup(t), 1.0, 1e-12);
 }
 
 TEST(Throughput, BalancedStagesGainMost) {

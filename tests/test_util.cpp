@@ -6,9 +6,12 @@
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <unordered_map>
+#include <vector>
 
 #include "util/bitvec.hpp"
 #include "util/error.hpp"
+#include "util/flat_map.hpp"
 #include "util/quant.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -288,6 +291,125 @@ TEST(Stats, PercentileTinySamplesNeverEscapeTheData) {
       EXPECT_GE(util::percentile(xs, 99), util::percentile(xs, 95));
     }
   }
+}
+
+// Randomized equivalence of the two percentile implementations: the
+// nth_element-based percentile_select must return bit-identical values to
+// the sort-based percentile on arbitrary streams. Heavy ties and
+// duplicates are the adversarial case — a selection that mishandles equal
+// elements around the interpolation rank diverges exactly there.
+TEST(Stats, PercentileSelectMatchesSortOnHeavyTieStreams) {
+  util::Xoshiro256 rng(20260808);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + rng.below(257);
+    // Draw from a tiny value alphabet so long runs of ties straddle every
+    // interpolation rank; a few trials use a wider alphabet as control.
+    const std::uint64_t alphabet = (trial % 4 == 0) ? 1000 : 1 + rng.below(5);
+    std::vector<double> xs;
+    xs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      xs.push_back(static_cast<double>(rng.below(alphabet)) * 0.25);
+    for (double p : {0.0, 100.0, 50.0, 95.0, 99.0}) {
+      const double want = util::percentile(xs, p);
+      std::vector<double> scratch = xs;  // percentile_select reorders
+      const double got = util::percentile_select(scratch, p);
+      EXPECT_DOUBLE_EQ(got, want)
+          << "trial=" << trial << " n=" << n << " alphabet=" << alphabet
+          << " p=" << p;
+    }
+  }
+}
+
+// ---------- FlatMap64 -------------------------------------------------------
+
+TEST(FlatMap64, PointOperationsMatchReferenceMapUnderChurn) {
+  util::FlatMap64 map;
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  util::Xoshiro256 rng(99);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t key = rng.below(512);  // force collisions + reuse
+    switch (rng.below(4)) {
+      case 0:
+        ++map[key];
+        ++ref[key];
+        break;
+      case 1:
+        map.set(key, key * 3);
+        ref[key] = key * 3;
+        break;
+      case 2:
+        EXPECT_EQ(map.erase(key), ref.erase(key) > 0);
+        break;
+      default: {
+        const std::uint64_t* slot = map.find(key);
+        const auto it = ref.find(key);
+        ASSERT_EQ(slot != nullptr, it != ref.end());
+        if (slot != nullptr) EXPECT_EQ(*slot, it->second);
+        break;
+      }
+    }
+    EXPECT_EQ(map.size(), ref.size());
+  }
+}
+
+// Regression for the pointer-invalidation hazard: pointers returned by
+// find()/operator[] are silently invalidated by any insert that rehashes
+// and by any successful erase (backward-shift deletion moves survivors).
+// generation() must tick on exactly those operations so callers holding a
+// pointer across them (hot_cache.cpp's access()) can assert validity.
+TEST(FlatMap64, GenerationTicksOnRehashAndEraseOnly) {
+  util::FlatMap64 map;
+  map.set(1, 10);  // initial rehash(64)
+  const std::uint64_t after_first = map.generation();
+  EXPECT_GE(after_first, 1u);
+
+  // Non-rehashing mutations keep every pointer valid: the generation must
+  // hold still. Initial capacity 64 rehashes above 48 entries.
+  std::uint64_t gen = map.generation();
+  for (std::uint64_t k = 2; k <= 40; ++k) map[k] = k;
+  map.set(1, 11);            // overwrite: no structural change
+  (void)map.find(7);         // lookups never mutate
+  EXPECT_EQ(map.generation(), gen);
+
+  // Growth past 3/4 load rehashes and bumps the generation.
+  for (std::uint64_t k = 41; k <= 60; ++k) map[k] = k;
+  EXPECT_GT(map.generation(), gen);
+
+  // A successful erase bumps it (survivors may backward-shift)...
+  gen = map.generation();
+  EXPECT_TRUE(map.erase(17));
+  EXPECT_EQ(map.generation(), gen + 1);
+  // ...a failed erase does not (nothing moved).
+  EXPECT_FALSE(map.erase(17));
+  EXPECT_EQ(map.generation(), gen + 1);
+}
+
+// The documented safe pattern in hot_cache.cpp: a value reference from
+// operator[] stays valid across finds and erases on OTHER containers, and
+// the generation check proves it for any given interleaving.
+TEST(FlatMap64, HeldReferenceSurvivesNonMutatingProbes) {
+  util::FlatMap64 map;
+  for (std::uint64_t k = 0; k < 30; ++k) map[k] = k;
+  std::uint64_t& slot = map[5];
+  const std::uint64_t gen = map.generation();
+  (void)map.find(11);
+  (void)map.contains(29);
+  ASSERT_EQ(map.generation(), gen);  // still safe to dereference
+  slot = 123;
+  EXPECT_EQ(*map.find(5), 123u);
+}
+
+TEST(FlatSet64, InsertEraseContains) {
+  util::FlatSet64 set;
+  EXPECT_TRUE(set.empty());
+  set.insert(42);
+  set.insert(42);
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_TRUE(set.contains(42));
+  EXPECT_FALSE(set.contains(7));
+  EXPECT_TRUE(set.erase(42));
+  EXPECT_FALSE(set.erase(42));
+  EXPECT_TRUE(set.empty());
 }
 
 TEST(Stats, PearsonPerfectCorrelation) {
