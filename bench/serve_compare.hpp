@@ -32,6 +32,28 @@ inline bool reports_equal(const serve::ServeReport& a,
       a.cache.update_misses != b.cache.update_misses ||
       a.cache.flushes != b.cache.flushes)
     return fail("cache counters");
+  // Per-tier counters compared one by one so a tier parity failure names
+  // the first differing counter.
+  auto tier_counter = [&](const char* name, std::uint64_t va,
+                          std::uint64_t vb) {
+    if (va == vb) return true;
+    std::cerr << "[parity]   tier counter " << name << ": " << va << " vs "
+              << vb << "\n";
+    return false;
+  };
+  if (!tier_counter("warm_hits", a.cache.warm_hits, b.cache.warm_hits) ||
+      !tier_counter("cold_faults", a.cache.cold_faults,
+                    b.cache.cold_faults) ||
+      !tier_counter("cold_rows_fetched", a.cache.cold_rows_fetched,
+                    b.cache.cold_rows_fetched) ||
+      !tier_counter("warm_evictions", a.cache.warm_evictions,
+                    b.cache.warm_evictions) ||
+      !tier_counter("promotions", a.cache.promotions, b.cache.promotions) ||
+      !tier_counter("flushes_warm", a.cache.flushes_warm,
+                    b.cache.flushes_warm) ||
+      !tier_counter("flushes_cold", a.cache.flushes_cold,
+                    b.cache.flushes_cold))
+    return fail("per-tier cache counters");
   if (a.updates != b.updates || a.flush_bytes != b.flush_bytes)
     return fail("update accounting");
 

@@ -73,6 +73,28 @@ class PerfModel {
   /// deferred until the dirty row is evicted).
   recsys::OpCost buffer_fill() const;
 
+  // --- Tiered embedding memory (serving extension) ----------------------
+
+  /// One cold-tier block fault pulling `rows` rows into the warm arrays:
+  /// block initiation, then per-row bulk streaming plus the row's RSC
+  /// serialization into its array. Zero cost for rows == 0 (tier
+  /// disabled).
+  recsys::OpCost cold_block_fetch(std::size_t rows) const;
+
+  /// One dirty row flushed past the warm arrays into the cold bulk tier:
+  /// the extra stream-out on top of row_write() (which covers the array
+  /// write + RSC transfer).
+  recsys::OpCost cold_flush_extra() const;
+
+  /// Per-merged-row saving of in-crossbar embedding reduction: pooling a
+  /// bag's rows with GPCiM adds inside the array removes that row's
+  /// 256-bit result return on the serialized RSC bus (the `+ tables` term
+  /// of et_lookup's RSC phase). The in-array add costs more energy than
+  /// the transfer it replaces on every preset, so the energy credit
+  /// clamps at zero — the win is latency/bus pressure, not energy. Zero
+  /// unless profile().in_crossbar_reduction.
+  recsys::OpCost reduction_saving() const;
+
   const ArchConfig& arch() const noexcept { return arch_; }
   const device::DeviceProfile& profile() const noexcept { return profile_; }
 

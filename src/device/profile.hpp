@@ -54,6 +54,26 @@ struct DeviceProfile {
   /// writes cost slightly more than reads (full bitline swing).
   OpCost cache_write{Pj{1.4}, Ns{0.6}};
 
+  // --- Tiered embedding memory (serving extension) ---------------------
+  /// Initiation cost of one cold-tier block fault: command decode, bulk
+  /// row-address setup and sense-amp precharge before the block streams
+  /// out. The cold tier models dense bulk FeFET/ReRAM banks behind the
+  /// working arrays (RecFlash-style capacity tier); access is block-
+  /// granular, so the initiation is paid once per fault.
+  OpCost cold_block_access{Pj{220.0}, Ns{180.0}};
+  /// Per-row streaming cost while a faulted block drains into the warm
+  /// arrays (pipelined bulk read + array write; the RSC transfer of each
+  /// row is charged separately at the usual per-row serialization).
+  OpCost cold_row_stream{Pj{60.0}, Ns{12.0}};
+
+  /// In-crossbar embedding reduction (ReCross-style): gather stages that
+  /// declare the capability pool multi-row lookups inside the array with
+  /// GPCiM adds, returning one reduced vector per bag over the RSC bus
+  /// instead of one transfer per row. Off in every preset; enabling it
+  /// changes ET-bank claims, so it is excluded from the bit-parity
+  /// envelope.
+  bool in_crossbar_reduction = false;
+
   /// Per-layer digital overhead of a crossbar DNN pass (DAC input streaming,
   /// ADC conversion, activation periphery). Calibrated so that the filtering
   /// DNN stack (3 layers) reproduces the paper's reported 2.69x improvement

@@ -12,6 +12,7 @@ std::string_view op_name(OpKind k) {
     case OpKind::kTopK: return "TopK";
     case OpKind::kComm: return "Comm";
     case OpKind::kEtWrite: return "ET Write";
+    case OpKind::kEtBlock: return "ET Block Fetch";
     case OpKind::kCount: break;
   }
   return "unknown";

@@ -29,6 +29,11 @@ enum class OpKind : std::uint8_t {
   /// extension). Zero on read-only streams, so adding the category does
   /// not perturb any read-path accounting.
   kEtWrite,
+  /// Cold-tier block fetches (tiered embedding memory, serving
+  /// extension): a miss whose block is not warm-resident streams a whole
+  /// block of rows out of the bulk tier. Zero with tiering disabled, so
+  /// adding the category does not perturb any flat-store accounting.
+  kEtBlock,
   kCount
 };
 

@@ -1,10 +1,131 @@
 #include "serve/hot_cache.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace imars::serve {
 
-HotEmbeddingCache::HotEmbeddingCache(const HotCacheConfig& cfg) : cfg_(cfg) {}
+HotEmbeddingCache::HotEmbeddingCache(const HotCacheConfig& cfg)
+    : cfg_(cfg), tier_on_(cfg.tiering_enabled()) {
+  if (tier_on_)
+    warm_capacity_blocks_ = cfg_.warm_capacity_rows / cfg_.cold_block_rows;
+}
+
+// --- tiered embedding memory -----------------------------------------------
+
+bool HotEmbeddingCache::warm_resident(std::uint32_t table,
+                                      std::uint32_t row) const {
+  if (!tier_on_) return false;
+  return warm_.find(block_of(key_of(table, row))) != nullptr;
+}
+
+Tier HotEmbeddingCache::dest_tier(std::uint64_t key) const {
+  if (!tier_on_) return Tier::kArray;
+  return warm_.find(block_of(key)) != nullptr ? Tier::kWarm : Tier::kCold;
+}
+
+void HotEmbeddingCache::touch_tiers(std::uint64_t key, std::uint64_t freq) {
+  const std::uint64_t bkey = block_of(key);
+  if (std::uint64_t* b = warm_.find(bkey); b != nullptr) {
+    // Warm hit: served from the CMA banks at the usual miss cost. Fresh
+    // heat revokes any demotion reprieve the block was living on.
+    ++stats_.warm_hits;
+    const std::uint64_t heat = std::max(*b & kHeatMask, freq);
+    *b = (*b & kPinBit) | heat;
+    return;
+  }
+  // Cold block fault: the whole block streams in (charged by the caller
+  // via take_block_faults()). Migration admits it warm immediately;
+  // capacity demotions wait for the next batch-dispatch commit.
+  ++stats_.cold_faults;
+  stats_.cold_rows_fetched += cfg_.cold_block_rows;
+  ++pending_block_faults_;
+  if (cfg_.migrate) {
+    ++faults_since_commit_;
+    warm_[bkey] = freq;
+    warm_fifo_.push_back(bkey);
+  }
+}
+
+void HotEmbeddingCache::commit_migrations(device::Ns at) {
+  if (!tier_on_) return;
+  std::uint64_t demoted = 0;
+  while (pinned_blocks_ + warm_fifo_.size() > warm_capacity_blocks_ &&
+         !warm_fifo_.empty()) {
+    const std::uint64_t bkey = warm_fifo_.front();
+    warm_fifo_.pop_front();
+    std::uint64_t* b = warm_.find(bkey);
+    assert(b != nullptr && "warm FIFO entry without a warm slot");
+    // One reprieve for a block still hotter than the settled-min LFU
+    // bound of the hot tier: within a single commit each block is seen at
+    // most twice (reprieve, then demote), so the walk terminates.
+    if ((*b & kChanceBit) == 0 && (*b & kHeatMask) > tier_bound_) {
+      *b |= kChanceBit;
+      warm_fifo_.push_back(bkey);
+      continue;
+    }
+    warm_.erase(bkey);
+    ++demoted;
+  }
+  stats_.warm_evictions += demoted;
+  const std::uint64_t promoted = faults_since_commit_;
+  faults_since_commit_ = 0;
+  if ((promoted != 0 || demoted != 0) && sink_ != nullptr)
+    sink_->on_cache_migrate(at, promoted, demoted);
+}
+
+void HotEmbeddingCache::pin_warm(std::span<const std::uint64_t> keys) {
+  if (!tier_on_) return;
+  for (const std::uint64_t key : keys) {
+    const std::uint64_t bkey = block_of(key);
+    std::uint64_t* b = warm_.find(bkey);
+    if (b != nullptr) {
+      if ((*b & kPinBit) != 0) continue;  // block already pinned
+      // Already warm via migration: promote to pinned and drop the FIFO
+      // entry so a commit can never demote it.
+      *b |= kPinBit;
+      warm_fifo_.erase(std::find(warm_fifo_.begin(), warm_fifo_.end(), bkey));
+    } else {
+      warm_[bkey] = kPinBit;
+    }
+    ++pinned_blocks_;
+  }
+}
+
+std::uint64_t HotEmbeddingCache::take_block_faults() {
+  const std::uint64_t n = pending_block_faults_;
+  pending_block_faults_ = 0;
+  return n;
+}
+
+HotEmbeddingCache::TierFlush HotEmbeddingCache::take_flushed_tiers() {
+  const TierFlush f{pending_flushes_, pending_flush_warm_,
+                    pending_flush_cold_};
+  pending_flushes_ = pending_flush_warm_ = pending_flush_cold_ = 0;
+  return f;
+}
+
+/// Shared flush/evict tail: tier-split flush accounting plus the observer
+/// callback, identical for both bookkeeping modes.
+void HotEmbeddingCache::note_evict(std::uint64_t key, bool was_dirty) {
+  const Tier dest = dest_tier(key);
+  if (was_dirty) {
+    ++stats_.flushes;
+    ++pending_flushes_;
+    if (tier_on_) {
+      if (dest == Tier::kWarm) {
+        ++stats_.flushes_warm;
+        ++pending_flush_warm_;
+      } else {
+        ++stats_.flushes_cold;
+        ++pending_flush_cold_;
+      }
+    }
+  }
+  if (sink_ != nullptr)
+    sink_->on_cache_evict(static_cast<std::uint32_t>(key >> 32),
+                          static_cast<std::uint32_t>(key), was_dirty, dest);
+}
 
 bool HotEmbeddingCache::contains(std::uint32_t table, std::uint32_t row) const {
   if (reference_)
@@ -47,13 +168,7 @@ void HotEmbeddingCache::evict(std::uint64_t key) {
   // eviction flushes it. Read-only streams keep dirty_ empty, so this
   // branch never perturbs their accounting.
   const bool was_dirty = !dirty_.empty() && dirty_.erase(key);
-  if (was_dirty) {
-    ++stats_.flushes;
-    ++pending_flushes_;
-  }
-  if (sink_ != nullptr)
-    sink_->on_cache_evict(static_cast<std::uint32_t>(key >> 32),
-                          static_cast<std::uint32_t>(key), was_dirty);
+  note_evict(key, was_dirty);
 }
 
 std::uint64_t HotEmbeddingCache::take_flushed() {
@@ -81,6 +196,9 @@ bool HotEmbeddingCache::access(std::uint32_t table, std::uint32_t row) {
 
   if (cfg_.capacity_rows == 0) {
     ++stats_.misses;
+    // No hot buffer at all: with tiering on, misses still resolve against
+    // the warm/cold stack (a pure warm/cold hierarchy).
+    if (tier_on_) touch_tiers(key, freq);
     return false;
   }
 
@@ -90,10 +208,17 @@ bool HotEmbeddingCache::access(std::uint32_t table, std::uint32_t row) {
   }
 
   ++stats_.misses;
+  if (tier_on_) {
+    touch_tiers(key, freq);  // warm_ only — never mutates table_
+    // Promotion threshold: rows below the access-count bar serve from
+    // their tier and never contend for the hot buffer.
+    if (freq < cfg_.promote_min_freq) return false;
+  }
   if (resident_count_ < cfg_.capacity_rows) {
     assert(table_.generation() == gen && "stale FlatMap64 slot pointer");
     slot |= kResidentBit;
     ++resident_count_;
+    if (tier_on_) ++stats_.promotions;
     heap_.emplace(freq, key);
     return false;
   }
@@ -118,6 +243,8 @@ bool HotEmbeddingCache::access(std::uint32_t table, std::uint32_t row) {
       assert(table_.generation() == gen && "stale FlatMap64 slot pointer");
       slot |= kResidentBit;
       ++resident_count_;
+      tier_bound_ = min_freq;  // settled-min LFU bound for tier demotion
+      if (tier_on_) ++stats_.promotions;
       heap_.emplace(freq, key);
     }
   }
@@ -179,13 +306,7 @@ bool HotEmbeddingCache::settle_heap_ref() {
 void HotEmbeddingCache::evict_ref(std::uint64_t key) {
   resident_ref_.erase(key);
   const bool was_dirty = !dirty_ref_.empty() && dirty_ref_.erase(key) > 0;
-  if (was_dirty) {
-    ++stats_.flushes;
-    ++pending_flushes_;
-  }
-  if (sink_ != nullptr)
-    sink_->on_cache_evict(static_cast<std::uint32_t>(key >> 32),
-                          static_cast<std::uint32_t>(key), was_dirty);
+  note_evict(key, was_dirty);
 }
 
 bool HotEmbeddingCache::access_ref(std::uint64_t key) {
@@ -193,6 +314,7 @@ bool HotEmbeddingCache::access_ref(std::uint64_t key) {
 
   if (cfg_.capacity_rows == 0) {
     ++stats_.misses;
+    if (tier_on_) touch_tiers(key, freq);
     return false;
   }
 
@@ -203,8 +325,16 @@ bool HotEmbeddingCache::access_ref(std::uint64_t key) {
   }
 
   ++stats_.misses;
+  // The tier stack is shared with the optimized path (like heap_), and the
+  // decision points match it line for line, so tier state and statistics
+  // are bit-identical across bookkeeping modes.
+  if (tier_on_) {
+    touch_tiers(key, freq);
+    if (freq < cfg_.promote_min_freq) return false;
+  }
   if (resident_ref_.size() < cfg_.capacity_rows) {
     resident_ref_.emplace(key, freq);
+    if (tier_on_) ++stats_.promotions;
     heap_.emplace(freq, key);
     return false;
   }
@@ -215,6 +345,8 @@ bool HotEmbeddingCache::access_ref(std::uint64_t key) {
       heap_.pop();
       evict_ref(min_key);
       resident_ref_.emplace(key, freq);
+      tier_bound_ = min_freq;  // settled-min LFU bound for tier demotion
+      if (tier_on_) ++stats_.promotions;
       heap_.emplace(freq, key);
     }
   }

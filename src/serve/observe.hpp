@@ -141,6 +141,10 @@ class MetricsRegistry {
   std::map<std::string, StreamingHistogram, std::less<>> histograms_;
 };
 
+/// Embedding-memory tier a row lands in when it leaves the hot periphery
+/// buffer. kArray is the flat (tiering-disabled) store.
+enum class Tier : std::uint8_t { kArray = 0, kWarm = 1, kCold = 2 };
+
 /// One (stage, shard) execution span, emitted by StagePipeline::collect()
 /// as the event model walks a query's graph. All times are simulated
 /// hardware time. start - ready decomposes into unit_wait (the stage unit
@@ -191,14 +195,26 @@ class ObserverSink {
     (void)shard, (void)start, (void)end;
   }
   /// `rows` dirty rows flushed (deferred array writes) during a stage
-  /// executing on `shard` around simulated time `at`.
+  /// executing on `shard` around simulated time `at`; `rows_warm` /
+  /// `rows_cold` split the total by destination tier (both 0 with tiering
+  /// disabled).
   virtual void on_cache_flush(std::size_t shard, device::Ns at,
-                              std::uint64_t rows) {
-    (void)shard, (void)at, (void)rows;
+                              std::uint64_t rows, std::uint64_t rows_warm,
+                              std::uint64_t rows_cold) {
+    (void)shard, (void)at, (void)rows, (void)rows_warm, (void)rows_cold;
   }
+  /// A row left the hot periphery buffer for `dest` (kArray when tiering
+  /// is disabled).
   virtual void on_cache_evict(std::uint32_t table, std::uint32_t row,
-                              bool dirty) {
-    (void)table, (void)row, (void)dirty;
+                              bool dirty, Tier dest) {
+    (void)table, (void)row, (void)dirty, (void)dest;
+  }
+  /// A batch-dispatch migration commit at simulated time `at`: `to_warm`
+  /// cold blocks were admitted warm since the previous commit, `to_cold`
+  /// warm blocks were demoted at this one.
+  virtual void on_cache_migrate(device::Ns at, std::uint64_t to_warm,
+                                std::uint64_t to_cold) {
+    (void)at, (void)to_warm, (void)to_cold;
   }
   /// An embedding update hit the periphery buffer (absorbed) or wrote
   /// through to the array.

@@ -91,14 +91,20 @@ ServingRuntime::ServingRuntime(
     IMARS_REQUIRE(cls.servable < servables_.size(),
                   "ServingRuntime: class routed to a missing servable slot");
   // Heterogeneous fabrics: a cache hit must credit back the *owning*
-  // shard's miss cost, so the timing is derived per shard profile.
+  // shard's miss cost, so the timing is derived per shard profile. With
+  // tiering enabled the timings also carry the cold-tier block-fetch cost
+  // (zero otherwise, so the flat store's timings are unchanged).
+  const std::size_t block_rows =
+      cfg_.cache.tiering_enabled() ? cfg_.cache.cold_block_rows : 0;
   if (shard_profiles.empty()) {
-    timings_ = {CacheTiming::from_model(core::PerfModel(arch, profile))};
+    timings_ = {
+        CacheTiming::from_model(core::PerfModel(arch, profile), block_rows)};
   } else {
     IMARS_REQUIRE(shard_profiles.size() == servables_.front()->shards(),
                   "ServingRuntime: one shard profile per shard");
     for (const auto& p : shard_profiles)
-      timings_.push_back(CacheTiming::from_model(core::PerfModel(arch, p)));
+      timings_.push_back(
+          CacheTiming::from_model(core::PerfModel(arch, p), block_rows));
   }
   // The config's shard count reflects the fabric actually built.
   cfg_.shards = servables_.front()->shards();
@@ -110,6 +116,14 @@ ServingRuntime::ServingRuntime(
                       cfg_.placement.warmup_queries >= 1,
                   "ServingRuntime: placement needs an offline histogram or "
                   "a warmup window");
+  }
+  if (cfg_.placement.warm_rows > 0) {
+    IMARS_REQUIRE(cfg_.cache.tiering_enabled(),
+                  "ServingRuntime: warm_rows needs a tiering-enabled cache");
+    IMARS_REQUIRE(!cfg_.placement.warm_histogram.empty() ||
+                      cfg_.placement.warmup_queries >= 1,
+                  "ServingRuntime: warm pinning needs an offline histogram "
+                  "or a warmup window");
   }
   // A filter/rank servable passed through the generic constructor (e.g. a
   // heterogeneous fabric) still supports run(gen, users).
@@ -205,6 +219,41 @@ ShardMap ServingRuntime::placed_map(const LoadGenConfig& load) {
                                   pc.hot_rows);
 }
 
+std::vector<std::uint64_t> ServingRuntime::warm_pin_keys(
+    const LoadGenConfig& load) {
+  const PlacementConfig& pc = cfg_.placement;
+  std::vector<HotKey> hot;
+  if (!pc.warm_histogram.empty()) {
+    hot = PlacementPolicy::top_keys(pc.warm_histogram, pc.warm_rows);
+  } else {
+    // Same warmup replay as placed_map, but histogramming ET *row* keys
+    // (the cache's key space) through the servable's access lists instead
+    // of the map's work-item keys. Stage 0 is the gather/entry stage of
+    // every built-in graph, so its accesses over the profile items are the
+    // request's ET row footprint.
+    std::unordered_map<std::size_t, std::uint64_t> counts;
+    LoadGenerator warm(load);
+    ServableBackend& sv = *servables_.front();
+    std::size_t profiled = 0;
+    for (std::size_t i = 0; profiled < pc.warmup_queries; ++i) {
+      const std::optional<Request> r =
+          load.arrivals == ArrivalProcess::kClosedLoop
+              ? warm.next(i % load.clients, device::Ns{0.0})
+              : warm.next_arrival();
+      if (!r) break;
+      if (r->is_update) continue;
+      ++profiled;
+      for (const auto& a : sv.accesses(0, *r, sv.profile_items(*r)))
+        ++counts[(static_cast<std::uint64_t>(a.table) << 32) | a.row];
+    }
+    hot = PlacementPolicy::top_keys(counts, pc.warm_rows);
+  }
+  std::vector<std::uint64_t> keys;
+  keys.reserve(hot.size());
+  for (const auto& hk : hot) keys.push_back(hk.key);
+  return keys;
+}
+
 ServeReport ServingRuntime::run(LoadGenerator& gen) {
   // Frequency-aware placement re-derives its pin layer per run (the warmup
   // profile tracks the generator's config); disabled, the configured map
@@ -229,8 +278,16 @@ ServeReport ServingRuntime::run(LoadGenerator& gen) {
   // bookkeeping (node-based maps, per-miss heap settles) — same decisions,
   // original host cost.
   cache.set_reference_bookkeeping(cfg_.reference_host_path);
+  // Tier-aware pin resolution: static warm pins resolve before serving,
+  // from the offline row histogram or the warmup replay (deterministic for
+  // this run's load config, like the work-item pin layer above).
+  if (cfg_.placement.warm_rows > 0 && cache.tiering_enabled())
+    cache.pin_warm(warm_pin_keys(gen.config()));
+  // A tiering-enabled cache participates in collection even with a
+  // zero-row hot buffer (pure warm/cold hierarchy).
   HotEmbeddingCache* cache_ptr =
-      cfg_.cache.capacity_rows > 0 ? &cache : nullptr;
+      cfg_.cache.capacity_rows > 0 || cache.tiering_enabled() ? &cache
+                                                              : nullptr;
   QosBatcher batcher(qos);
   // Optimized host path: collected request storage flows back to the
   // batcher's spare pool instead of being freed (the engine ignores the
@@ -436,6 +493,10 @@ ServeReport ServingRuntime::run(LoadGenerator& gen) {
     // Updates that arrived up to this batch's close apply first (timestamp
     // order — see pending_updates above).
     apply_updates_until(entry.dispatch);
+    // Tier migrations commit at the same batch-dispatch fence — never at
+    // completion — so the demotion sequence depends only on the
+    // submission order and is bit-identical under overlap on/off.
+    cache.commit_migrations(entry.dispatch);
     {
       // Worker-completion wait is simulated-work execution time, not host
       // bookkeeping: profile it separately so host.collect measures the

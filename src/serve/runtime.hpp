@@ -65,6 +65,19 @@ struct PlacementConfig {
   /// benches pass measured whole-stage per-item costs instead when the
   /// serving stage does more than fetch the row (e.g. per-candidate DNN).
   std::vector<device::Ns> shard_costs;
+  // --- tier-aware pin resolution (tiered embedding memory) -------------
+  /// Hottest ET *rows* (not work items) pinned warm-resident in the tiered
+  /// cache before serving — static tier placement, independent of
+  /// `enabled` (which governs the work-item pin layer) so benches can
+  /// compare static warm pins against online migration under identical
+  /// routing. Resolved from `warm_histogram` when supplied, else from the
+  /// same warmup replay, profiling row accesses through
+  /// ServableBackend::accesses. Requires a tiering-enabled cache; 0 = no
+  /// warm pins.
+  std::size_t warm_rows = 0;
+  /// Offline row-frequency profile for warm pinning: key =
+  /// (table << 32 | row) in slot 0's namespace (overrides the warmup).
+  std::vector<HotKey> warm_histogram;
 };
 
 /// Adaptive QoS estimates: EWMA over the observed dispatch-to-complete
@@ -238,6 +251,12 @@ class ServingRuntime {
   /// (placement must be enabled). Profiles on the calling thread before
   /// serving; deterministic for a given load config.
   ShardMap placed_map(const LoadGenConfig& load);
+
+  /// Tier-aware pin resolution: the hottest `placement.warm_rows` ET row
+  /// keys, from the offline warm_histogram or a warmup replay profiling
+  /// row accesses (slot 0's namespace). Deterministic for a given load
+  /// config, like placed_map.
+  std::vector<std::uint64_t> warm_pin_keys(const LoadGenConfig& load);
 
   ServingConfig cfg_;
   QosBatcherConfig qos_;              ///< effective class table

@@ -618,13 +618,12 @@ void StagePipeline::finish_stage(
     if (st->outstanding.fetch_sub(1) == 1) st->done.set_value();
 }
 
-StageStats StagePipeline::adjust_stage(const StageStats& measured,
-                                       std::span<const RowAccess> accesses,
-                                       HotEmbeddingCache* cache,
-                                       const CacheTiming& timing,
-                                       std::uint32_t table_base,
-                                       std::uint64_t* flushed_out) const {
-  if (flushed_out != nullptr) *flushed_out = 0;
+StageStats StagePipeline::adjust_stage(
+    const StageStats& measured, std::span<const RowAccess> accesses,
+    HotEmbeddingCache* cache, const CacheTiming& timing,
+    std::uint32_t table_base, bool reduce,
+    HotEmbeddingCache::TierFlush* flushed_out) const {
+  if (flushed_out != nullptr) *flushed_out = {};
   if (cache == nullptr) return measured;
 
   std::size_t pooled_hits = 0, pooled_first_hits = 0, row_hits = 0;
@@ -665,15 +664,30 @@ StageStats StagePipeline::adjust_stage(const StageStats& measured,
   std::size_t full_groups = 0;
   for (const auto& g : group_scratch_)
     if (g[1] > 0 && g[2] == g[1]) ++full_groups;
+  // In-crossbar embedding reduction: a capable stage on a capable device
+  // pools each parallel group's missed rows inside the array — the group
+  // returns ONE reduced vector over the serialized RSC bus instead of one
+  // transfer per bank, so every missed row past the first saves its
+  // result return. Hits are excluded (they never crossed the bus) and so
+  // is the group's surviving first transfer.
+  std::uint64_t merged_rows = 0;
+  if (reduce && timing.reduce_saving.latency > device::Ns{0.0})
+    for (const auto& g : group_scratch_)
+      if (g[1] > g[2]) merged_rows += g[1] - g[2] - 1;
+  // Tiered memory: misses whose block was not warm-resident faulted whole
+  // cold-tier blocks in — charge each at the block-fetch cost, in the new
+  // ET-block category so the flat store's accounting is untouched.
+  const std::uint64_t block_faults = cache->take_block_faults();
   // Write-back model: a miss admission above may have evicted a dirty row,
   // whose deferred array write happens NOW — charge the flush into this
   // stage's ET-write cost so it lands in hardware time. Read-only streams
   // never dirty a row, so flushed stays 0 and the accounting is untouched.
-  const std::uint64_t flushed_rows = cache->take_flushed();
-  if (flushed_out != nullptr) *flushed_out = flushed_rows;
-  const double flushed = static_cast<double>(flushed_rows);
+  const HotEmbeddingCache::TierFlush tier_flush = cache->take_flushed_tiers();
+  if (flushed_out != nullptr) *flushed_out = tier_flush;
+  const double flushed = static_cast<double>(tier_flush.rows);
   if (pooled_hits == 0 && pooled_first_hits == 0 && row_hits == 0 &&
-      parallel_hits == 0 && flushed == 0.0)
+      parallel_hits == 0 && flushed == 0.0 && block_faults == 0 &&
+      merged_rows == 0)
     return measured;
 
   // Replace each hit's CMA+bus cost with the hot-buffer cost, clamped so an
@@ -710,10 +724,31 @@ StageStats StagePipeline::adjust_stage(const StageStats& measured,
                         timing.row_miss.energy * pll)
                            .value)} +
               timing.hit.energy * (hits + pll);
+  if (merged_rows > 0) {
+    // Subtract the reduced-away result returns, clamped like the hit
+    // credits above so the ET cost can never go negative.
+    const double m = static_cast<double>(merged_rows);
+    et.latency = device::max(et.latency - timing.reduce_saving.latency * m,
+                             device::Ns{0.0});
+    et.energy = device::Pj{std::max(
+        0.0, (et.energy - timing.reduce_saving.energy * m).value)};
+  }
   if (flushed > 0.0) {
     OpCost& wr = adjusted.at(OpKind::kEtWrite);
     wr.latency += timing.row_write.latency * flushed;
     wr.energy += timing.row_write.energy * flushed;
+    if (tier_flush.cold > 0) {
+      // Flushes landing in the cold tier stream past the warm arrays.
+      const double cold = static_cast<double>(tier_flush.cold);
+      wr.latency += timing.cold_flush.latency * cold;
+      wr.energy += timing.cold_flush.energy * cold;
+    }
+  }
+  if (block_faults > 0) {
+    OpCost& bf = adjusted.at(OpKind::kEtBlock);
+    const double f = static_cast<double>(block_faults);
+    bf.latency += timing.block_fetch.latency * f;
+    bf.energy += timing.block_fetch.energy * f;
   }
   return adjusted;
 }
@@ -842,18 +877,21 @@ void StagePipeline::collect_into(BatchHandle handle,
 
       if (spec.stages[s].kind == StageKind::kReplicated) {
         const std::size_t home = st->home[qi];
-        std::uint64_t flushed = 0;
+        HotEmbeddingCache::TierFlush flushed;
         std::vector<RowAccess> ref_rows;
         const StageStats adj =
             adjust_stage(rec.rep_stats, stage_accesses(s, {}, ref_rows),
-                         cache, timing_of(home), table_base, &flushed);
+                         cache, timing_of(home), table_base,
+                         spec.stages[s].reduce, &flushed);
         out.stage_stats[s] = adj;
         const device::Ns t = adj.total().latency;
         // Flush write-backs (kEtWrite) occupy the same in-memory arrays as
-        // the lookups, so they extend the shared ET-bank claim; zero on
-        // read-only streams.
+        // the lookups, so they extend the shared ET-bank claim — as do
+        // cold-tier block fetches (kEtBlock), which stream through the
+        // same banks; both are zero outside their features.
         const device::Ns et = adj.at(OpKind::kEtLookup).latency +
-                              adj.at(OpKind::kEtWrite).latency;
+                              adj.at(OpKind::kEtWrite).latency +
+                              adj.at(OpKind::kEtBlock).latency;
         ShardClocks& c = clocks_[home];
         const device::Ns unit_free = c.stage_free[base + s];
         const device::Ns shared_free = c.shared_free;
@@ -874,7 +912,9 @@ void StagePipeline::collect_into(BatchHandle handle,
         stage_end[s] = end;
         complete = device::max(complete, end);
         if (sink_ != nullptr) {
-          if (flushed > 0) sink_->on_cache_flush(home, start, flushed);
+          if (flushed.rows > 0)
+            sink_->on_cache_flush(home, start, flushed.rows, flushed.warm,
+                                  flushed.cold);
           StageSpan span;
           span.slot = st->spec_idx;
           span.stage = s;
@@ -904,16 +944,17 @@ void StagePipeline::collect_into(BatchHandle handle,
       for (std::size_t shard = 0; shard < ns; ++shard) {
         if (rec.slices.empty() || rec.slices[shard].empty()) continue;
         ++contributing;
-        std::uint64_t flushed = 0;
+        HotEmbeddingCache::TierFlush flushed;
         std::vector<RowAccess> ref_rows;
         const StageStats adj = adjust_stage(
             rec.shard_stats[shard],
             stage_accesses(s, rec.slices[shard], ref_rows), cache,
-            timing_of(shard), table_base, &flushed);
+            timing_of(shard), table_base, spec.stages[s].reduce, &flushed);
         out.stage_stats[s].merge(adj);
         const device::Ns t = adj.total().latency;
         const device::Ns et = adj.at(OpKind::kEtLookup).latency +
-                              adj.at(OpKind::kEtWrite).latency;
+                              adj.at(OpKind::kEtWrite).latency +
+                              adj.at(OpKind::kEtBlock).latency;
         ShardClocks& c = clocks_[shard];
         const device::Ns unit_free = c.stage_free[base + s];
         const device::Ns shared_free = c.shared_free;
@@ -927,7 +968,9 @@ void StagePipeline::collect_into(BatchHandle handle,
         usage_[shard].stage_busy[base + s] += t;
         end = device::max(end, slice_end);
         if (sink_ != nullptr) {
-          if (flushed > 0) sink_->on_cache_flush(shard, start, flushed);
+          if (flushed.rows > 0)
+            sink_->on_cache_flush(shard, start, flushed.rows, flushed.warm,
+                                  flushed.cold);
           StageSpan span;
           span.slot = st->spec_idx;
           span.stage = s;

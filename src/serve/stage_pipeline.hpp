@@ -90,15 +90,30 @@ struct CacheTiming {
   recsys::OpCost row_write;
   /// One update absorbed into the periphery hot-row buffer (dirty fill).
   recsys::OpCost buffer_fill;
+  /// One cold-tier block fault (PerfModel::cold_block_fetch over the
+  /// cache's cold_block_rows); zero with tiering disabled.
+  recsys::OpCost block_fetch;
+  /// Extra stream-out of a dirty row flushed past the warm arrays into
+  /// the cold bulk tier (on top of row_write); zero with tiering disabled.
+  recsys::OpCost cold_flush;
+  /// Per-merged-row saving of in-crossbar embedding reduction
+  /// (PerfModel::reduction_saving); zero unless the device profile
+  /// declares the capability.
+  recsys::OpCost reduce_saving;
 
-  static CacheTiming from_model(const core::PerfModel& model) {
+  static CacheTiming from_model(const core::PerfModel& model,
+                                std::size_t cold_block_rows = 0) {
     const auto& read = model.profile().cma_read;
     return CacheTiming{model.cached_row(),
                        model.row_fetch(),
                        model.pooled_row(),
                        recsys::OpCost{read.latency, read.energy},
                        model.row_write(),
-                       model.buffer_fill()};
+                       model.buffer_fill(),
+                       model.cold_block_fetch(cold_block_rows),
+                       cold_block_rows > 0 ? model.cold_flush_extra()
+                                           : recsys::OpCost{},
+                       model.reduction_saving()};
   }
 };
 
@@ -134,6 +149,12 @@ struct StageSpec {
   /// as declared and a stage with an empty list is a source (ready at
   /// batch dispatch).
   std::vector<std::string> deps;
+  /// The stage's lookups may be pooled inside the array (in-crossbar
+  /// embedding reduction): with a device profile declaring
+  /// in_crossbar_reduction, each parallel group's missed rows return one
+  /// reduced vector over the RSC bus instead of one transfer per row.
+  /// Inert (timed identically) unless the profile opts in.
+  bool reduce = false;
 };
 
 /// Stage graph of a workload: a DAG of replicated/sharded stages. A
@@ -510,14 +531,20 @@ class StagePipeline {
   /// Applies the cache to `accesses` and rewrites the stage's ET-lookup
   /// cost; returns the adjusted stats. `table_base` namespaces the cache
   /// keys (co-resident servables must not alias each other's tables).
-  /// `flushed` (optional) receives the dirty-row flush count charged into
-  /// the stage's kEtWrite cost, for the observer's cache-flush events.
+  /// `reduce` marks a stage declaring the in-crossbar reduction
+  /// capability (effective only when the device profile opts in).
+  /// `flushed` (optional) receives the dirty-row flush counts (with their
+  /// tier split) charged into the stage's kEtWrite cost, for the
+  /// observer's cache-flush events. Cold-tier block faults raised by the
+  /// accesses are drained here and charged into kEtBlock.
   recsys::StageStats adjust_stage(const recsys::StageStats& measured,
                                   std::span<const RowAccess> accesses,
                                   HotEmbeddingCache* cache,
                                   const CacheTiming& timing,
                                   std::uint32_t table_base,
-                                  std::uint64_t* flushed = nullptr) const;
+                                  bool reduce = false,
+                                  HotEmbeddingCache::TierFlush* flushed =
+                                      nullptr) const;
 
   /// Acquires a batch State: pooled (structure-preserving reset, steady
   /// state allocates nothing) or fresh in reference mode.

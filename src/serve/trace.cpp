@@ -153,8 +153,22 @@ void TraceLog::on_write(std::size_t shard, device::Ns start, device::Ns end) {
   registry_.histogram("write.busy_ns").record((end - start).value);
 }
 
+namespace {
+
+const char* tier_name(Tier t) {
+  switch (t) {
+    case Tier::kWarm: return "warm";
+    case Tier::kCold: return "cold";
+    case Tier::kArray: break;
+  }
+  return "array";
+}
+
+}  // namespace
+
 void TraceLog::on_cache_flush(std::size_t shard, device::Ns at,
-                              std::uint64_t rows) {
+                              std::uint64_t rows, std::uint64_t rows_warm,
+                              std::uint64_t rows_cold) {
   name_process(shard_pid(shard), "shard " + std::to_string(shard));
   name_thread(shard_pid(shard), 0, "et-banks");
   TraceEvent ev;
@@ -165,16 +179,45 @@ void TraceLog::on_cache_flush(std::size_t shard, device::Ns at,
   ev.pid = shard_pid(shard);
   ev.tid = 0;
   ev.num_args = {{"rows", static_cast<double>(rows)}};
+  if (rows_warm + rows_cold > 0) {
+    // Destination-tier split (tiered runs only, so flat-store traces are
+    // byte-identical to the pre-tier format).
+    ev.num_args.emplace_back("rows_warm", static_cast<double>(rows_warm));
+    ev.num_args.emplace_back("rows_cold", static_cast<double>(rows_cold));
+  }
   events_.push_back(std::move(ev));
   registry_.add_counter("cache.flush_events");
   registry_.add_counter("cache.flush_rows", rows);
+  if (rows_warm > 0) registry_.add_counter("cache.flush_rows.warm", rows_warm);
+  if (rows_cold > 0) registry_.add_counter("cache.flush_rows.cold", rows_cold);
 }
 
 void TraceLog::on_cache_evict(std::uint32_t table, std::uint32_t row,
-                              bool dirty) {
+                              bool dirty, Tier dest) {
   (void)table, (void)row;
   registry_.add_counter("cache.evictions");
   if (dirty) registry_.add_counter("cache.evictions.dirty");
+  if (dest != Tier::kArray)
+    registry_.add_counter(std::string("cache.evictions.to_") +
+                          tier_name(dest));
+}
+
+void TraceLog::on_cache_migrate(device::Ns at, std::uint64_t to_warm,
+                                std::uint64_t to_cold) {
+  name_process(kRuntimePid, "serve-runtime");
+  TraceEvent ev;
+  ev.phase = TraceEvent::Phase::kInstant;
+  ev.name = "migrate";
+  ev.cat = "cache";
+  ev.ts_us = at.us();
+  ev.pid = kRuntimePid;
+  ev.tid = 0;
+  ev.num_args = {{"to_warm", static_cast<double>(to_warm)},
+                 {"to_cold", static_cast<double>(to_cold)}};
+  events_.push_back(std::move(ev));
+  registry_.add_counter("cache.migrate_commits");
+  registry_.add_counter("cache.migrate.to_warm", to_warm);
+  registry_.add_counter("cache.migrate.to_cold", to_cold);
 }
 
 void TraceLog::on_cache_update(bool absorbed) {

@@ -77,10 +77,13 @@ class TraceLog final : public ObserverSink {
   void on_stage(const StageSpan& s) override;
   void on_batch(const BatchSpan& b) override;
   void on_write(std::size_t shard, device::Ns start, device::Ns end) override;
-  void on_cache_flush(std::size_t shard, device::Ns at,
-                      std::uint64_t rows) override;
-  void on_cache_evict(std::uint32_t table, std::uint32_t row,
-                      bool dirty) override;
+  void on_cache_flush(std::size_t shard, device::Ns at, std::uint64_t rows,
+                      std::uint64_t rows_warm,
+                      std::uint64_t rows_cold) override;
+  void on_cache_evict(std::uint32_t table, std::uint32_t row, bool dirty,
+                      Tier dest) override;
+  void on_cache_migrate(device::Ns at, std::uint64_t to_warm,
+                        std::uint64_t to_cold) override;
   void on_cache_update(bool absorbed) override;
   void on_counter(std::string_view name, device::Ns at, double value) override;
   void on_host_span(std::string_view name, double start_us,

@@ -29,6 +29,13 @@ inline void expect_reports_identical(const serve::ServeReport& a,
   EXPECT_DOUBLE_EQ(a.makespan.value, b.makespan.value);
   EXPECT_EQ(a.cache.hits, b.cache.hits);
   EXPECT_EQ(a.cache.misses, b.cache.misses);
+  EXPECT_EQ(a.cache.warm_hits, b.cache.warm_hits);
+  EXPECT_EQ(a.cache.cold_faults, b.cache.cold_faults);
+  EXPECT_EQ(a.cache.cold_rows_fetched, b.cache.cold_rows_fetched);
+  EXPECT_EQ(a.cache.warm_evictions, b.cache.warm_evictions);
+  EXPECT_EQ(a.cache.promotions, b.cache.promotions);
+  EXPECT_EQ(a.cache.flushes_warm, b.cache.flushes_warm);
+  EXPECT_EQ(a.cache.flushes_cold, b.cache.flushes_cold);
   EXPECT_EQ(a.updates, b.updates);
   EXPECT_EQ(a.flush_bytes, b.flush_bytes);
   EXPECT_DOUBLE_EQ(a.update_cost.latency.value, b.update_cost.latency.value);

@@ -2,7 +2,7 @@
 // serving observers (serve::TraceLog), validate its well-formedness and
 // print the top spans.
 //
-//   trace_summary [--check] [--top N] [--host] <trace.json>
+//   trace_summary [--check] [--top N] [--host] [--tiers] <trace.json>
 //
 // Default: print the event/span counts, the close-trigger breakdown, the
 // validation verdict and the top-N (cat, name) span totals. With --check
@@ -17,6 +17,11 @@
 // --trace): top host spans by total time plus the host-path wall-clock
 // total, with the worker-completion wait (host.wait) broken out the same
 // way ServeReport::host_total_us excludes it.
+//
+// --tiers switches to the tiered-embedding-memory view: totals of the
+// "migrate" commit instants (blocks promoted to warm / demoted to cold)
+// and the tier split of write-back flush rows, so a run's migration
+// traffic is auditable from its trace alone.
 //
 // The parser below is a minimal recursive-descent JSON reader — the repo
 // deliberately has no third-party JSON dependency.
@@ -285,12 +290,60 @@ std::vector<imars::serve::TraceEvent> to_events(const JsonValue& root) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: trace_summary [--check] [--top N] [--host] "
+               "usage: trace_summary [--check] [--top N] [--host] [--tiers] "
                "<trace.json>\n"
                "  --check   exit nonzero when the trace is malformed\n"
                "  --top N   show the N largest span groups (default 15)\n"
-               "  --host    summarize the wall-clock host-profile spans\n");
+               "  --host    summarize the wall-clock host-profile spans\n"
+               "  --tiers   summarize tiered-memory migration traffic\n");
   return 2;
+}
+
+// The --tiers view: aggregate the tiered-embedding-memory instants
+// ("migrate" on the runtime track, tier-tagged "flush" on the shard
+// tracks) so a run's migration traffic is auditable from its trace alone.
+void print_tiers_view(const std::vector<imars::serve::TraceEvent>& events) {
+  using Phase = imars::serve::TraceEvent::Phase;
+  std::size_t migrate_commits = 0, flush_events = 0;
+  double to_warm = 0.0, to_cold = 0.0;
+  double flush_rows = 0.0, flush_warm = 0.0, flush_cold = 0.0;
+  const auto num_arg = [](const imars::serve::TraceEvent& ev,
+                          std::string_view key) {
+    for (const auto& [k, v] : ev.num_args)
+      if (k == key) return v;
+    return 0.0;
+  };
+  for (const auto& ev : events) {
+    if (ev.phase != Phase::kInstant || ev.cat != "cache") continue;
+    if (ev.name == "migrate") {
+      ++migrate_commits;
+      to_warm += num_arg(ev, "to_warm");
+      to_cold += num_arg(ev, "to_cold");
+    } else if (ev.name == "flush") {
+      ++flush_events;
+      flush_rows += num_arg(ev, "rows");
+      flush_warm += num_arg(ev, "rows_warm");
+      flush_cold += num_arg(ev, "rows_cold");
+    }
+  }
+  if (migrate_commits == 0 && flush_warm + flush_cold == 0.0) {
+    std::printf(
+        "no tier traffic (run with tiering enabled and --trace to capture "
+        "migration instants)\n");
+    return;
+  }
+  std::printf("tiered-memory migration traffic:\n");
+  std::printf("  %-28s %14s\n", "metric", "total");
+  std::printf("  %-28s %14zu\n", "migrate commits", migrate_commits);
+  std::printf("  %-28s %14.0f\n", "blocks cold -> warm", to_warm);
+  std::printf("  %-28s %14.0f\n", "blocks warm -> cold", to_cold);
+  std::printf("  %-28s %14zu\n", "flush events", flush_events);
+  std::printf("  %-28s %14.0f\n", "flush rows (total)", flush_rows);
+  std::printf("  %-28s %14.0f\n", "flush rows -> warm", flush_warm);
+  std::printf("  %-28s %14.0f\n", "flush rows -> cold", flush_cold);
+  if (flush_rows > flush_warm + flush_cold)
+    std::printf("  %-28s %14.0f\n", "flush rows (untiered)",
+                flush_rows - flush_warm - flush_cold);
 }
 
 // The --host view: aggregate the wall-clock self-profiling spans and print
@@ -347,6 +400,7 @@ void print_host_view(const std::vector<imars::serve::TraceEvent>& events,
 int main(int argc, char** argv) {
   bool check_gate = false;
   bool host_view = false;
+  bool tiers_view = false;
   std::size_t top_n = 15;
   std::string path;
   for (int i = 1; i < argc; ++i) {
@@ -355,6 +409,8 @@ int main(int argc, char** argv) {
       check_gate = true;
     } else if (arg == "--host") {
       host_view = true;
+    } else if (arg == "--tiers") {
+      tiers_view = true;
     } else if (arg == "--top" && i + 1 < argc) {
       top_n = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (!arg.empty() && arg.front() == '-') {
@@ -397,7 +453,9 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
 
-  if (host_view) {
+  if (tiers_view) {
+    print_tiers_view(events);
+  } else if (host_view) {
     print_host_view(events, top_n);
   } else if (const auto totals = imars::serve::summarize_trace(events, top_n);
              !totals.empty()) {
