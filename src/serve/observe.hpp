@@ -189,6 +189,17 @@ class ObserverSink {
   virtual ~ObserverSink() = default;
 
   virtual void on_stage(const StageSpan&) {}
+  /// An emitting (StageSpec::emit_topk) stage's produced-item merge: the
+  /// per-shard partials ship to the controller and the global item list is
+  /// built over [start, end) before any successor can begin. Distinct from
+  /// the output top-k merge, which is folded into its batch span.
+  virtual void on_stage_merge(std::size_t slot, std::size_t stage,
+                              std::string_view name, std::size_t query,
+                              std::size_t batch, device::Ns start,
+                              device::Ns end) {
+    (void)slot, (void)stage, (void)name, (void)query, (void)batch,
+        (void)start, (void)end;
+  }
   virtual void on_batch(const BatchSpan&) {}
   /// Embedding-update write traffic occupying shard `shard`'s ET banks.
   virtual void on_write(std::size_t shard, device::Ns start, device::Ns end) {

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "serve/servable_funnel.hpp"
 #include "util/error.hpp"
 
 namespace imars::serve {
@@ -156,11 +157,15 @@ ServeReport ServingRuntime::run(LoadGenerator& gen,
                                 std::span<const recsys::UserContext> users) {
   IMARS_REQUIRE(!users.empty(), "ServingRuntime::run: empty user population");
   bool bound = false;
-  for (const auto& s : servables_)
+  for (const auto& s : servables_) {
     if (auto* r = dynamic_cast<ShardRouter*>(s.get())) {
       r->bind_users(users);
       bound = true;
+    } else if (auto* f = dynamic_cast<FunnelServable*>(s.get())) {
+      f->bind_users(users);
+      bound = true;
     }
+  }
   IMARS_REQUIRE(bound, "ServingRuntime::run: no filter/rank servable");
   return run(gen);
 }
@@ -523,6 +528,10 @@ ServeReport ServingRuntime::run(LoadGenerator& gen) {
     device::Ns batch_first_complete{
         std::numeric_limits<double>::infinity()};
     device::Ns batch_device_time;
+    // Cold-tier block-fault time (OpKind::kEtBlock) charged into this
+    // batch, tallied separately: it feeds the adaptive-QoS observation
+    // adjustment below, and stays exactly zero with tiering disabled.
+    device::Ns batch_fault_time;
     for (const auto& res : results) {
       const Request& req = res.request;
       // Whole-run telemetry (class accounting, stage stats, makespan) is
@@ -533,6 +542,7 @@ ServeReport ServingRuntime::run(LoadGenerator& gen) {
       for (const auto& s : res.stage_stats) {
         energy += s.total().energy;
         device_time += s.total().latency;
+        batch_fault_time += s.at(recsys::OpKind::kEtBlock).latency;
       }
       report.routed_items += res.routed_items;
       report.pinned_items += res.pinned_items;
@@ -601,10 +611,24 @@ ServeReport ServingRuntime::run(LoadGenerator& gen) {
       AdaptiveObs obs;
       obs.batch_index = entry.batch_index;
       obs.cls = entry.qos_class;
-      obs.service = batch_complete - entry.dispatch;
+      // Tier-fault attribution: cold-block fault bursts are a tier-warming
+      // TRANSIENT, not class service drift — feeding them into the EWMA as
+      // ordinary service time inflates the estimate and triggers spurious
+      // preemptive closes for several commit windows after the hot set has
+      // re-warmed. The fault-charged time is subtracted from both observed
+      // figures (clamped at zero: faults overlap across shards, so their
+      // sum can exceed the batch's wall service). With tiering disabled
+      // kEtBlock is identically zero and the observations are unchanged.
+      obs.service = device::max(
+          batch_complete - entry.dispatch - batch_fault_time,
+          device::Ns{0.0});
       obs.per_request =
-          batch_device_time.value / static_cast<double>(results.size());
+          std::max(batch_device_time.value - batch_fault_time.value, 0.0) /
+          static_cast<double>(results.size());
       obs_pending.push_back(obs);
+      if (sink_ != nullptr && batch_fault_time.value > 0.0)
+        sink_->on_counter("qos.fault." + qos.classes[entry.qos_class].name,
+                          batch_complete, batch_fault_time.value);
     }
     if (sink_ != nullptr) {
       const QosClassConfig& ccfg = qos.classes[entry.qos_class];
@@ -653,9 +677,15 @@ ServeReport ServingRuntime::run(LoadGenerator& gen) {
               obs.cls, qos.classes[obs.cls].request_cost *
                            (req_ewma[obs.cls] / req_base[obs.cls]));
         ++report.spec.estimate_commits;
-        if (sink_ != nullptr)
+        if (sink_ != nullptr) {
           sink_->on_counter("qos.est." + qos.classes[obs.cls].name, release,
                             est_ewma[obs.cls].value);
+          // The committed observation itself (fault-adjusted batch
+          // service), so a trace can audit the attribution against the
+          // raw batch spans.
+          sink_->on_counter("qos.obs." + qos.classes[obs.cls].name, release,
+                            obs.service.value);
+        }
       }
     }
     const std::size_t cls = batch.qos_class;

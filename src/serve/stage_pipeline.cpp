@@ -86,12 +86,35 @@ PipelineSpec::Graph PipelineSpec::resolve() const {
     for (std::size_t succ : g.succs[next]) --pending[succ];
   }
 
-  // Work-item routing into sharded stages. Explicit graphs: the replicated
-  // direct predecessors, in declared edge order. Implicit linear chains:
-  // the nearest preceding replicated stage — the pre-DAG "replicated
-  // stages (re)define the item set" rule.
+  // Produced-item-set plumbing (emit_topk / consume_items) only makes
+  // sense on an explicitly declared graph: an implicit linear chain has no
+  // edges to say WHICH stage feeds which.
   for (std::size_t s = 0; s < n; ++s) {
-    if (stages[s].kind != StageKind::kSharded) continue;
+    IMARS_REQUIRE(stages[s].emit_topk == 0 ||
+                      stages[s].kind == StageKind::kSharded,
+                  "PipelineSpec: emit_topk on non-sharded stage #" +
+                      std::to_string(s));
+    IMARS_REQUIRE(!stages[s].consume_items ||
+                      stages[s].kind == StageKind::kReplicated,
+                  "PipelineSpec: consume_items on non-replicated stage #" +
+                      std::to_string(s));
+    IMARS_REQUIRE(!linear ||
+                      (stages[s].emit_topk == 0 && !stages[s].consume_items),
+                  "PipelineSpec: emit_topk/consume_items require an "
+                  "explicit dependency graph (stage #" + std::to_string(s) +
+                      ")");
+  }
+
+  // Work-item routing. Explicit graphs: a stage consumes its PRODUCING
+  // direct predecessors — replicated stages and emitting (emit_topk)
+  // sharded stages — in declared edge order; sharded stages always
+  // consume, replicated stages only when consume_items opts in. Implicit
+  // linear chains: the nearest preceding replicated stage — the pre-DAG
+  // "replicated stages (re)define the item set" rule.
+  for (std::size_t s = 0; s < n; ++s) {
+    const bool consumes = stages[s].kind == StageKind::kSharded ||
+                          stages[s].consume_items;
+    if (!consumes) continue;
     if (linear) {
       for (std::size_t p = s; p-- > 0;) {
         if (stages[p].kind == StageKind::kReplicated) {
@@ -101,9 +124,13 @@ PipelineSpec::Graph PipelineSpec::resolve() const {
       }
     } else {
       for (std::size_t p : g.preds[s])
-        if (stages[p].kind == StageKind::kReplicated)
+        if (stages[p].kind == StageKind::kReplicated ||
+            stages[p].emit_topk > 0)
           g.item_sources[s].push_back(p);
     }
+    IMARS_REQUIRE(!stages[s].consume_items || !g.item_sources[s].empty(),
+                  "PipelineSpec: consume_items stage '" + stages[s].name +
+                      "' has no producing predecessor");
   }
 
   // The output stage: the last sharded stage in topological order produces
@@ -112,6 +139,18 @@ PipelineSpec::Graph PipelineSpec::resolve() const {
     if (stages[s].kind == StageKind::kSharded) g.output_stage = s;
   IMARS_REQUIRE(!merge_topk || g.output_stage != kNoStage,
                 "PipelineSpec: merge_topk requires a sharded stage");
+  // An emitting stage's merged item list must feed SOMEONE — and the
+  // output stage's partials already go to the top-k merge, so emitting
+  // there would double-merge the same lists.
+  for (std::size_t s = 0; s < n; ++s) {
+    if (stages[s].emit_topk == 0) continue;
+    IMARS_REQUIRE(!g.succs[s].empty(),
+                  "PipelineSpec: emitting stage '" + stages[s].name +
+                      "' has no successor to consume its items");
+    IMARS_REQUIRE(s != g.output_stage,
+                  "PipelineSpec: emitting stage '" + stages[s].name +
+                      "' cannot be the output stage");
+  }
   return g;
 }
 
@@ -133,6 +172,19 @@ device::Ns PipelineSpec::critical_path(
 
 // --- StagePipeline ----------------------------------------------------------
 
+namespace {
+
+/// The engine-wide scored-item order: score desc, item asc — a strict
+/// total order over distinct items, so every merge (output top-k and
+/// emitting-stage item lists) has exactly one answer regardless of the
+/// sorting algorithm or shard arrival order.
+bool score_order(const recsys::ScoredItem& a, const recsys::ScoredItem& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.item < b.item;
+}
+
+}  // namespace
+
 /// Functional scratch of one in-flight batch. Tasks on the shard executors
 /// fill the per-(query, stage) records; collect() reads them single-threaded
 /// after the done promise fires (the promise provides the happens-before).
@@ -145,9 +197,14 @@ struct StagePipeline::BatchHandle::State {
 
   struct StageRec {
     StageStats rep_stats;  ///< replicated-stage measured costs
-    std::vector<std::size_t> out_items;  ///< replicated-stage item output
+    /// The stage's produced item set: a replicated stage's output, or an
+    /// emitting sharded stage's merged global top-emit_topk item list.
+    std::vector<std::size_t> out_items;
     std::vector<std::vector<std::size_t>> slices;  ///< sharded: per shard
     std::vector<StageStats> shard_stats;           ///< sharded: per shard
+    /// Emitting (emit_topk) sharded stage: per-shard scored partials held
+    /// until the last slice joins, then merged into out_items.
+    std::vector<std::vector<recsys::ScoredItem>> emit;
   };
 
   std::vector<std::size_t> home;                  ///< per query
@@ -348,6 +405,12 @@ StagePipeline::acquire_state(std::size_t queries, std::size_t stages,
       else
         r.shard_stats.clear();
       for (auto& slice : r.slices) slice.clear();
+      if (spec.stages[s].emit_topk > 0) {
+        r.emit.resize(ns);
+        for (auto& e : r.emit) e.clear();
+      } else {
+        r.emit.clear();
+      }
     }
   }
   st->partials.resize(queries);
@@ -500,11 +563,28 @@ void StagePipeline::run_stage_task(
     const std::shared_ptr<BatchHandle::State>& st, ServableBackend& servable,
     std::size_t qi, std::size_t stage, std::size_t shard) {
   const PipelineSpec& spec = specs_[st->spec_idx];
+  const PipelineSpec::Graph& graph = graphs_[st->spec_idx];
   if (spec.stages[stage].kind == StageKind::kReplicated) {
+    auto& r = st->rec[qi][stage];
+    const auto& sources = graph.item_sources[stage];
     try {
-      st->rec[qi][stage].out_items = servable.run_replicated(
-          stage, shard, st->batch.requests[qi],
-          &st->rec[qi][stage].rep_stats);
+      if (sources.empty()) {
+        r.out_items = servable.run_replicated(
+            stage, shard, st->batch.requests[qi], &r.rep_stats);
+      } else if (sources.size() == 1) {
+        // consume_items: the predecessor's produced items feed the stage.
+        r.out_items = servable.run_replicated_fed(
+            stage, shard, st->batch.requests[qi],
+            st->rec[qi][sources.front()].out_items, &r.rep_stats);
+      } else {
+        std::vector<std::size_t> fed;
+        for (std::size_t src : sources) {
+          const auto& out = st->rec[qi][src].out_items;
+          fed.insert(fed.end(), out.begin(), out.end());
+        }
+        r.out_items = servable.run_replicated_fed(
+            stage, shard, st->batch.requests[qi], fed, &r.rep_stats);
+      }
     } catch (...) {
       st->fail(std::current_exception());
     }
@@ -512,22 +592,45 @@ void StagePipeline::run_stage_task(
     return;
   }
 
-  const PipelineSpec::Graph& graph = graphs_[st->spec_idx];
   const bool is_output = stage == graph.output_stage;
+  const std::size_t emit_k = spec.stages[stage].emit_topk;
   auto& r = st->rec[qi][stage];
   try {
-    auto partial =
-        servable.run_sharded(stage, shard, st->batch.requests[qi],
-                             r.slices[shard], st->k, &r.shard_stats[shard]);
-    // Only the output stage's partials reach the merge; an interior
-    // sharded stage (e.g. an embedding-gather tower) feeds timing and
-    // successors, not results.
-    if (is_output) st->partials[qi][shard] = std::move(partial);
+    auto partial = servable.run_sharded(
+        stage, shard, st->batch.requests[qi], r.slices[shard],
+        emit_k > 0 ? emit_k : st->k, &r.shard_stats[shard]);
+    // Only the output stage's partials reach the top-k merge; an emitting
+    // interior stage holds them per shard for the item-list merge below;
+    // any other interior sharded stage (e.g. an embedding-gather tower)
+    // feeds timing and successors, not results.
+    if (is_output)
+      st->partials[qi][shard] = std::move(partial);
+    else if (emit_k > 0)
+      r.emit[shard] = std::move(partial);
   } catch (...) {
     st->fail(std::current_exception());
   }
-  if (st->fan(qi, stage).fetch_sub(1) == 1)
+  if (st->fan(qi, stage).fetch_sub(1) == 1) {
+    if (emit_k > 0 && !st->failed.load(std::memory_order_acquire)) {
+      // Last slice joined: merge the per-shard partials (shard-order
+      // concat, engine score order, truncate) into the stage's produced
+      // item list — the work-item set its successors partition. The same
+      // merge regardless of slice arrival order, so overlap cannot change
+      // downstream routing.
+      try {
+        std::vector<recsys::ScoredItem> all;
+        for (const auto& e : r.emit) all.insert(all.end(), e.begin(), e.end());
+        std::sort(all.begin(), all.end(), score_order);
+        if (all.size() > emit_k) all.resize(emit_k);
+        r.out_items.clear();
+        r.out_items.reserve(all.size());
+        for (const auto& si : all) r.out_items.push_back(si.item);
+      } catch (...) {
+        st->fail(std::current_exception());
+      }
+    }
     finish_stage(st, servable, qi, stage);
+  }
 }
 
 void StagePipeline::schedule_stage_unchecked(
@@ -635,7 +738,39 @@ StageStats StagePipeline::adjust_stage(
   // group per stage per query); only the full-group COUNT feeds the
   // adjustment, so the tally order cannot affect results.
   group_scratch_.clear();
+  // Pooled-workload in-crossbar reduction: rows can only accumulate on the
+  // bitlines of the array they are RESIDENT IN, so a pooling scope — one
+  // pooled feature chain (bag of rows walked first_in_table..), or one
+  // parallel bank group — merges only the missed rows that land in the
+  // same (table, CMA array) cell; each such cell returns ONE reduced
+  // vector over the serialized RSC bus, saving the result return of every
+  // missed row past the cell's first. Hits are excluded (they never
+  // crossed the bus). The former model credited misses per scope without
+  // the array split, overstating savings for scopes spread across arrays
+  // (e.g. one-hot lookups in 26 distinct tables, which can never merge).
+  reduce_scratch_.clear();
+  const bool reduce_active = reduce &&
+                             timing.reduce_saving.latency > device::Ns{0.0} &&
+                             timing.array_rows > 0;
+  // Pooled chain id: increments at each chain head (first_in_table), so
+  // distinct features' bags never merge even when they alias a table.
+  std::uint64_t chain = 0;
+  const auto tally_reduce = [&](std::uint64_t scope, std::uint32_t table,
+                                std::uint32_t row) {
+    const auto array =
+        static_cast<std::uint32_t>(row / timing.array_rows);
+    auto it = std::find_if(reduce_scratch_.begin(), reduce_scratch_.end(),
+                           [&](const ReduceCell& c) {
+                             return c.scope == scope && c.table == table &&
+                                    c.array == array;
+                           });
+    if (it == reduce_scratch_.end())
+      reduce_scratch_.push_back({scope, table, array, 1});
+    else
+      ++it->misses;
+  };
   for (const auto& a : accesses) {
+    if (a.pooled && a.first_in_table) ++chain;
     const bool hit = cache->access(table_base + a.table, a.row);
     if (a.parallel_bank) {
       auto it = std::find_if(
@@ -649,6 +784,9 @@ StageStats StagePipeline::adjust_stage(
       if (hit) {
         ++(*it)[2];
         ++parallel_hits;
+      } else if (reduce_active) {
+        tally_reduce((std::uint64_t{a.parallel_group} << 1) | 1, a.table,
+                     a.row);
       }
       continue;
     }
@@ -659,21 +797,16 @@ StageStats StagePipeline::adjust_stage(
         ++pooled_first_hits;
       else
         ++pooled_hits;
+    } else if (a.pooled && reduce_active) {
+      tally_reduce(chain << 1, a.table, a.row);
     }
   }
   std::size_t full_groups = 0;
   for (const auto& g : group_scratch_)
     if (g[1] > 0 && g[2] == g[1]) ++full_groups;
-  // In-crossbar embedding reduction: a capable stage on a capable device
-  // pools each parallel group's missed rows inside the array — the group
-  // returns ONE reduced vector over the serialized RSC bus instead of one
-  // transfer per bank, so every missed row past the first saves its
-  // result return. Hits are excluded (they never crossed the bus) and so
-  // is the group's surviving first transfer.
   std::uint64_t merged_rows = 0;
-  if (reduce && timing.reduce_saving.latency > device::Ns{0.0})
-    for (const auto& g : group_scratch_)
-      if (g[1] > g[2]) merged_rows += g[1] - g[2] - 1;
+  for (const auto& c : reduce_scratch_)
+    if (c.misses > 1) merged_rows += c.misses - 1;
   // Tiered memory: misses whose block was not warm-resident faulted whole
   // cold-tier blocks in — charge each at the block-fetch cost, in the new
   // ET-block category so the flat store's accounting is untouched.
@@ -823,15 +956,10 @@ void StagePipeline::collect_into(BatchHandle handle,
   results.resize(n);
   stage_end_scratch_.resize(stages);
   auto& stage_end = stage_end_scratch_;
-  // The top-k tie-break (score desc, item asc) is a strict total order over
-  // distinct items, so any correct sorting algorithm yields one answer —
-  // the optimized partial_sort below is value-identical to the reference
-  // full sort.
-  const auto score_order = [](const recsys::ScoredItem& a,
-                              const recsys::ScoredItem& b) {
-    if (a.score != b.score) return a.score > b.score;
-    return a.item < b.item;
-  };
+  // The top-k tie-break (score_order: score desc, item asc) is a strict
+  // total order over distinct items, so any correct sorting algorithm
+  // yields one answer — the optimized partial_sort below is
+  // value-identical to the reference full sort.
   for (std::size_t qi = 0; qi < n; ++qi) {
     const Request& req = st->batch.requests[qi];
     QueryResult& out = results[qi];
@@ -877,10 +1005,27 @@ void StagePipeline::collect_into(BatchHandle handle,
 
       if (spec.stages[s].kind == StageKind::kReplicated) {
         const std::size_t home = st->home[qi];
+        // A consume_items stage's row traffic depends on WHICH candidates
+        // its predecessors produced, so its fed item set doubles as the
+        // accesses() slice (empty for ordinary replicated stages — the
+        // pre-funnel contract).
+        std::span<const std::size_t> fed{};
+        const auto& fed_sources = graph.item_sources[s];
+        if (fed_sources.size() == 1) {
+          fed = st->rec[qi][fed_sources.front()].out_items;
+        } else if (fed_sources.size() > 1) {
+          fed_scratch_.clear();
+          for (std::size_t src : fed_sources) {
+            const auto& items = st->rec[qi][src].out_items;
+            fed_scratch_.insert(fed_scratch_.end(), items.begin(),
+                                items.end());
+          }
+          fed = fed_scratch_;
+        }
         HotEmbeddingCache::TierFlush flushed;
         std::vector<RowAccess> ref_rows;
         const StageStats adj =
-            adjust_stage(rec.rep_stats, stage_accesses(s, {}, ref_rows),
+            adjust_stage(rec.rep_stats, stage_accesses(s, fed, ref_rows),
                          cache, timing_of(home), table_base,
                          spec.stages[s].reduce, &flushed);
         out.stage_stats[s] = adj;
@@ -999,6 +1144,20 @@ void StagePipeline::collect_into(BatchHandle handle,
             ++out.routed_items;
             if (map_.is_pinned(key)) ++out.pinned_items;
           }
+      }
+      if (spec.stages[s].emit_topk > 0) {
+        // Emitting stage: the per-shard partials ship to the controller
+        // and merge into the global top-emit_topk item list BEFORE any
+        // successor can start — the merge latency is on the produced item
+        // set's critical path, so it lands in stage_end[s].
+        const OpCost merge = merge_cost(
+            std::max<std::size_t>(contributing, 1), spec.stages[s].emit_topk);
+        out.stage_stats[s].at(OpKind::kComm) += merge;
+        const device::Ns merge_start = end;
+        end = end + merge.latency;
+        if (sink_ != nullptr)
+          sink_->on_stage_merge(st->spec_idx, s, spec.stages[s].name, req.id,
+                                st->batch.id, merge_start, end);
       }
       if (s == graph.output_stage) {
         out.work_items = 0;

@@ -100,6 +100,12 @@ struct CacheTiming {
   /// (PerfModel::reduction_saving); zero unless the device profile
   /// declares the capability.
   recsys::OpCost reduce_saving;
+  /// Rows per CMA array (ArchConfig::cma_rows): in-crossbar reduction can
+  /// only merge rows RESIDENT IN THE SAME ARRAY (the accumulate happens on
+  /// the array's bitlines), so the pooled-workload model groups a feature's
+  /// missed rows by `row / array_rows` under the sequential row placement.
+  /// Zero disables reduction accounting entirely.
+  std::size_t array_rows = 0;
 
   static CacheTiming from_model(const core::PerfModel& model,
                                 std::size_t cold_block_rows = 0) {
@@ -113,7 +119,8 @@ struct CacheTiming {
                        model.cold_block_fetch(cold_block_rows),
                        cold_block_rows > 0 ? model.cold_flush_extra()
                                            : recsys::OpCost{},
-                       model.reduction_saving()};
+                       model.reduction_saving(),
+                       model.arch().cma_rows};
   }
 };
 
@@ -151,10 +158,27 @@ struct StageSpec {
   std::vector<std::string> deps;
   /// The stage's lookups may be pooled inside the array (in-crossbar
   /// embedding reduction): with a device profile declaring
-  /// in_crossbar_reduction, each parallel group's missed rows return one
-  /// reduced vector over the RSC bus instead of one transfer per row.
-  /// Inert (timed identically) unless the profile opts in.
+  /// in_crossbar_reduction, each pooling scope's missed rows that land in
+  /// the SAME CMA array return one reduced vector over the RSC bus instead
+  /// of one transfer per row (pooled-workload model — rows of a pooled
+  /// feature chain or a parallel bank group merge only with same-array
+  /// neighbours). Inert (timed identically) unless the profile opts in.
   bool reduce = false;
+  /// Non-zero on a SHARDED stage makes it a *producing* stage: its per-
+  /// shard partials are merged (score desc, item asc) into a global
+  /// top-`emit_topk` ITEM LIST that downstream stages consume as their
+  /// work-item set — the funnel's "retrieval output feeds rank" shape.
+  /// The merge is charged like the output merge (RSC ship + tournament)
+  /// and the stage may not be the graph's output stage. Requires an
+  /// explicit dependency graph. Zero (default) = ordinary sharded stage.
+  std::size_t emit_topk = 0;
+  /// On a REPLICATED stage: the stage consumes the item sets produced by
+  /// its predecessors (replicated outputs and/or emitted top-k lists,
+  /// declared edge order) instead of deriving work from the request alone;
+  /// the engine routes the fed items through run_replicated_fed() and
+  /// passes them as the accesses() slice. Requires an explicit dependency
+  /// graph with at least one producing predecessor. Default off.
+  bool consume_items = false;
 };
 
 /// Stage graph of a workload: a DAG of replicated/sharded stages. A
@@ -187,9 +211,12 @@ struct PipelineSpec {
     /// Deterministic topological order (Kahn's algorithm, lowest stage
     /// index first among ready stages); a linear chain yields 0,1,2,...
     std::vector<std::size_t> order;
-    /// Per stage: the replicated stages whose output items a sharded stage
-    /// partitions (empty = servable.initial_items; always empty for
-    /// replicated stages).
+    /// Per stage: the producing stages whose output items the stage
+    /// consumes — for a sharded stage the replicated and emitting
+    /// (emit_topk) direct predecessors it partitions (empty =
+    /// servable.initial_items); for a consume_items replicated stage the
+    /// producing predecessors feeding run_replicated_fed(). Empty for
+    /// ordinary replicated stages.
     std::vector<std::vector<std::size_t>> item_sources;
     /// The stage producing the query's scored partials (and feeding the
     /// merge unit): the last sharded stage in topological order, or
@@ -238,6 +265,18 @@ class ServableBackend {
   virtual std::vector<std::size_t> run_replicated(
       std::size_t stage, std::size_t shard, const Request& req,
       recsys::StageStats* stats) = 0;
+
+  /// Runs replicated stage `stage` of `req` over the item set `fed`
+  /// produced by the stage's graph predecessors (StageSpec::consume_items):
+  /// the funnel's filter narrowing the retrieval stage's candidates. Only
+  /// called for stages with resolved item sources; the default ignores the
+  /// fed items and delegates to run_replicated().
+  virtual std::vector<std::size_t> run_replicated_fed(
+      std::size_t stage, std::size_t shard, const Request& req,
+      std::span<const std::size_t> fed, recsys::StageStats* stats) {
+    (void)fed;
+    return run_replicated(stage, shard, req, stats);
+  }
 
   /// Runs sharded stage `stage` over `slice` on shard `shard`'s replica and
   /// returns the slice's scored partial results (best first, at most `k` —
@@ -597,6 +636,19 @@ class StagePipeline {
   /// groups per stage are few (e.g. DLRM impressions in flight), so a flat
   /// linear-scan vector beats the former per-call std::map.
   mutable std::vector<std::array<std::uint64_t, 3>> group_scratch_;
+  /// adjust_stage() pooled-workload reduction tally: one cell per
+  /// (pooling scope, table, CMA array) holding the scope's missed-row
+  /// count in that array — only same-array rows of one scope can merge.
+  struct ReduceCell {
+    std::uint64_t scope;
+    std::uint32_t table;
+    std::uint32_t array;
+    std::uint64_t misses;
+  };
+  mutable std::vector<ReduceCell> reduce_scratch_;
+  /// collect()-scope scratch for the fed-item concatenation of a
+  /// multi-source consume_items stage (single-threaded there).
+  std::vector<std::size_t> fed_scratch_;
   /// submit()-scope buffer for the batched initial dispatch (submission is
   /// single-threaded by the collect-order contract).
   DeferredTasks dispatch_scratch_;

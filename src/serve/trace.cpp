@@ -90,6 +90,40 @@ void TraceLog::on_stage(const StageSpan& s) {
   registry_.histogram("stage.busy_ns").record((s.end - s.start).value);
 }
 
+void TraceLog::on_stage_merge(std::size_t slot, std::size_t stage,
+                              std::string_view name, std::size_t query,
+                              std::size_t batch, device::Ns start,
+                              device::Ns end) {
+  const std::string merge_name =
+      (name.empty() ? "stage" + std::to_string(stage) : std::string(name)) +
+      ".merge";
+  name_process(kRuntimePid, "serve-runtime");
+  const int tid = 60 + static_cast<int>(slot);
+  name_thread(kRuntimePid, tid, "merge s" + std::to_string(slot));
+  // Produced-item merges belong to individual QUERIES, and different
+  // queries' merge windows of one batch interleave arbitrarily in
+  // simulated time — async spans (paired by query id), like the batch
+  // lifecycle, not complete spans on one track (which must nest).
+  TraceEvent begin;
+  begin.phase = TraceEvent::Phase::kAsyncBegin;
+  begin.name = merge_name;
+  begin.cat = "stage.merge";
+  begin.ts_us = start.us();
+  begin.pid = kRuntimePid;
+  begin.tid = tid;
+  begin.id = query;
+  begin.num_args = {{"batch", static_cast<double>(batch)},
+                    {"stage", static_cast<double>(stage)}};
+  TraceEvent fin = begin;
+  fin.phase = TraceEvent::Phase::kAsyncEnd;
+  fin.ts_us = end.us();
+  fin.num_args.clear();
+  events_.push_back(std::move(begin));
+  events_.push_back(std::move(fin));
+  registry_.add_counter("spans.stage_merge");
+  registry_.histogram("stage.merge_ns").record((end - start).value);
+}
+
 void TraceLog::on_batch(const BatchSpan& b) {
   ++batches_;
   const std::string cls =
@@ -420,6 +454,13 @@ TraceCheck check_trace(std::span<const TraceEvent> events) {
   std::map<std::tuple<int, std::string, std::uint64_t>, std::vector<double>>
       open_async;
   std::optional<double> summary_batches;
+  std::optional<double> summary_merges;
+  // Per (pid, batch id): the lifecycle phase boundaries, for the chaining
+  // audit below (queue close <= gate open, gate release <= exec begin).
+  struct BatchPhases {
+    std::optional<double> queue_end, gate_begin, gate_end, exec_begin;
+  };
+  std::map<std::pair<int, std::uint64_t>, BatchPhases> batch_phases;
 
   for (const auto& e : events) {
     switch (e.phase) {
@@ -444,6 +485,12 @@ TraceCheck check_trace(std::span<const TraceEvent> events) {
           else
             fail("batch span id " + std::to_string(e.id) +
                  " has unknown close trigger '" + trigger + "'");
+        } else if (e.cat == "batch.gate") {
+          batch_phases[{e.pid, e.id}].gate_begin = e.ts_us;
+        } else if (e.cat == "batch.exec") {
+          batch_phases[{e.pid, e.id}].exec_begin = e.ts_us;
+        } else if (e.cat == "stage.merge") {
+          ++out.merge_spans;
         }
         break;
       }
@@ -458,16 +505,37 @@ TraceCheck check_trace(std::span<const TraceEvent> events) {
           fail("async span '" + e.cat + "' id " + std::to_string(e.id) +
                " ends before it begins");
         it->second.pop_back();
+        if (e.cat == "batch.queue")
+          batch_phases[{e.pid, e.id}].queue_end = e.ts_us;
+        else if (e.cat == "batch.gate")
+          batch_phases[{e.pid, e.id}].gate_end = e.ts_us;
         break;
       }
       case TraceEvent::Phase::kInstant:
         if (e.name == "serve.summary")
-          for (const auto& [k, v] : e.num_args)
+          for (const auto& [k, v] : e.num_args) {
             if (k == "batches") summary_batches = v;
+            if (k == "spans.stage_merge") summary_merges = v;
+          }
         break;
       default:
         break;
     }
+  }
+
+  // A batch's lifecycle phases must chain: the queue span closes when the
+  // gate span opens (the batcher's close IS the gate's arrival) and the
+  // gate releases no later than execution begins. Out-of-order phases mean
+  // the runtime stamped a batch's timeline inconsistently — exactly the
+  // kind of bookkeeping slip produced item sets could introduce (a
+  // successor reading its feeder's items before the feeder's merge).
+  for (const auto& [key, p] : batch_phases) {
+    if (p.queue_end && p.gate_begin && *p.gate_begin + eps < *p.queue_end)
+      fail("batch id " + std::to_string(key.second) +
+           " opens its admission gate before its queue span closes");
+    if (p.gate_end && p.exec_begin && *p.exec_begin + eps < *p.gate_end)
+      fail("batch id " + std::to_string(key.second) +
+           " begins execution before its admission gate releases");
   }
 
   for (const auto& [key, stack] : open_async)
@@ -518,6 +586,12 @@ TraceCheck check_trace(std::span<const TraceEvent> events) {
          std::to_string(static_cast<std::size_t>(*summary_batches)) +
          " batches but the trace holds " + std::to_string(out.batch_spans) +
          " batch spans");
+  if (summary_merges &&
+      static_cast<std::size_t>(*summary_merges) != out.merge_spans)
+    fail("serve.summary reports " +
+         std::to_string(static_cast<std::size_t>(*summary_merges)) +
+         " produced-item merges but the trace holds " +
+         std::to_string(out.merge_spans) + " merge spans");
   return out;
 }
 

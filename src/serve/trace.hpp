@@ -75,6 +75,10 @@ char phase_char(TraceEvent::Phase p);
 class TraceLog final : public ObserverSink {
  public:
   void on_stage(const StageSpan& s) override;
+  void on_stage_merge(std::size_t slot, std::size_t stage,
+                      std::string_view name, std::size_t query,
+                      std::size_t batch, device::Ns start,
+                      device::Ns end) override;
   void on_batch(const BatchSpan& b) override;
   void on_write(std::size_t shard, device::Ns start, device::Ns end) override;
   void on_cache_flush(std::size_t shard, device::Ns at, std::uint64_t rows,
@@ -122,6 +126,8 @@ struct TraceCheck {
   std::size_t events = 0;
   std::size_t unit_spans = 0;   ///< cat "unit" complete spans
   std::size_t batch_spans = 0;  ///< "batch.queue" async begins
+  /// "stage.merge" async begins (produced-item merges of emitting stages).
+  std::size_t merge_spans = 0;
   /// Batch count per close-trigger reason (from the span args).
   std::map<std::string, std::size_t> trigger_counts;
 };
@@ -130,9 +136,12 @@ struct TraceCheck {
 /// extents and nest properly per (pid, tid) track; cat "unit" spans (stage
 /// units, ET banks) additionally never overlap on one track — the event
 /// model's one-span-at-a-time promise; async begins/ends pair up by
-/// (pid, cat, id); every batch span carries a known close trigger and the
-/// per-trigger counts sum to the total batch count (cross-checked against
-/// the "serve.summary" batches figure when present).
+/// (pid, cat, id); a batch's lifecycle phases chain in order per batch id
+/// (queue close <= gate open, gate release <= exec begin); every batch
+/// span carries a known close trigger and the per-trigger counts sum to
+/// the total batch count (cross-checked against the "serve.summary"
+/// batches figure when present, as is the produced-item merge-span count
+/// against the summary's "spans.stage_merge").
 TraceCheck check_trace(std::span<const TraceEvent> events);
 
 /// Aggregate view for the CLI: total/self time per (cat, name).

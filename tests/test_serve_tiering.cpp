@@ -6,12 +6,16 @@
 // degrades to the flat store bit-identically across the whole scheduling
 // grid (overlap x open/closed x gated x class count), and enabled
 // migration stays bit-identical under overlap on/off because commits
-// happen at batch-dispatch boundaries — and the in-crossbar reduction
-// capability: identical scores query by query, strictly better tail
-// latency on the CTR fabric.
+// happen at batch-dispatch boundaries — the fault-attributed adaptive QoS
+// observations (cold-block fault time never reaches the EWMA; the trace
+// carries the attribution), and the pooled-workload in-crossbar reduction
+// model: pooled chains whose missed rows share a CMA array earn a real
+// tail-latency cut at identical results, while one-hot lookups spread over
+// distinct tables earn exactly nothing — bit-identical reports.
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "baseline/cpu_backend.hpp"
@@ -22,8 +26,10 @@
 #include "recsys/youtube_dnn.hpp"
 #include "serve/hot_cache.hpp"
 #include "serve/load_gen.hpp"
+#include "serve/observe.hpp"
 #include "serve/runtime.hpp"
 #include "serve/servable_ctr.hpp"
+#include "serve/shard_router.hpp"
 #include "serve_test_util.hpp"
 #include "util/rng.hpp"
 
@@ -354,6 +360,208 @@ TEST(TieredRuntime, MigrationDeterministicUnderOverlap) {
   }
 }
 
+// --- Adaptive QoS under tier faults ----------------------------------------
+
+// Records the per-batch lifecycle spans next to the adaptive estimator's
+// counter stream, so a test can audit the fault attribution: "qos.fault.*"
+// fires at drain for every batch that charged cold-block time, "qos.obs.*"
+// fires at commit with the observation the EWMA actually consumed.
+struct QosAudit final : serve::ObserverSink {
+  std::vector<serve::BatchSpan> batches;
+  std::vector<double> obs;     // committed observations, commit order
+  std::vector<double> faults;  // fault-charged ns, faulting-batch order
+  void on_batch(const serve::BatchSpan& b) override { batches.push_back(b); }
+  void on_counter(std::string_view name, Ns, double value) override {
+    if (name.starts_with("qos.obs.")) obs.push_back(value);
+    if (name.starts_with("qos.fault.")) faults.push_back(value);
+  }
+};
+
+// Cold-block fault bursts are a tier-warming TRANSIENT, not class service
+// drift: the adaptive estimator must subtract the fault-charged time
+// (OpKind::kEtBlock) from the batch observation it feeds the EWMA — else a
+// drift-induced fault burst inflates the estimate and triggers spurious
+// preemptive closes long after the hot set re-warmed. The trace keeps the
+// attribution auditable, and the commit schedule stays deterministic.
+TEST(TieredRuntime, AdaptiveEstimatesAttributeFaultTimeSeparately) {
+  TierFixture fx;
+  // Two-phase drift trace (the bench's shape, miniature): phase B rotates
+  // every drawn user by half the population, so the phase-A warm blocks go
+  // stale and faults recur MID-RUN, not just during warm-up.
+  std::vector<serve::Request> trace;
+  {
+    double t0 = 0.0;
+    for (int phase = 0; phase < 2; ++phase) {
+      LoadGenConfig pl;
+      pl.clients = 8;
+      pl.total_queries = 30;
+      pl.num_users = fx.users.size();
+      pl.user_zipf_s = 1.1;
+      pl.seed = 271 + static_cast<std::uint64_t>(phase);
+      pl.arrivals = ArrivalProcess::kOpenPoisson;
+      pl.rate_qps = 2.0e5;
+      LoadGenerator gen(pl);
+      double last = t0;
+      while (auto r = gen.next_arrival()) {
+        serve::Request q = *r;
+        if (phase == 1)
+          q.user = (q.user + fx.users.size() / 2) % fx.users.size();
+        q.enqueue = Ns{q.enqueue.value + t0};
+        q.id = trace.size();
+        last = q.enqueue.value;
+        trace.push_back(q);
+      }
+      t0 = last + 5000.0;  // one small gap between the phases
+    }
+  }
+  auto run = [&](const HotCacheConfig& cache, bool overlap,
+                 serve::ObserverSink* sink) {
+    ServingConfig cfg;
+    cfg.shards = 3;
+    cfg.k = 5;
+    cfg.batcher.max_batch = 4;
+    cfg.batcher.max_wait = Ns{300000.0};
+    cfg.cache = cache;
+    cfg.overlap = overlap;
+    cfg.adaptive.enabled = true;
+    ServingRuntime rt(fx.factory, cfg, core::ArchConfig{},
+                      device::DeviceProfile::fefet45());
+    if (sink != nullptr) rt.set_observer(sink);
+    LoadGenConfig lg;
+    lg.arrivals = ArrivalProcess::kTrace;
+    lg.trace = trace;
+    lg.num_users = fx.users.size();
+    LoadGenerator gen(lg);
+    return rt.run(gen, fx.users);
+  };
+
+  HotCacheConfig tiered;
+  tiered.capacity_rows = 48;
+  tiered.warm_capacity_rows = 64;
+  tiered.cold_block_rows = 4;
+  QosAudit audit;
+  const auto tiered_report = run(tiered, /*overlap=*/false, &audit);
+  ASSERT_GT(tiered_report.cache.cold_faults, 0u);
+  ASSERT_FALSE(audit.faults.empty());  // the attribution is visible
+  for (const double f : audit.faults) EXPECT_GT(f, 0.0);
+  // One committed observation per estimate commit, in batch-drain order
+  // (single class: obs_pending is FIFO); the trailing batches' pending
+  // observations never commit, so obs <= batches.
+  EXPECT_EQ(audit.obs.size(), tiered_report.spec.estimate_commits);
+  ASSERT_LE(audit.obs.size(), audit.batches.size());
+  ASSERT_GT(audit.obs.size(), 0u);
+  // Every committed observation is the batch's wall service MINUS its
+  // fault-charged time (clamped at zero) — never more than the raw span,
+  // and strictly less wherever a fault was charged (warm-up faults land in
+  // the first batches, which always commit).
+  std::size_t strictly_adjusted = 0;
+  for (std::size_t k = 0; k < audit.obs.size(); ++k) {
+    const double raw =
+        audit.batches[k].complete.value - audit.batches[k].close.value;
+    EXPECT_LE(audit.obs[k], raw + 1e-6);
+    if (raw - audit.obs[k] > 1.0) ++strictly_adjusted;
+  }
+  EXPECT_GT(strictly_adjusted, 0u);
+
+  // With tiering disabled kEtBlock is identically zero: no fault counters,
+  // and every committed observation IS the raw batch service.
+  HotCacheConfig flat;
+  flat.capacity_rows = 48;
+  QosAudit flat_audit;
+  const auto flat_report = run(flat, /*overlap=*/false, &flat_audit);
+  EXPECT_EQ(flat_report.cache.cold_faults, 0u);
+  EXPECT_TRUE(flat_audit.faults.empty());
+  ASSERT_GT(flat_audit.obs.size(), 0u);
+  for (std::size_t k = 0; k < flat_audit.obs.size(); ++k) {
+    const double raw = flat_audit.batches[k].complete.value -
+                       flat_audit.batches[k].close.value;
+    EXPECT_DOUBLE_EQ(flat_audit.obs[k], raw);
+  }
+
+  // The adjustment must not perturb the commit-schedule determinism the
+  // adaptive contract guarantees: bit-identical reruns, and bit-identical
+  // under overlap on/off.
+  const auto again = run(tiered, /*overlap=*/false, nullptr);
+  const auto overlapped = run(tiered, /*overlap=*/true, nullptr);
+  serve_test::expect_reports_identical(tiered_report, again);
+  serve_test::expect_reports_identical(tiered_report, overlapped);
+}
+
+// --- Pooled-workload in-crossbar reduction (MovieLens history chains) ------
+
+// The reduction model merges only missed rows of ONE pooling scope that
+// are resident in the SAME CMA array (the accumulate happens on the
+// array's bitlines). MovieLens history chains pool 3-8 ItET rows per pass
+// and the 90-item catalog fits inside array 0 (256 rows per array), so
+// chains with >= 2 misses earn real credit: identical results, strictly
+// better tail latency. The capability must also stay inert unless BOTH the
+// stage declares it (StageSpec::reduce) and the device profile opts in.
+TEST(TieredRuntime, PooledReductionCutsTailAndNeedsStageOptIn) {
+  TierFixture fx;
+  auto run = [&](const device::DeviceProfile& profile, bool stage_reduce) {
+    auto router = std::make_unique<serve::ShardRouter>(fx.factory, 3);
+    if (stage_reduce) {
+      auto spec = serve::ShardRouter::pipeline_spec();
+      for (auto& s : spec.stages) s.reduce = true;
+      router->override_spec(std::move(spec));
+    }
+    ServingConfig cfg;
+    cfg.k = 5;
+    cfg.batcher.max_batch = 4;
+    cfg.batcher.max_wait = Ns{300000.0};
+    cfg.cache.capacity_rows = 48;  // small: pooled chains actually miss
+    ServingRuntime rt(std::move(router), cfg, core::ArchConfig{}, profile);
+    LoadGenConfig lg;
+    lg.clients = 8;
+    lg.total_queries = 60;
+    lg.num_users = fx.users.size();
+    lg.user_zipf_s = 1.1;
+    lg.seed = 271;
+    // Open loop: completion-independent arrivals, so both profiles see the
+    // identical query stream and only the ET timing may differ.
+    lg.arrivals = ArrivalProcess::kOpenPoisson;
+    lg.rate_qps = 2.0e5;
+    LoadGenerator gen(lg);
+    return rt.run(gen, fx.users);
+  };
+  const auto flat_profile = device::DeviceProfile::fefet45();
+  auto reduce_profile = flat_profile;
+  reduce_profile.in_crossbar_reduction = true;
+
+  const auto flat = run(flat_profile, /*stage_reduce=*/true);
+  const auto reduced = run(reduce_profile, /*stage_reduce=*/true);
+  // Merging partial results inside the array never changes WHAT is
+  // computed — and the reduced-away result returns are real latency. The
+  // arrival stream (and with it every batch close) is identical, so the
+  // reduced run dominates query by query: no query completes later, the
+  // chains that merged complete strictly earlier, and the total device
+  // time strictly shrinks.
+  serve_test::expect_results_identical(flat, reduced);
+  ASSERT_EQ(flat.queries.size(), reduced.queries.size());
+  double flat_device = 0.0, reduced_device = 0.0;
+  std::size_t strictly_faster = 0;
+  for (std::size_t i = 0; i < flat.queries.size(); ++i) {
+    const double lf =
+        (flat.queries[i].complete - flat.queries[i].enqueue).value;
+    const double lr =
+        (reduced.queries[i].complete - reduced.queries[i].enqueue).value;
+    EXPECT_LE(lr, lf + 1e-6);
+    if (lf - lr > 1e-6) ++strictly_faster;
+    flat_device += flat.queries[i].device_time.value;
+    reduced_device += reduced.queries[i].device_time.value;
+  }
+  EXPECT_GT(strictly_faster, 0u);
+  EXPECT_LT(reduced_device, flat_device);
+  EXPECT_LE(reduced.p99_latency_ns(), flat.p99_latency_ns());
+  EXPECT_LE(reduced.makespan.value, flat.makespan.value);
+
+  // Profile opt-in WITHOUT the stage declaration is inert — bit-identical
+  // to the flat-profile run (whose stage flag is in turn inert without the
+  // profile), down to every timestamp and counter.
+  const auto undeclared = run(reduce_profile, /*stage_reduce=*/false);
+  serve_test::expect_reports_identical(flat, undeclared);
+}
+
 // --- In-crossbar reduction on the CTR fabric -------------------------------
 
 struct CtrTierFixture {
@@ -407,7 +615,15 @@ struct CtrTierFixture {
   core::CtrBackendFactory factory;
 };
 
-TEST(TieredCtr, InCrossbarReductionKeepsScoresAndCutsTailLatency) {
+// DLRM's sparse lookups are one-hot rows in 26 DISTINCT tables: no two
+// missed rows of one impression's bank group ever share a (table, CMA
+// array) cell, so the pooled-workload model gives the capability exactly
+// ZERO credit here — turning it on must be completely inert, down to every
+// timestamp. (The former single-row model credited misses per scope
+// without the same-array constraint and manufactured a tail-latency win
+// out of rows that can never meet on a bitline; this is the regression
+// anchor for that fix.)
+TEST(TieredCtr, ReductionIsInertOnDistinctTableOneHotLookups) {
   CtrTierFixture fx;
   const auto flat_profile = device::DeviceProfile::fefet45();
   auto reduce_profile = flat_profile;
@@ -415,13 +631,7 @@ TEST(TieredCtr, InCrossbarReductionKeepsScoresAndCutsTailLatency) {
 
   const auto flat = fx.run(flat_profile);
   const auto reduced = fx.run(reduce_profile);
-  // Reduction merges per-bank partial results inside the array; it never
-  // changes WHAT is computed — score parity query by query.
-  serve_test::expect_results_identical(flat, reduced);
-  // It does cut the per-bank result returns over the RSC bus: strictly
-  // better tail latency at equal top-k, and no later makespan.
-  EXPECT_LT(reduced.p99_latency_ns(), flat.p99_latency_ns());
-  EXPECT_LE(reduced.makespan.value, flat.makespan.value);
+  serve_test::expect_reports_identical(flat, reduced);
 }
 
 }  // namespace

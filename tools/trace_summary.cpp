@@ -444,8 +444,11 @@ int main(int argc, char** argv) {
   }
 
   const imars::serve::TraceCheck check = imars::serve::check_trace(events);
-  std::printf("%s: %zu events, %zu unit spans, %zu batch spans\n",
+  std::printf("%s: %zu events, %zu unit spans, %zu batch spans",
               path.c_str(), check.events, check.unit_spans, check.batch_spans);
+  if (check.merge_spans > 0)
+    std::printf(", %zu merge spans", check.merge_spans);
+  std::printf("\n");
   if (!check.trigger_counts.empty()) {
     std::printf("close triggers:");
     for (const auto& [trigger, n] : check.trigger_counts)
